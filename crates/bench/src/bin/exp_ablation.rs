@@ -1,0 +1,138 @@
+//! A1 — ablation: how much does taming the TMs' nondeterminism matter?
+//!
+//! The paper stresses that its TM automata are deliberately loose ("the
+//! read-TM simply invokes any number of accesses to any of the DMs") and
+//! notes that a real implementation would direct accesses at a particular
+//! quorum; correctness is unaffected because every operation still meets
+//! the preconditions. This ablation quantifies the *efficiency* side:
+//! schedule length and replica accesses per run for the quorum-directed
+//! (`Eager`) strategy versus increasingly chaotic ones — plus a weighted-
+//! voting configuration, exercising Gifford's original vote interface.
+
+use nested_txn::{TxnOp, Value};
+use qc_bench::{row, rule};
+use qc_replication::{
+    run_system_b, ConfigChoice, ItemSpec, RunOptions, SystemSpec, TmStrategy, UserSpec, UserStep,
+};
+
+fn spec(strategy: TmStrategy, config: ConfigChoice) -> SystemSpec {
+    SystemSpec {
+        items: vec![ItemSpec {
+            name: "x".into(),
+            init: Value::Int(0),
+            replicas: 5,
+            config,
+        }],
+        plain: vec![],
+        users: vec![UserSpec::new(vec![
+            UserStep::Write(0, Value::Int(1)),
+            UserStep::Read(0),
+            UserStep::Read(0),
+        ])],
+        strategy,
+    }
+}
+
+fn measure(name: &str, s: &SystemSpec, widths: &[usize]) {
+    let runs = 40u64;
+    let mut steps = 0usize;
+    let mut accesses = 0usize;
+    let mut completed = 0usize;
+    for seed in 0..runs {
+        let (beta, layout) = run_system_b(
+            s,
+            RunOptions {
+                seed,
+                abort_weight: 0,
+                max_steps: 30_000,
+                ..RunOptions::default()
+            },
+        )
+        .expect("run");
+        steps += beta.len();
+        accesses += beta
+            .iter()
+            .filter(|op| {
+                matches!(op, TxnOp::Create { .. }) && layout.is_replica_access_op(op)
+            })
+            .count();
+        // Completed = every TM committed.
+        if layout.tm_roles.keys().all(|t| {
+            beta.iter()
+                .any(|op| matches!(op, TxnOp::Commit { tid, .. } if tid == t))
+        }) {
+            completed += 1;
+        }
+    }
+    row(
+        &[
+            name.into(),
+            format!("{runs}"),
+            format!("{:.0}", steps as f64 / runs as f64),
+            format!("{:.1}", accesses as f64 / runs as f64),
+            format!("{completed}/{runs}"),
+        ],
+        widths,
+    );
+}
+
+fn main() {
+    println!("A1 — TM strategy & configuration ablation (1 write + 2 reads, n = 5)\n");
+    let widths = [34, 6, 11, 13, 11];
+    row(
+        &[
+            "variant".into(),
+            "runs".into(),
+            "ops/run".into(),
+            "accesses/run".into(),
+            "completed".into(),
+        ],
+        &widths,
+    );
+    rule(&widths);
+
+    measure(
+        "targeted, majority",
+        &spec(TmStrategy::Targeted, ConfigChoice::Majority),
+        &widths,
+    );
+    measure(
+        "eager, majority",
+        &spec(TmStrategy::Eager, ConfigChoice::Majority),
+        &widths,
+    );
+    measure(
+        "chaotic(max 6), majority",
+        &spec(TmStrategy::Chaotic { max_accesses: 6 }, ConfigChoice::Majority),
+        &widths,
+    );
+    measure(
+        "chaotic(max 10), majority",
+        &spec(TmStrategy::Chaotic { max_accesses: 10 }, ConfigChoice::Majority),
+        &widths,
+    );
+    measure(
+        "eager, rowa",
+        &spec(TmStrategy::Eager, ConfigChoice::Rowa),
+        &widths,
+    );
+    measure(
+        "eager, weighted 3-1-1-1-1 (r4,w4)",
+        &spec(
+            TmStrategy::Eager,
+            ConfigChoice::Weighted {
+                votes: vec![3, 1, 1, 1, 1],
+                read: 4,
+                write: 4,
+            },
+        ),
+        &widths,
+    );
+
+    println!(
+        "\nExpected shape: the targeted strategy touches exactly one quorum per \
+         phase; eager/chaotic spray accesses at every replica for the same result; \
+         ROWA reads use the fewest accesses. Correctness (Lemma monitors, attached \
+         in every run) is identical across all variants — the paper's point."
+    );
+}

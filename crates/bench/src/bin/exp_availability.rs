@@ -1,0 +1,90 @@
+//! Q2 — read/write availability versus per-site failure probability:
+//! exact enumeration vs Monte-Carlo vs the discrete-event simulator.
+//!
+//! The three columns per operation class should agree (the simulator's
+//! long-run site uptime is mttf/(mttf+mttr) = 1−p), validating both the
+//! analysis and the simulator against each other.
+
+use std::sync::Arc;
+
+use qc_bench::{row, rule};
+use qc_sim::{run, ContactPolicy, SimConfig, SimTime};
+use quorum::{analysis, Majority, QuorumSpec, Rowa};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+fn simulate(q: &Arc<dyn QuorumSpec + Send + Sync>, p_down: f64) -> (f64, f64) {
+    // Choose mttf/mttr so the stationary down-probability is p_down.
+    let cycle = SimTime::from_secs(20);
+    let mttr = SimTime((cycle.as_micros() as f64 * p_down) as u64 + 1);
+    let mttf = SimTime(cycle.as_micros() - mttr.as_micros() + 1);
+    let mut c = SimConfig::new(Arc::clone(q));
+    c.read_fraction = 0.5;
+    c.contact = ContactPolicy::AllLive;
+    c.mttf = Some(mttf);
+    c.mttr = mttr;
+    c.duration = SimTime::from_secs(3_000);
+    c.timeout = SimTime::from_millis(20);
+    // Long think time ≫ op time makes attempts (nearly) time-uniform, so
+    // the per-attempt availability estimates the stationary probability —
+    // closed-loop clients would otherwise oversample up-periods, where
+    // operations finish faster.
+    c.think_time = SimTime::from_millis(500);
+    c.seed = 17;
+    let m = run(c);
+    (m.reads.availability(), m.writes.availability())
+}
+
+fn main() {
+    println!("Q2 — availability vs per-site failure probability p (n = 5)\n");
+    let widths = [14, 6, 10, 10, 10, 10, 10, 10];
+    row(
+        &[
+            "quorum".into(),
+            "p".into(),
+            "read ex".into(),
+            "read mc".into(),
+            "read sim".into(),
+            "write ex".into(),
+            "write mc".into(),
+            "write sim".into(),
+        ],
+        &widths,
+    );
+    rule(&widths);
+
+    let systems: Vec<Arc<dyn QuorumSpec + Send + Sync>> =
+        vec![Arc::new(Rowa::new(5)), Arc::new(Majority::new(5))];
+    let mut rng = ChaCha8Rng::seed_from_u64(0xA2);
+
+    for q in &systems {
+        for p in [0.01, 0.05, 0.1, 0.2, 0.3, 0.5] {
+            let up = 1.0 - p;
+            let r_ex = analysis::exact_read_availability(q.as_ref(), up);
+            let w_ex = analysis::exact_write_availability(q.as_ref(), up);
+            let (r_mc, w_mc) =
+                analysis::monte_carlo_availability(q.as_ref(), up, 50_000, &mut rng);
+            let (r_sim, w_sim) = simulate(q, p);
+            row(
+                &[
+                    q.label(),
+                    format!("{p:.2}"),
+                    format!("{r_ex:.4}"),
+                    format!("{r_mc:.4}"),
+                    format!("{r_sim:.4}"),
+                    format!("{w_ex:.4}"),
+                    format!("{w_mc:.4}"),
+                    format!("{w_sim:.4}"),
+                ],
+                &widths,
+            );
+        }
+        rule(&widths);
+    }
+
+    println!(
+        "Expected shape: ROWA reads stay near 1 while ROWA writes collapse as p \
+         grows; majority degrades gracefully and symmetrically. Exact, Monte-Carlo \
+         and simulated columns agree."
+    );
+}

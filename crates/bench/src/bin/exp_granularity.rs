@@ -1,0 +1,87 @@
+//! A2 — lock-granularity ablation: Moss's nested rules vs a flat
+//! top-level-exclusive baseline.
+//!
+//! Both granularities satisfy Theorem 11 (each is serializable at the
+//! copies); the difference is concurrency. Nested locking releases an
+//! object to other top-level transactions as soon as the writer's chain
+//! commits upward; the flat baseline pins the object for a whole top-level
+//! lifetime and therefore blocks (and deadlock-aborts) more under
+//! contention.
+
+use qc_bench::{contention_spec, row, rule};
+use qc_cc::{check_theorem11, CcRunOptions, LockGranularity};
+
+fn main() {
+    println!("A2 — nested vs top-level-exclusive locking under contention\n");
+    let widths = [24, 8, 12, 12, 12, 9];
+    row(
+        &[
+            "variant".into(),
+            "users".into(),
+            "commit rate".into(),
+            "aborts/run".into(),
+            "confl/run".into(),
+            "refuted".into(),
+        ],
+        &widths,
+    );
+    rule(&widths);
+
+    for users in [2usize, 3, 4] {
+        for (name, granularity) in [
+            ("nested (Moss)", LockGranularity::Nested),
+            ("top-level excl.", LockGranularity::TopLevelExclusive),
+        ] {
+            let spec = contention_spec(users, 3);
+            let runs = 10u64;
+            let mut commits = 0usize;
+            let mut aborts = 0usize;
+            let mut conflicts = 0u64;
+            let mut refuted = 0u64;
+            for seed in 0..runs {
+                match check_theorem11(
+                    &spec,
+                    CcRunOptions {
+                        seed,
+                        granularity,
+                        max_steps: 200_000,
+                        ..CcRunOptions::default()
+                    },
+                ) {
+                    Ok(r) => {
+                        commits += r.users_committed;
+                        aborts += r.aborts;
+                        conflicts += r.lock_conflicts;
+                    }
+                    Err(e) => {
+                        refuted += 1;
+                        eprintln!("REFUTED ({name}, {users} users, seed {seed}): {e}");
+                    }
+                }
+            }
+            row(
+                &[
+                    format!("{name}, {users}u"),
+                    format!("{users}"),
+                    format!("{:.2}", commits as f64 / (runs as usize * users) as f64),
+                    format!("{:.1}", aborts as f64 / runs as f64),
+                    format!("{:.1}", conflicts as f64 / runs as f64),
+                    format!("{refuted}"),
+                ],
+                &widths,
+            );
+        }
+        rule(&widths);
+    }
+
+    println!(
+        "Expected shape: refuted = 0 for both — Theorem 11 composes with any \
+         copy-level-serializable algorithm, which is the point of the experiment. \
+         The conflict/abort columns show the classic granularity trade: the flat \
+         baseline conflicts *earlier* (whole top-level transactions exclude each \
+         other), which prevents the half-acquired states that deadlock, at the \
+         price of admitting no concurrency within an object. Nested locking's \
+         advantage needs intra-transaction parallelism, which these sequential \
+         user programs deliberately do not exercise."
+    );
+}

@@ -1,0 +1,116 @@
+//! Q3 — concurrency: simulator throughput vs read fraction, and 2PL
+//! contention statistics on the concurrent nested-transaction runtime.
+//!
+//! Part 1 (simulator): closed-loop clients; throughput falls as the write
+//! fraction rises because writes pay two quorum phases.
+//!
+//! Part 2 (2PL runtime): committed user transactions, aborts, and lock
+//! conflicts as contention (number of users on the same items) grows.
+
+use std::sync::Arc;
+
+use qc_bench::{contention_spec, row, rule};
+use qc_cc::{check_theorem11, CcRunOptions};
+use qc_sim::{run, ContactPolicy, SimConfig, SimTime};
+use quorum::{Majority, QuorumSpec, Rowa};
+
+fn main() {
+    println!("Q3a — simulated throughput vs read fraction (n = 5, 8 clients, LAN)\n");
+    let widths = [14, 8, 14, 12, 12];
+    row(
+        &[
+            "quorum".into(),
+            "reads".into(),
+            "ops/sec".into(),
+            "read p50".into(),
+            "write p50".into(),
+        ],
+        &widths,
+    );
+    rule(&widths);
+
+    let systems: Vec<Arc<dyn QuorumSpec + Send + Sync>> =
+        vec![Arc::new(Rowa::new(5)), Arc::new(Majority::new(5))];
+    for q in &systems {
+        for rf in [0.5, 0.9, 0.99] {
+            let mut c = SimConfig::new(Arc::clone(q));
+            c.clients = 8;
+            c.read_fraction = rf;
+            c.contact = ContactPolicy::MinimalQuorum;
+            c.think_time = SimTime::from_millis(0);
+            c.duration = SimTime::from_secs(20);
+            c.seed = 23;
+            let m = run(c);
+            row(
+                &[
+                    q.label(),
+                    format!("{rf:.2}"),
+                    format!("{:.0}", m.throughput_ops_per_sec(SimTime::from_secs(20))),
+                    format!("{:.2}ms", m.reads.percentile_ms(50.0)),
+                    format!("{:.2}ms", m.writes.percentile_ms(50.0)),
+                ],
+                &widths,
+            );
+        }
+        rule(&widths);
+    }
+
+    println!("\nQ3b — 2PL contention on the concurrent nested-transaction runtime\n");
+    let widths = [8, 6, 12, 12, 12, 12];
+    row(
+        &[
+            "users".into(),
+            "runs".into(),
+            "commit rate".into(),
+            "aborts/run".into(),
+            "confl/run".into(),
+            "γ ops/run".into(),
+        ],
+        &widths,
+    );
+    rule(&widths);
+    for users in [1usize, 2, 3, 4, 5] {
+        let spec = contention_spec(users, 3);
+        let runs = 8u64;
+        let mut commits = 0usize;
+        let mut aborts = 0usize;
+        let mut conflicts = 0u64;
+        let mut gamma = 0usize;
+        for seed in 0..runs {
+            let r = check_theorem11(
+                &spec,
+                CcRunOptions {
+                    seed,
+                    abort_weight: 1,
+                    max_steps: 200_000,
+                    ..CcRunOptions::default()
+                },
+            )
+            .expect("theorem 11 must hold");
+            commits += r.users_committed;
+            aborts += r.aborts;
+            conflicts += r.lock_conflicts;
+            gamma += r.gamma_len;
+        }
+        row(
+            &[
+                format!("{users}"),
+                format!("{runs}"),
+                format!(
+                    "{:.2}",
+                    commits as f64 / (runs as usize * users) as f64
+                ),
+                format!("{:.1}", aborts as f64 / runs as f64),
+                format!("{:.1}", conflicts as f64 / runs as f64),
+                format!("{:.0}", gamma as f64 / runs as f64),
+            ],
+            &widths,
+        );
+    }
+
+    println!(
+        "\nExpected shape: throughput rises with the read fraction (ROWA most \
+         sharply); lock conflicts and deadlock-victim aborts grow with contention \
+         while Theorem 11 keeps holding."
+    );
+}

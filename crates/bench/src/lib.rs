@@ -1,0 +1,103 @@
+//! Shared helpers for the experiment binaries (`exp_*`, `fig_*`) and
+//! criterion benches that regenerate the evaluation in `EXPERIMENTS.md`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use nested_txn::Value;
+use qc_replication::{ConfigChoice, ItemSpec, SystemSpec, UserSpec, UserStep};
+
+/// Print a fixed-width table row.
+pub fn row(cells: &[String], widths: &[usize]) {
+    let line: Vec<String> = cells
+        .iter()
+        .zip(widths)
+        .map(|(c, w)| format!("{c:>w$}", w = w))
+        .collect();
+    println!("{}", line.join("  "));
+}
+
+/// Print a rule matching the given widths.
+pub fn rule(widths: &[usize]) {
+    let total: usize = widths.iter().sum::<usize>() + 2 * (widths.len() - 1);
+    println!("{}", "-".repeat(total));
+}
+
+/// The paper's running example (Figure 1 shape): two logical items `x`
+/// (3 replicas) and `y` (2 replicas), one plain object, two user
+/// transactions with nested structure.
+pub fn figure1_spec() -> SystemSpec {
+    SystemSpec {
+        items: vec![
+            ItemSpec {
+                name: "x".into(),
+                init: Value::Int(0),
+                replicas: 3,
+                config: ConfigChoice::Majority,
+            },
+            ItemSpec {
+                name: "y".into(),
+                init: Value::Int(0),
+                replicas: 2,
+                config: ConfigChoice::Rowa,
+            },
+        ],
+        plain: vec![
+            qc_replication::PlainObjectSpec {
+                name: "a".into(),
+                init: Value::Int(0),
+            },
+            qc_replication::PlainObjectSpec {
+                name: "b".into(),
+                init: Value::Int(0),
+            },
+        ],
+        users: vec![
+            UserSpec::new(vec![
+                UserStep::ReadPlain(0),
+                UserStep::Write(0, Value::Int(1)),
+                UserStep::Read(0),
+            ]),
+            UserSpec::new(vec![
+                UserStep::Read(1),
+                UserStep::Sub(UserSpec::new(vec![
+                    UserStep::WritePlain(1, Value::Int(2)),
+                    UserStep::Write(1, Value::Int(3)),
+                ])),
+            ]),
+        ],
+        strategy: Default::default(),
+    }
+}
+
+/// A contention-heavy spec for the Theorem 11 experiments: `users` user
+/// transactions all touching the same two items.
+pub fn contention_spec(users: usize, replicas: usize) -> SystemSpec {
+    let mk_user = |k: usize| {
+        UserSpec::new(vec![
+            UserStep::Write(0, Value::Int(10 + k as i64)),
+            UserStep::Read(0),
+            UserStep::Write(1, Value::Int(100 + k as i64)),
+            UserStep::Read(1),
+        ])
+    };
+    SystemSpec {
+        items: vec![
+            ItemSpec {
+                name: "x".into(),
+                init: Value::Int(0),
+                replicas,
+                config: ConfigChoice::Majority,
+            },
+            ItemSpec {
+                name: "y".into(),
+                init: Value::Int(0),
+                replicas,
+                config: ConfigChoice::Majority,
+            },
+        ],
+        plain: vec![],
+        users: (0..users).map(mk_user).collect(),
+        strategy: Default::default(),
+    }
+}

@@ -1,0 +1,200 @@
+//! Random system-specification generation for model-based checking.
+//!
+//! The randomized checkers gain their strength from coverage over *system
+//! shapes*, not just schedules: item counts, replica counts, quorum
+//! configurations, user-transaction nesting, and operation mixes are all
+//! drawn from seeded distributions here.
+
+use rand::Rng;
+
+use nested_txn::Value;
+
+use crate::spec::{ConfigChoice, ItemSpec, PlainObjectSpec, SystemSpec, UserSpec, UserStep};
+use crate::tm::TmStrategy;
+
+/// Bounds for random specification generation.
+#[derive(Clone, Copy, Debug)]
+pub struct GenParams {
+    /// Number of logical items (inclusive range).
+    pub items: (usize, usize),
+    /// Replicas per item.
+    pub replicas: (usize, usize),
+    /// Number of top-level user transactions.
+    pub users: (usize, usize),
+    /// Logical operations per user transaction.
+    pub ops_per_user: (usize, usize),
+    /// Maximum nesting depth of sub-transactions.
+    pub max_depth: usize,
+    /// Probability that a step is a sub-transaction (at depth < max).
+    pub sub_probability: f64,
+    /// Probability that a leaf step is a write.
+    pub write_probability: f64,
+    /// Include a plain (non-replicated) object and occasional direct
+    /// accesses to it.
+    pub with_plain: bool,
+}
+
+impl Default for GenParams {
+    fn default() -> Self {
+        GenParams {
+            items: (1, 3),
+            replicas: (1, 5),
+            users: (1, 3),
+            ops_per_user: (1, 4),
+            max_depth: 2,
+            sub_probability: 0.25,
+            write_probability: 0.5,
+            with_plain: true,
+        }
+    }
+}
+
+fn range(rng: &mut dyn rand::RngCore, (lo, hi): (usize, usize)) -> usize {
+    rng.gen_range(lo..=hi)
+}
+
+fn random_steps(
+    rng: &mut dyn rand::RngCore,
+    p: &GenParams,
+    n_items: usize,
+    depth: usize,
+    counter: &mut i64,
+) -> Vec<UserStep> {
+    let n_ops = range(rng, p.ops_per_user);
+    let mut steps = Vec::with_capacity(n_ops);
+    for _ in 0..n_ops {
+        let item = rng.gen_range(0..n_items);
+        if depth < p.max_depth && rng.gen_bool(p.sub_probability) {
+            let sub_steps = random_steps(rng, p, n_items, depth + 1, counter);
+            steps.push(UserStep::Sub(UserSpec::new(sub_steps)));
+        } else if p.with_plain && rng.gen_bool(0.15) {
+            if rng.gen_bool(p.write_probability) {
+                *counter += 1;
+                steps.push(UserStep::WritePlain(0, Value::Int(*counter)));
+            } else {
+                steps.push(UserStep::ReadPlain(0));
+            }
+        } else if rng.gen_bool(p.write_probability) {
+            *counter += 1;
+            steps.push(UserStep::Write(item, Value::Int(*counter)));
+        } else {
+            steps.push(UserStep::Read(item));
+        }
+    }
+    steps
+}
+
+/// Draw a random [`SystemSpec`] within the given bounds.
+///
+/// Every generated write carries a distinct value, so any value confusion
+/// in the algorithms is observable.
+pub fn random_spec(rng: &mut dyn rand::RngCore, p: &GenParams) -> SystemSpec {
+    let n_items = range(rng, p.items);
+    let mut items = Vec::with_capacity(n_items);
+    for i in 0..n_items {
+        let replicas = range(rng, p.replicas);
+        let config = match rng.gen_range(0..3) {
+            0 => ConfigChoice::Rowa,
+            1 => ConfigChoice::Majority,
+            _ => {
+                // Read-all/write-one: the legal dual, rarely exercised
+                // elsewhere.
+                let universe: Vec<usize> = (0..replicas).collect();
+                ConfigChoice::Explicit(quorum::generators::raow(&universe))
+            }
+        };
+        items.push(ItemSpec {
+            name: format!("x{i}"),
+            init: Value::Int(-(i as i64) - 1),
+            replicas,
+            config,
+        });
+    }
+    let plain = if p.with_plain {
+        vec![PlainObjectSpec {
+            name: "p".into(),
+            init: Value::Int(0),
+        }]
+    } else {
+        Vec::new()
+    };
+    let mut counter = 0i64;
+    let n_users = range(rng, p.users);
+    let users = (0..n_users)
+        .map(|_| UserSpec::new(random_steps(rng, p, n_items, 0, &mut counter)))
+        .collect();
+    SystemSpec {
+        items,
+        plain,
+        users,
+        strategy: if rng.gen_bool(0.25) {
+            TmStrategy::Chaotic { max_accesses: 6 }
+        } else {
+            TmStrategy::Eager
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn generated_specs_build() {
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        for _ in 0..50 {
+            let spec = random_spec(&mut rng, &GenParams::default());
+            let b = crate::spec::build_system_b(&spec);
+            assert!(b.system.len() >= 2);
+            for il in b.layout.items.values() {
+                assert!(il.config.is_usable());
+            }
+        }
+    }
+
+    #[test]
+    fn generated_specs_respect_bounds() {
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        let p = GenParams {
+            items: (2, 2),
+            replicas: (3, 3),
+            users: (1, 1),
+            ops_per_user: (2, 2),
+            max_depth: 0,
+            sub_probability: 0.0,
+            write_probability: 1.0,
+            with_plain: false,
+        };
+        let spec = random_spec(&mut rng, &p);
+        assert_eq!(spec.items.len(), 2);
+        assert_eq!(spec.users.len(), 1);
+        assert!(spec.plain.is_empty());
+        assert_eq!(spec.users[0].steps.len(), 2);
+    }
+
+    #[test]
+    fn distinct_write_values() {
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let p = GenParams {
+            write_probability: 1.0,
+            with_plain: false,
+            sub_probability: 0.0,
+            ..GenParams::default()
+        };
+        let spec = random_spec(&mut rng, &p);
+        let mut vals = Vec::new();
+        for u in &spec.users {
+            for s in &u.steps {
+                if let UserStep::Write(_, v) = s {
+                    vals.push(v.clone());
+                }
+            }
+        }
+        let mut dedup = vals.clone();
+        dedup.sort();
+        dedup.dedup();
+        assert_eq!(vals.len(), dedup.len());
+    }
+}

@@ -1,0 +1,396 @@
+//! The paper's sequence functions and lemma invariants, executable.
+//!
+//! `access(x, β)`, `logical-state(x, β)` and `current-vn(x, β)` (paper
+//! §3.1) are implemented directly over schedules; [`LemmaMonitor`] checks
+//! Lemma 7 and Lemma 8 incrementally after every step of a running
+//! replicated system **B**.
+
+use std::collections::BTreeMap;
+
+use ioa::{Monitor, Schedule, System};
+use nested_txn::{AccessKind, ObjectId, ReadWriteObject, Tid, TxnOp, Value};
+
+use crate::item::ItemId;
+use crate::spec::{Layout, TmRole};
+
+/// `access(x, β)`: the subsequence of `β` containing the `CREATE` and
+/// `REQUEST-COMMIT` operations for the members of `tm(x)`.
+pub fn access_sequence<'a>(layout: &Layout, item: ItemId, beta: &'a Schedule<TxnOp>) -> Vec<&'a TxnOp> {
+    beta.iter()
+        .filter(|op| {
+            matches!(op, TxnOp::Create { .. } | TxnOp::RequestCommit { .. })
+                && layout
+                    .tm_roles
+                    .get(op.tid())
+                    .is_some_and(|r| r.item() == item)
+        })
+        .collect()
+}
+
+/// `logical-state(x, β)`: `value(T)` of the last write-TM with a
+/// `REQUEST-COMMIT` in `access(x, β)`, or `i_x` if there is none.
+pub fn logical_state(layout: &Layout, item: ItemId, beta: &Schedule<TxnOp>) -> Value {
+    let mut values: BTreeMap<Tid, Value> = BTreeMap::new();
+    let mut state = layout.items[&item].item.init.clone();
+    for op in beta.iter() {
+        match op {
+            TxnOp::Create { tid, param, .. } => {
+                if matches!(layout.tm_roles.get(tid), Some(TmRole::Write(i)) if *i == item) {
+                    values.insert(tid.clone(), param.clone().unwrap_or(Value::Nil));
+                }
+            }
+            TxnOp::RequestCommit { tid, .. } => {
+                if matches!(layout.tm_roles.get(tid), Some(TmRole::Write(i)) if *i == item) {
+                    state = values.get(tid).cloned().unwrap_or(Value::Nil);
+                }
+            }
+            _ => {}
+        }
+    }
+    state
+}
+
+/// `current-vn(x, β)`: the maximum, over DMs for `x`, of the version number
+/// of the last write access to that DM with a `REQUEST-COMMIT` in `β`; `0`
+/// if there is none.
+pub fn current_vn(layout: &Layout, item: ItemId, beta: &Schedule<TxnOp>) -> u64 {
+    let il = &layout.items[&item];
+    let mut spec_of: BTreeMap<Tid, (ObjectId, u64)> = BTreeMap::new();
+    let mut last: BTreeMap<ObjectId, u64> = BTreeMap::new();
+    for op in beta.iter() {
+        match op {
+            TxnOp::RequestCreate { tid, access: Some(spec), .. }
+                if spec.kind == AccessKind::Write && il.dm_objects.contains(&spec.object) =>
+            {
+                if let Some((vn, _)) = spec.data.as_versioned() {
+                    spec_of.insert(tid.clone(), (spec.object, vn));
+                }
+            }
+            TxnOp::RequestCommit { tid, .. } => {
+                if let Some((o, vn)) = spec_of.get(tid) {
+                    last.insert(*o, *vn);
+                }
+            }
+            _ => {}
+        }
+    }
+    last.values().copied().max().unwrap_or(0)
+}
+
+/// Per-item incremental tracking used by [`LemmaMonitor`].
+#[derive(Clone, Debug)]
+struct ItemTrack {
+    open_tms: i64,
+    logical_state: Value,
+    dm_last_write_vn: BTreeMap<ObjectId, u64>,
+}
+
+/// An [`ioa::Monitor`] asserting, after every step of a running system
+/// **B**:
+///
+/// * **Lemma 7**: the highest version number among the states of the DMs in
+///   `dm(x)` equals `current-vn(x, β)`;
+/// * **Lemma 8(1a)** (when `access(x, β)` is of even length): some
+///   write-quorum's DMs all hold `current-vn(x, β)`;
+/// * **Lemma 8(1b)** (even length): every DM holding `current-vn(x, β)`
+///   holds `logical-state(x, β)` as its value;
+/// * **Lemma 8(2)**: a read-TM's `REQUEST-COMMIT(T, v)` has
+///   `v = logical-state(x, β)`.
+#[derive(Debug)]
+pub struct LemmaMonitor {
+    layout: Layout,
+    tm_values: BTreeMap<Tid, Value>,
+    access_specs: BTreeMap<Tid, (ItemId, ObjectId, u64)>,
+    items: BTreeMap<ItemId, ItemTrack>,
+}
+
+impl LemmaMonitor {
+    /// A monitor for the given layout, in the initial (empty-schedule)
+    /// state.
+    pub fn new(layout: &Layout) -> Self {
+        let items = layout
+            .items
+            .iter()
+            .map(|(id, il)| {
+                (
+                    *id,
+                    ItemTrack {
+                        open_tms: 0,
+                        logical_state: il.item.init.clone(),
+                        dm_last_write_vn: BTreeMap::new(),
+                    },
+                )
+            })
+            .collect();
+        LemmaMonitor {
+            layout: layout.clone(),
+            tm_values: BTreeMap::new(),
+            access_specs: BTreeMap::new(),
+            items,
+        }
+    }
+
+    fn item_of_dm(&self, o: ObjectId) -> Option<ItemId> {
+        self.layout
+            .items
+            .iter()
+            .find(|(_, il)| il.dm_objects.contains(&o))
+            .map(|(id, _)| *id)
+    }
+
+    /// Digest one operation; returns the read-TM commit to verify for
+    /// Lemma 8(2), if the operation was one.
+    fn digest(&mut self, op: &TxnOp) -> Option<(ItemId, Value)> {
+        match op {
+            TxnOp::RequestCreate {
+                tid,
+                access: Some(spec),
+                ..
+            } if spec.kind == AccessKind::Write => {
+                if let Some(item) = self.item_of_dm(spec.object) {
+                    if let Some((vn, _)) = spec.data.as_versioned() {
+                        self.access_specs.insert(tid.clone(), (item, spec.object, vn));
+                    }
+                }
+                None
+            }
+            TxnOp::Create { tid, param, .. } => {
+                if let Some(role) = self.layout.tm_roles.get(tid) {
+                    let track = self.items.get_mut(&role.item()).expect("item tracked");
+                    track.open_tms += 1;
+                    if matches!(role, TmRole::Write(_)) {
+                        self.tm_values
+                            .insert(tid.clone(), param.clone().unwrap_or(Value::Nil));
+                    }
+                }
+                None
+            }
+            TxnOp::RequestCommit { tid, value } => {
+                if let Some(role) = self.layout.tm_roles.get(tid).cloned() {
+                    let item = role.item();
+                    let track = self.items.get_mut(&item).expect("item tracked");
+                    track.open_tms -= 1;
+                    match role {
+                        TmRole::Write(_) => {
+                            track.logical_state =
+                                self.tm_values.get(tid).cloned().unwrap_or(Value::Nil);
+                            None
+                        }
+                        TmRole::Read(_) => Some((item, value.clone())),
+                    }
+                } else if let Some((item, o, vn)) = self.access_specs.get(tid).copied() {
+                    self.items
+                        .get_mut(&item)
+                        .expect("item tracked")
+                        .dm_last_write_vn
+                        .insert(o, vn);
+                    None
+                } else {
+                    None
+                }
+            }
+            _ => None,
+        }
+    }
+
+    fn check_item(
+        &self,
+        system: &System<TxnOp>,
+        item: ItemId,
+        read_commit: Option<&Value>,
+    ) -> Result<(), String> {
+        let il = &self.layout.items[&item];
+        let track = &self.items[&item];
+        // Gather DM states.
+        let mut states: Vec<(ObjectId, u64, Value)> = Vec::new();
+        for (r, name) in il.dm_names.iter().enumerate() {
+            let dm: &ReadWriteObject = system
+                .component_as(name)
+                .ok_or_else(|| format!("missing DM component {name}"))?;
+            let (vn, v) = dm
+                .data()
+                .as_versioned()
+                .ok_or_else(|| format!("{name} holds non-versioned data"))?;
+            states.push((il.dm_objects[r], vn, v.clone()));
+        }
+        let current = track
+            .dm_last_write_vn
+            .values()
+            .copied()
+            .max()
+            .unwrap_or(0);
+        // Lemma 7.
+        let max_state = states.iter().map(|(_, vn, _)| *vn).max().unwrap_or(0);
+        if max_state != current {
+            return Err(format!(
+                "Lemma 7 violated for {item}: max DM vn {max_state} ≠ current-vn {current}"
+            ));
+        }
+        // Lemma 8 (1a, 1b): only when access(x, β) has even length.
+        if track.open_tms == 0 {
+            let holders: std::collections::BTreeSet<ObjectId> = states
+                .iter()
+                .filter(|(_, vn, _)| *vn == current)
+                .map(|(o, _, _)| *o)
+                .collect();
+            if !il.config.covers_write_quorum(&holders) {
+                return Err(format!(
+                    "Lemma 8(1a) violated for {item}: no write-quorum holds vn {current}"
+                ));
+            }
+            for (o, vn, v) in &states {
+                if *vn == current && *v != track.logical_state {
+                    return Err(format!(
+                        "Lemma 8(1b) violated for {item}: DM {o} holds ({vn}, {v}) but \
+                         logical-state is {}",
+                        track.logical_state
+                    ));
+                }
+            }
+        }
+        // Lemma 8 (2).
+        if let Some(v) = read_commit {
+            if *v != track.logical_state {
+                return Err(format!(
+                    "Lemma 8(2) violated for {item}: read-TM returned {v}, logical-state is {}",
+                    track.logical_state
+                ));
+            }
+        }
+        Ok(())
+    }
+}
+
+impl Monitor<TxnOp> for LemmaMonitor {
+    fn name(&self) -> String {
+        "lemma-7-and-8".into()
+    }
+
+    fn check(
+        &mut self,
+        system: &System<TxnOp>,
+        so_far: &Schedule<TxnOp>,
+        step: usize,
+    ) -> Result<(), String> {
+        let op = &so_far[step];
+        let read_commit = self.digest(op);
+        let items: Vec<ItemId> = self.items.keys().copied().collect();
+        for item in items {
+            let rc = match &read_commit {
+                Some((i, v)) if *i == item => Some(v),
+                _ => None,
+            };
+            self.check_item(system, item, rc)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::{build_system_b, ConfigChoice, ItemSpec, SystemSpec, UserSpec, UserStep};
+    use crate::tm::TmStrategy;
+    use nested_txn::AccessSpec;
+
+    fn spec() -> SystemSpec {
+        SystemSpec {
+            items: vec![ItemSpec {
+                name: "x".into(),
+                init: Value::Int(10),
+                replicas: 3,
+                config: ConfigChoice::Majority,
+            }],
+            plain: vec![],
+            users: vec![UserSpec::new(vec![
+                UserStep::Write(0, Value::Int(1)),
+                UserStep::Read(0),
+            ])],
+            strategy: TmStrategy::Eager,
+        }
+    }
+
+    #[test]
+    fn sequence_functions_on_empty_schedule() {
+        let b = build_system_b(&spec());
+        let empty = Schedule::new();
+        assert_eq!(access_sequence(&b.layout, ItemId(0), &empty).len(), 0);
+        assert_eq!(logical_state(&b.layout, ItemId(0), &empty), Value::Int(10));
+        assert_eq!(current_vn(&b.layout, ItemId(0), &empty), 0);
+    }
+
+    #[test]
+    fn logical_state_follows_write_tm_commits() {
+        let b = build_system_b(&spec());
+        let tm = Tid::root().child(0).child(0); // the write TM
+        let sched: Schedule<TxnOp> = vec![
+            TxnOp::Create {
+                tid: tm.clone(),
+                access: None,
+                param: Some(Value::Int(1)),
+            },
+            TxnOp::RequestCommit {
+                tid: tm.clone(),
+                value: Value::Nil,
+            },
+        ]
+        .into();
+        assert_eq!(logical_state(&b.layout, ItemId(0), &sched), Value::Int(1));
+        // Before the REQUEST-COMMIT, the initial value stands.
+        assert_eq!(
+            logical_state(&b.layout, ItemId(0), &sched.prefix(1)),
+            Value::Int(10)
+        );
+    }
+
+    #[test]
+    fn current_vn_tracks_last_write_per_dm() {
+        let b = build_system_b(&spec());
+        let il = &b.layout.items[&ItemId(0)];
+        let tm = Tid::root().child(0).child(0);
+        let a0 = tm.child(0);
+        let sched: Schedule<TxnOp> = vec![
+            TxnOp::RequestCreate {
+                tid: a0.clone(),
+                access: Some(AccessSpec::write(
+                    il.dm_objects[0],
+                    Value::versioned(5, Value::Int(1)),
+                )),
+                param: None,
+            },
+            TxnOp::RequestCommit {
+                tid: a0.clone(),
+                value: Value::Nil,
+            },
+        ]
+        .into();
+        assert_eq!(current_vn(&b.layout, ItemId(0), &sched), 5);
+        // The write access must REQUEST-COMMIT for its vn to count.
+        assert_eq!(current_vn(&b.layout, ItemId(0), &sched.prefix(1)), 0);
+    }
+
+    #[test]
+    fn access_sequence_filters_tm_ops_only() {
+        let b = build_system_b(&spec());
+        let tm = Tid::root().child(0).child(0);
+        let user = Tid::root().child(0);
+        let sched: Schedule<TxnOp> = vec![
+            TxnOp::Create {
+                tid: user,
+                access: None,
+                param: None,
+            },
+            TxnOp::Create {
+                tid: tm.clone(),
+                access: None,
+                param: Some(Value::Int(1)),
+            },
+            TxnOp::RequestCommit {
+                tid: tm,
+                value: Value::Nil,
+            },
+        ]
+        .into();
+        assert_eq!(access_sequence(&b.layout, ItemId(0), &sched).len(), 2);
+    }
+}

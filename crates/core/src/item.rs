@@ -1,0 +1,47 @@
+//! Logical data items.
+
+use std::fmt;
+
+use nested_txn::Value;
+
+/// Identifier of a logical data item `x ∈ I`.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ItemId(pub u32);
+
+impl fmt::Display for ItemId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "x{}", self.0)
+    }
+}
+
+impl fmt::Debug for ItemId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self, f)
+    }
+}
+
+/// A logical data item: "a variable, whose type is the tuple `(V_x, i_x)`"
+/// — a domain of possible values and an initial value (paper §2.3).
+///
+/// The domain is left implicit (any [`Value`]); the special undefined value
+/// `nil` is always a member.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct LogicalItem {
+    /// The item's identifier.
+    pub id: ItemId,
+    /// Human-readable name for diagnostics.
+    pub name: String,
+    /// The initial value `i_x`.
+    pub init: Value,
+}
+
+impl LogicalItem {
+    /// A logical item with the given id, name, and initial value.
+    pub fn new(id: ItemId, name: impl Into<String>, init: Value) -> Self {
+        LogicalItem {
+            id,
+            name: name.into(),
+            init,
+        }
+    }
+}

@@ -1,0 +1,459 @@
+//! Theorem 10, executable: the projection of every schedule of the
+//! replicated system **B** is a schedule of the non-replicated system **A**.
+//!
+//! The paper's construction: "We construct α by removing from β all the
+//! REQUEST-CREATE(T), CREATE(T), REQUEST-COMMIT(T,v), COMMIT(T,v), and
+//! ABORT(T) operations for all transactions T in acc(x) for all x ∈ I."
+//! We perform exactly that erasure and then *replay* α on a freshly built
+//! system A, step by step; any refusal refutes the theorem. We additionally
+//! verify the two stated conditions: α and β agree at every non-replica
+//! object and at every user transaction.
+
+use std::error::Error;
+use std::fmt;
+
+use ioa::{Executor, IoaError, Schedule, WeightedPolicy};
+use nested_txn::{SystemWfMonitor, Tid, TxnOp};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+use crate::invariants::LemmaMonitor;
+use crate::spec::{build_system_a, build_system_b, wf_monitor_for_a, Layout, SystemSpec};
+
+/// Options controlling a randomized run of system **B**.
+#[derive(Clone, Copy, Debug)]
+pub struct RunOptions {
+    /// RNG seed (runs are reproducible given the seed and spec).
+    pub seed: u64,
+    /// Maximum number of steps.
+    pub max_steps: usize,
+    /// Relative weight of spontaneous `ABORT`s against all other enabled
+    /// operations (weight 100). `0` disables aborts.
+    pub abort_weight: u32,
+    /// Attach the well-formedness monitor.
+    pub check_wf: bool,
+    /// Attach the Lemma 7/8 monitor.
+    pub check_lemmas: bool,
+}
+
+impl Default for RunOptions {
+    fn default() -> Self {
+        RunOptions {
+            seed: 0,
+            max_steps: 20_000,
+            abort_weight: 3,
+            check_wf: true,
+            check_lemmas: true,
+        }
+    }
+}
+
+/// Run system **B** for `spec` under the given options, returning the
+/// schedule `β` performed and the layout.
+///
+/// # Errors
+///
+/// Propagates executor errors, including monitor violations (which would
+/// indicate a bug in the algorithm or the model).
+pub fn run_system_b(spec: &SystemSpec, opts: RunOptions) -> Result<(Schedule<TxnOp>, Layout), IoaError> {
+    let mut built = build_system_b(spec);
+    let mut rng = ChaCha8Rng::seed_from_u64(opts.seed);
+    let mut exec = Executor::new()
+        .max_steps(opts.max_steps)
+        .policy(WeightedPolicy::new(move |op: &TxnOp| match op {
+            TxnOp::Abort { .. } => opts.abort_weight,
+            _ => 100,
+        }));
+    if opts.check_wf {
+        exec = exec.monitor(SystemWfMonitor::new());
+    }
+    if opts.check_lemmas {
+        exec = exec.monitor(LemmaMonitor::new(&built.layout));
+    }
+    let execution = exec.run(&mut built.system, &mut rng)?;
+    Ok((execution.into_schedule(), built.layout))
+}
+
+/// Why a Theorem 10 check failed.
+#[derive(Clone, Debug)]
+pub enum Theorem10Error {
+    /// α was refused by system A.
+    ReplayRefused(IoaError),
+    /// `α|P ≠ β|P` for the named primitive (a user transaction or
+    /// non-replica object) — cannot happen with the erasure construction,
+    /// checked for completeness.
+    ProjectionMismatch {
+        /// The primitive at which the projections differ.
+        primitive: String,
+    },
+}
+
+impl fmt::Display for Theorem10Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Theorem10Error::ReplayRefused(e) => write!(f, "system A refused α: {e}"),
+            Theorem10Error::ProjectionMismatch { primitive } => {
+                write!(f, "projection mismatch at {primitive}")
+            }
+        }
+    }
+}
+
+impl Error for Theorem10Error {}
+
+/// Outcome of a successful Theorem 10 check.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Theorem10Report {
+    /// Length of β (the schedule of **B**).
+    pub b_len: usize,
+    /// Length of α (after erasing replica-access operations).
+    pub a_len: usize,
+    /// Number of user transactions whose projections were compared.
+    pub users_checked: usize,
+    /// Number of logical operations (TM names) that appear in β.
+    pub tms_in_beta: usize,
+}
+
+/// The Theorem 10 construction: erase every replica-access operation.
+pub fn project_to_a(layout: &Layout, beta: &Schedule<TxnOp>) -> Schedule<TxnOp> {
+    beta.project(|op| !layout.is_replica_access_op(op))
+}
+
+/// The projection `σ|T` for a transaction `T`: `CREATE(T)`, returns for
+/// `T`'s children, `REQUEST-CREATE` for `T`'s children, `REQUEST-COMMIT(T)`.
+pub fn ops_of_transaction(tid: &Tid, sched: &Schedule<TxnOp>) -> Schedule<TxnOp> {
+    sched.project(|op| match op {
+        TxnOp::Create { tid: t, .. } | TxnOp::RequestCommit { tid: t, .. } => t == tid,
+        TxnOp::RequestCreate { tid: t, .. }
+        | TxnOp::Commit { tid: t, .. }
+        | TxnOp::Abort { tid: t } => t.is_child_of(tid),
+    })
+}
+
+/// Check Theorem 10 for a given schedule `β` of system **B**: construct α,
+/// replay it on a fresh system **A** (with A's well-formedness monitored),
+/// and compare projections at user transactions and non-replica objects.
+///
+/// # Errors
+///
+/// [`Theorem10Error`] describing the refutation, if any.
+pub fn check_projection(
+    spec: &SystemSpec,
+    layout: &Layout,
+    beta: &Schedule<TxnOp>,
+) -> Result<Theorem10Report, Theorem10Error> {
+    let alpha = project_to_a(layout, beta);
+    let mut a = build_system_a(spec, layout);
+    // Replay α step by step, feeding A's well-formedness monitor.
+    a.system.reset();
+    let mut wf = wf_monitor_for_a(layout);
+    let mut so_far: Schedule<TxnOp> = Schedule::new();
+    for (i, op) in alpha.iter().enumerate() {
+        a.system.step(op).map_err(|e| {
+            Theorem10Error::ReplayRefused(match e {
+                IoaError::StepRefused {
+                    component,
+                    op,
+                    reason,
+                    ..
+                } => IoaError::StepRefused {
+                    component,
+                    op,
+                    reason,
+                    at: Some(i),
+                },
+                other => other,
+            })
+        })?;
+        so_far.push(op.clone());
+        use ioa::Monitor as _;
+        wf.check(&a.system, &so_far, i)
+            .map_err(|m| Theorem10Error::ReplayRefused(IoaError::StepRefused {
+                component: "wf-monitor(A)".into(),
+                op: format!("{op:?}"),
+                reason: m,
+                at: Some(i),
+            }))?;
+    }
+    // Condition 2: α|T = β|T for user transactions (including the root).
+    let mut users_checked = 0;
+    for u in layout.user_tids.iter().chain(std::iter::once(&Tid::root())) {
+        if ops_of_transaction(u, beta) != ops_of_transaction(u, &alpha) {
+            return Err(Theorem10Error::ProjectionMismatch {
+                primitive: u.to_string(),
+            });
+        }
+        users_checked += 1;
+    }
+    // Condition 1: α|O = β|O for non-replica objects.
+    for (oid, name) in &layout.plain_objects {
+        let of_obj = |s: &Schedule<TxnOp>| {
+            s.project(|op| match op {
+                TxnOp::Create { access: Some(a), .. } => a.object == *oid,
+                _ => false,
+            })
+        };
+        if of_obj(beta) != of_obj(&alpha) {
+            return Err(Theorem10Error::ProjectionMismatch {
+                primitive: name.clone(),
+            });
+        }
+    }
+    let tms_in_beta = layout
+        .tm_roles
+        .keys()
+        .filter(|t| beta.iter().any(|op| op.tid() == *t))
+        .count();
+    Ok(Theorem10Report {
+        b_len: beta.len(),
+        a_len: alpha.len(),
+        users_checked,
+        tms_in_beta,
+    })
+}
+
+/// Run system **B** randomly and check Theorem 10 on the resulting
+/// schedule. The single entry point used by tests and the experiment
+/// harness.
+///
+/// # Errors
+///
+/// Run errors (including lemma-monitor violations) wrapped as
+/// [`Theorem10Error::ReplayRefused`], or a genuine theorem refutation.
+pub fn check_random(spec: &SystemSpec, opts: RunOptions) -> Result<Theorem10Report, Theorem10Error> {
+    let (beta, layout) = run_system_b(spec, opts).map_err(Theorem10Error::ReplayRefused)?;
+    check_projection(spec, &layout, &beta)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::{ConfigChoice, ItemSpec, PlainObjectSpec, SystemSpec, UserSpec, UserStep};
+    use crate::tm::TmStrategy;
+    use nested_txn::Value;
+
+    fn spec() -> SystemSpec {
+        SystemSpec {
+            items: vec![
+                ItemSpec {
+                    name: "x".into(),
+                    init: Value::Int(0),
+                    replicas: 3,
+                    config: ConfigChoice::Majority,
+                },
+                ItemSpec {
+                    name: "y".into(),
+                    init: Value::Text("init".into()),
+                    replicas: 2,
+                    config: ConfigChoice::Rowa,
+                },
+            ],
+            plain: vec![PlainObjectSpec {
+                name: "p".into(),
+                init: Value::Int(5),
+            }],
+            users: vec![
+                UserSpec::new(vec![
+                    UserStep::Write(0, Value::Int(7)),
+                    UserStep::Read(0),
+                    UserStep::WritePlain(0, Value::Int(6)),
+                ]),
+                UserSpec::new(vec![
+                    UserStep::Read(0),
+                    UserStep::Write(1, Value::Text("hi".into())),
+                    UserStep::Sub(UserSpec::new(vec![UserStep::Read(1)])),
+                ]),
+            ],
+            strategy: TmStrategy::Eager,
+        }
+    }
+
+    #[test]
+    fn theorem10_holds_on_random_runs() {
+        for seed in 0..25 {
+            let report = check_random(
+                &spec(),
+                RunOptions {
+                    seed,
+                    ..RunOptions::default()
+                },
+            )
+            .unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+            assert!(report.a_len <= report.b_len);
+            assert_eq!(report.users_checked, 4); // 2 users + 1 sub + root
+        }
+    }
+
+    #[test]
+    fn theorem10_holds_without_aborts() {
+        let report = check_random(
+            &spec(),
+            RunOptions {
+                seed: 99,
+                abort_weight: 0,
+                ..RunOptions::default()
+            },
+        )
+        .unwrap();
+        // Without aborts the run should complete a good deal of work.
+        assert!(report.tms_in_beta >= 1);
+    }
+
+    #[test]
+    fn theorem10_holds_under_heavy_aborts() {
+        for seed in 0..10 {
+            check_random(
+                &spec(),
+                RunOptions {
+                    seed,
+                    abort_weight: 60,
+                    ..RunOptions::default()
+                },
+            )
+            .unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+        }
+    }
+
+    #[test]
+    fn projection_erases_only_replica_accesses() {
+        let (beta, layout) = run_system_b(
+            &spec(),
+            RunOptions {
+                seed: 7,
+                ..RunOptions::default()
+            },
+        )
+        .unwrap();
+        let alpha = project_to_a(&layout, &beta);
+        for op in alpha.iter() {
+            assert!(!layout.is_replica_access_op(op));
+        }
+        let erased = beta.len() - alpha.len();
+        let replica_ops = beta
+            .iter()
+            .filter(|op| layout.is_replica_access_op(op))
+            .count();
+        assert_eq!(erased, replica_ops);
+    }
+
+    #[test]
+    fn targeted_strategy_also_satisfies_theorem10() {
+        let mut s = spec();
+        s.strategy = TmStrategy::Targeted;
+        for seed in 0..10 {
+            check_random(
+                &s,
+                RunOptions {
+                    seed,
+                    ..RunOptions::default()
+                },
+            )
+            .unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+        }
+    }
+
+    #[test]
+    fn chaotic_strategy_also_satisfies_theorem10() {
+        let mut s = spec();
+        s.strategy = TmStrategy::Chaotic { max_accesses: 6 };
+        for seed in 0..10 {
+            check_random(
+                &s,
+                RunOptions {
+                    seed,
+                    ..RunOptions::default()
+                },
+            )
+            .unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+        }
+    }
+
+    #[test]
+    fn under_erasure_is_refuted() {
+        // Mutation: erase all replica accesses EXCEPT one — the leftover
+        // access op names a transaction unknown to system A, so the replay
+        // must refuse it (no component owns the operation).
+        let (beta, layout) = run_system_b(
+            &spec(),
+            RunOptions {
+                seed: 5,
+                abort_weight: 0,
+                ..RunOptions::default()
+            },
+        )
+        .unwrap();
+        let mut kept_one = false;
+        let alpha_bad: Schedule<TxnOp> = beta
+            .iter()
+            .filter(|op| {
+                if !layout.is_replica_access_op(op) {
+                    return true;
+                }
+                if !kept_one {
+                    kept_one = true;
+                    return true; // deliberately under-erase
+                }
+                false
+            })
+            .cloned()
+            .collect();
+        assert!(kept_one, "run contained replica accesses");
+        let mut a = crate::spec::build_system_a(&spec(), &layout);
+        assert!(
+            a.system.replay(&alpha_bad).is_err(),
+            "system A must refuse a leftover replica-access operation"
+        );
+    }
+
+    #[test]
+    fn illegal_configuration_is_rejected_at_build() {
+        // Disjoint read/write quorums violate the legality requirement; the
+        // builder asserts usability before composing the system.
+        use quorum::Configuration;
+        use std::collections::BTreeSet;
+        let bad = Configuration::new(
+            vec![BTreeSet::from([0usize])],
+            vec![BTreeSet::from([1usize])],
+        );
+        assert!(!bad.is_legal());
+        let mut s = spec();
+        s.items[0].config = crate::spec::ConfigChoice::Explicit(bad);
+        s.items[0].replicas = 2;
+        let result = std::panic::catch_unwind(|| crate::spec::build_system_b(&s));
+        assert!(result.is_err(), "illegal configuration must not build");
+    }
+
+    #[test]
+    fn tampered_beta_is_refuted() {
+        let (beta, layout) = run_system_b(
+            &spec(),
+            RunOptions {
+                seed: 3,
+                abort_weight: 0,
+                ..RunOptions::default()
+            },
+        )
+        .unwrap();
+        // Corrupt a read-TM's returned value in β: replay on A must refuse,
+        // because O(x) returns the true logical state.
+        let mut ops = beta.into_vec();
+        let mut tampered = false;
+        for op in ops.iter_mut() {
+            if let TxnOp::RequestCommit { tid, value } = op {
+                if matches!(
+                    layout.tm_roles.get(tid),
+                    Some(crate::spec::TmRole::Read(_))
+                ) && !value.is_nil()
+                {
+                    *value = Value::Int(987_654);
+                    tampered = true;
+                    break;
+                }
+            }
+        }
+        assert!(tampered, "no read-TM commit found to tamper with");
+        let beta: Schedule<TxnOp> = ops.into();
+        let err = check_projection(&spec(), &layout, &beta);
+        assert!(err.is_err(), "tampered schedule must be refuted");
+    }
+}

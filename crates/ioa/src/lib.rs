@@ -1,0 +1,63 @@
+//! Input/output automata in the style of Lynch–Merritt and Lynch–Tuttle.
+//!
+//! This crate provides the formal foundation used throughout the workspace:
+//! the *I/O automaton* model of Goldman & Lynch, "Quorum Consensus in Nested
+//! Transaction Systems" (PODC 1987), §2.1. Components of a system are
+//! (possibly nondeterministic) automata whose state transitions are labelled
+//! with *operations*; communication between automata is described by
+//! identifying their operations, and a *system* is the composition of a set
+//! of automata whose output-operation sets are disjoint.
+//!
+//! # Model
+//!
+//! An I/O automaton `A` has `states(A)`, `start(A)`, disjoint sets `out(A)`
+//! (output operations, triggered by the automaton itself) and `in(A)` (input
+//! operations, triggered by the environment), and a transition relation
+//! `steps(A)`. The *input condition* requires that every input operation is
+//! enabled in every state.
+//!
+//! All automata defined explicitly in the paper (and in this workspace) are
+//! *state-deterministic*: the state reached is a function of the schedule.
+//! We exploit this by representing each automaton as a [`Component`] that
+//! holds its *current* state and applies operations to it. Nondeterminism —
+//! the choice of *which* enabled output fires next — lives in the
+//! [`Executor`], which draws choices from a seeded random-number generator so
+//! that executions are reproducible.
+//!
+//! # Example
+//!
+//! Composing two toy automata (a producer and a bounded channel) and running
+//! a random execution:
+//!
+//! ```
+//! use ioa::{System, Executor};
+//! use ioa::toy::{Producer, Channel};
+//! use rand::SeedableRng;
+//!
+//! let mut system = System::new();
+//! system.push(Box::new(Producer::new(3)));
+//! system.push(Box::new(Channel::new(2)));
+//!
+//! let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(7);
+//! let exec = Executor::new().max_steps(100).run(&mut system, &mut rng)?;
+//! assert!(exec.schedule().len() <= 100);
+//! # Ok::<(), ioa::IoaError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod component;
+mod error;
+mod exec;
+pub mod explore;
+mod schedule;
+mod system;
+pub mod toy;
+
+pub use component::{Component, OpClass};
+pub use error::{IoaError, MonitorViolation};
+pub use exec::{Execution, Executor, FnMonitor, Monitor, Policy, UniformPolicy, WeightedPolicy};
+pub use explore::{explore, explore_pruned, ExploreError, ExploreLimits, ExploreStats};
+pub use schedule::Schedule;
+pub use system::System;

@@ -1,0 +1,168 @@
+//! Schedules: finite sequences of operations extracted from executions.
+
+use std::fmt;
+use std::ops::Index;
+
+/// A finite sequence of operations of a system — the observable part of an
+/// execution (§2.1 of the paper).
+///
+/// Because different executions may share a schedule, and because all the
+/// automata we define are state-deterministic, schedules are the primary
+/// object of study: the paper's lemmas and theorems are statements about
+/// schedules, and this type carries the sequence functions (projection,
+/// filtering) those statements use.
+#[derive(Clone, Debug, PartialEq, Eq, Hash, Default)]
+pub struct Schedule<Op> {
+    ops: Vec<Op>,
+}
+
+impl<Op> Schedule<Op> {
+    /// The empty schedule.
+    pub fn new() -> Self {
+        Schedule { ops: Vec::new() }
+    }
+
+    /// Number of operations.
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// Whether the schedule is empty.
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+
+    /// Append an operation.
+    pub fn push(&mut self, op: Op) {
+        self.ops.push(op);
+    }
+
+    /// The operations as a slice.
+    pub fn as_slice(&self) -> &[Op] {
+        &self.ops
+    }
+
+    /// Iterate over the operations.
+    pub fn iter(&self) -> std::slice::Iter<'_, Op> {
+        self.ops.iter()
+    }
+
+    /// The projection `σ|P`: the subsequence of operations satisfying `keep`.
+    ///
+    /// This is the workhorse of the paper's proofs — e.g. `β|A` restricts a
+    /// system schedule to the operations of one automaton, and the
+    /// Theorem 10 construction erases all replica-access operations.
+    pub fn project<F>(&self, mut keep: F) -> Schedule<Op>
+    where
+        Op: Clone,
+        F: FnMut(&Op) -> bool,
+    {
+        Schedule {
+            ops: self.ops.iter().filter(|op| keep(op)).cloned().collect(),
+        }
+    }
+
+    /// Consume the schedule, yielding the underlying vector.
+    pub fn into_vec(self) -> Vec<Op> {
+        self.ops
+    }
+
+    /// Prefix of the first `n` operations (saturating).
+    pub fn prefix(&self, n: usize) -> Schedule<Op>
+    where
+        Op: Clone,
+    {
+        Schedule {
+            ops: self.ops[..n.min(self.ops.len())].to_vec(),
+        }
+    }
+}
+
+impl<Op> From<Vec<Op>> for Schedule<Op> {
+    fn from(ops: Vec<Op>) -> Self {
+        Schedule { ops }
+    }
+}
+
+impl<Op> FromIterator<Op> for Schedule<Op> {
+    fn from_iter<I: IntoIterator<Item = Op>>(iter: I) -> Self {
+        Schedule {
+            ops: iter.into_iter().collect(),
+        }
+    }
+}
+
+impl<Op> Extend<Op> for Schedule<Op> {
+    fn extend<I: IntoIterator<Item = Op>>(&mut self, iter: I) {
+        self.ops.extend(iter);
+    }
+}
+
+impl<Op> Index<usize> for Schedule<Op> {
+    type Output = Op;
+
+    fn index(&self, i: usize) -> &Op {
+        &self.ops[i]
+    }
+}
+
+impl<'a, Op> IntoIterator for &'a Schedule<Op> {
+    type Item = &'a Op;
+    type IntoIter = std::slice::Iter<'a, Op>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.ops.iter()
+    }
+}
+
+impl<Op> IntoIterator for Schedule<Op> {
+    type Item = Op;
+    type IntoIter = std::vec::IntoIter<Op>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.ops.into_iter()
+    }
+}
+
+impl<Op: fmt::Display> fmt::Display for Schedule<Op> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, op) in self.ops.iter().enumerate() {
+            writeln!(f, "{i:>4}: {op}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn projection_keeps_order_and_filters() {
+        let s: Schedule<i32> = vec![1, 2, 3, 4, 5, 6].into();
+        let evens = s.project(|x| x % 2 == 0);
+        assert_eq!(evens.as_slice(), &[2, 4, 6]);
+    }
+
+    #[test]
+    fn projection_of_empty_is_empty() {
+        let s: Schedule<i32> = Schedule::new();
+        assert!(s.project(|_| true).is_empty());
+    }
+
+    #[test]
+    fn prefix_saturates() {
+        let s: Schedule<i32> = vec![1, 2, 3].into();
+        assert_eq!(s.prefix(10).len(), 3);
+        assert_eq!(s.prefix(2).as_slice(), &[1, 2]);
+        assert_eq!(s.prefix(0).len(), 0);
+    }
+
+    #[test]
+    fn from_iterator_and_extend() {
+        let mut s: Schedule<i32> = (0..3).collect();
+        s.extend(3..5);
+        assert_eq!(s.as_slice(), &[0, 1, 2, 3, 4]);
+        assert_eq!(s[4], 4);
+    }
+}

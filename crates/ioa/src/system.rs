@@ -1,0 +1,209 @@
+//! Composition of I/O automata into a system.
+
+use std::any::Any;
+use std::fmt;
+
+use crate::component::Component;
+use crate::error::IoaError;
+use crate::schedule::Schedule;
+
+/// A system: the composition of a set of I/O automata (§2.1).
+///
+/// The composition requirement is that the components' output-operation sets
+/// be disjoint, so every output operation of the system is triggered by
+/// exactly one component. A state of the composition is the tuple of
+/// component states; an operation `π` is performed by every component that
+/// has `π` in its signature, while the rest stay put.
+///
+/// `System` holds the composed automaton's *current* state (as the tuple of
+/// its components' current states) and offers stepping, random execution via
+/// [`Executor`](crate::Executor), and schedule-membership checking
+/// ([`System::replay`]).
+pub struct System<Op> {
+    components: Vec<Box<dyn Component<Op>>>,
+}
+
+impl<Op> fmt::Debug for System<Op> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("System")
+            .field(
+                "components",
+                &self.components.iter().map(|c| c.name()).collect::<Vec<_>>(),
+            )
+            .finish()
+    }
+}
+
+impl<Op: Clone + fmt::Debug> System<Op> {
+    /// Create an empty system.
+    pub fn new() -> Self {
+        System {
+            components: Vec::new(),
+        }
+    }
+
+    /// Add a component automaton to the composition.
+    pub fn push(&mut self, c: Box<dyn Component<Op>>) {
+        self.components.push(c);
+    }
+
+    /// Number of component automata.
+    pub fn len(&self) -> usize {
+        self.components.len()
+    }
+
+    /// Whether the system has no components.
+    pub fn is_empty(&self) -> bool {
+        self.components.is_empty()
+    }
+
+    /// Names of all components, in composition order.
+    pub fn component_names(&self) -> Vec<String> {
+        self.components.iter().map(|c| c.name()).collect()
+    }
+
+    /// Borrow a component by name, if present.
+    pub fn component(&self, name: &str) -> Option<&dyn Component<Op>> {
+        self.components
+            .iter()
+            .find(|c| c.name() == name)
+            .map(|c| c.as_ref())
+    }
+
+    /// Borrow and downcast a component's concrete type by name.
+    ///
+    /// Used by invariant monitors that inspect concrete automaton states
+    /// (e.g. every data manager's version number, for Lemma 7).
+    pub fn component_as<T: Any>(&self, name: &str) -> Option<&T> {
+        self.component(name).and_then(|c| c.as_any().downcast_ref())
+    }
+
+    /// Iterate over components together with their downcast states.
+    pub fn components_as<T: Any>(&self) -> impl Iterator<Item = (String, &T)> {
+        self.components
+            .iter()
+            .filter_map(|c| c.as_any().downcast_ref().map(|t| (c.name(), t)))
+    }
+
+    /// Return every component to its start state.
+    pub fn reset(&mut self) {
+        for c in &mut self.components {
+            c.reset();
+        }
+    }
+
+    /// All output operations enabled in the current state, over all
+    /// components. Duplicates are possible only if the composition is
+    /// ill-formed (overlapping output sets), which [`System::step`] reports.
+    pub fn enabled_outputs(&self) -> Vec<Op> {
+        let mut out = Vec::new();
+        for c in &self.components {
+            out.extend(c.enabled_outputs());
+        }
+        out
+    }
+
+    /// Perform one step of the composed automaton, labelled `op`.
+    ///
+    /// Every component that has `op` in its signature takes its step; the
+    /// others stay in the same state. `op` must be the output of exactly one
+    /// component (this crate works with *closed* systems, in which the
+    /// environment is itself modelled as a component, so system inputs do
+    /// not arise).
+    ///
+    /// # Errors
+    ///
+    /// * [`IoaError::NoOutputOwner`] / [`IoaError::AmbiguousOutput`] if the
+    ///   output-disjointness requirement is violated.
+    /// * [`IoaError::StepRefused`] if the owning component does not have the
+    ///   operation enabled. The system state is left unchanged in this case.
+    pub fn step(&mut self, op: &Op) -> Result<(), IoaError> {
+        let mut owners = Vec::new();
+        for (i, c) in self.components.iter().enumerate() {
+            if c.classify(op).is_output() {
+                owners.push(i);
+            }
+        }
+        match owners.len() {
+            0 => {
+                return Err(IoaError::NoOutputOwner {
+                    op: format!("{op:?}"),
+                })
+            }
+            1 => {}
+            _ => {
+                return Err(IoaError::AmbiguousOutput {
+                    op: format!("{op:?}"),
+                    owners: owners
+                        .iter()
+                        .map(|&i| self.components[i].name())
+                        .collect(),
+                })
+            }
+        }
+        // Apply to the owner first so that a refusal leaves inputs unsent.
+        let owner = owners[0];
+        self.components[owner]
+            .apply(op)
+            .map_err(|reason| IoaError::StepRefused {
+                component: self.components[owner].name(),
+                op: format!("{op:?}"),
+                reason,
+                at: None,
+            })?;
+        for (i, c) in self.components.iter_mut().enumerate() {
+            if i != owner && c.classify(op).is_mine() {
+                // Input condition: inputs are enabled in every state.
+                c.apply(op).map_err(|reason| IoaError::StepRefused {
+                    component: c.name(),
+                    op: format!("{op:?}"),
+                    reason,
+                    at: None,
+                })?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Check whether `schedule` is a schedule of this system by resetting
+    /// and replaying it step by step.
+    ///
+    /// For the state-deterministic systems in this workspace this decides
+    /// schedule membership exactly; it is the executable form of the
+    /// paper's simulation results (e.g. Theorem 10: the projection of every
+    /// schedule of the replicated system **B** replays successfully on the
+    /// non-replicated system **A**).
+    ///
+    /// On success the system is left in the state reached after the
+    /// schedule, so callers can continue stepping or inspect states.
+    ///
+    /// # Errors
+    ///
+    /// The first failing step, annotated with its index in the schedule.
+    pub fn replay(&mut self, schedule: &Schedule<Op>) -> Result<(), IoaError> {
+        self.reset();
+        for (i, op) in schedule.iter().enumerate() {
+            self.step(op).map_err(|e| match e {
+                IoaError::StepRefused {
+                    component,
+                    op,
+                    reason,
+                    ..
+                } => IoaError::StepRefused {
+                    component,
+                    op,
+                    reason,
+                    at: Some(i),
+                },
+                other => other,
+            })?;
+        }
+        Ok(())
+    }
+}
+
+impl<Op: Clone + fmt::Debug> Default for System<Op> {
+    fn default() -> Self {
+        Self::new()
+    }
+}

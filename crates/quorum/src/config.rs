@@ -1,0 +1,328 @@
+//! Explicit quorum configurations.
+
+use std::collections::BTreeSet;
+use std::error::Error;
+use std::fmt;
+
+/// Error constructing or validating a [`Configuration`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ConfigurationError {
+    /// Some read-quorum fails to intersect some write-quorum.
+    Illegal {
+        /// Index of the offending read-quorum.
+        read_index: usize,
+        /// Index of the offending write-quorum.
+        write_index: usize,
+    },
+    /// A quorum is the empty set (never useful: an empty read-quorum would
+    /// let a reader return without consulting any replica).
+    EmptyQuorum,
+}
+
+impl fmt::Display for ConfigurationError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConfigurationError::Illegal {
+                read_index,
+                write_index,
+            } => write!(
+                f,
+                "read-quorum #{read_index} does not intersect write-quorum #{write_index}"
+            ),
+            ConfigurationError::EmptyQuorum => write!(f, "configuration contains an empty quorum"),
+        }
+    }
+}
+
+impl Error for ConfigurationError {}
+
+/// A configuration: a set of read-quorums and a set of write-quorums over
+/// data-manager names of type `T` (paper §2.3, "Configurations").
+///
+/// Formally, for a set `S`, `configurations(S)` is the set of pairs `(r, w)`
+/// with `r, w ⊆ 2^S`; the configuration is *legal* when every element of `r`
+/// has non-empty intersection with every element of `w`.
+#[derive(Clone, Debug, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct Configuration<T: Ord + Clone> {
+    read_quorums: Vec<BTreeSet<T>>,
+    write_quorums: Vec<BTreeSet<T>>,
+}
+
+impl<T: Ord + Clone> Configuration<T> {
+    /// Build a configuration from explicit quorum collections.
+    ///
+    /// Quorums are deduplicated and sorted, giving a canonical form so that
+    /// equal configurations compare equal regardless of construction order.
+    pub fn new(
+        read_quorums: impl IntoIterator<Item = BTreeSet<T>>,
+        write_quorums: impl IntoIterator<Item = BTreeSet<T>>,
+    ) -> Self {
+        let mut r: Vec<BTreeSet<T>> = read_quorums.into_iter().collect();
+        let mut w: Vec<BTreeSet<T>> = write_quorums.into_iter().collect();
+        r.sort();
+        r.dedup();
+        w.sort();
+        w.dedup();
+        Configuration {
+            read_quorums: r,
+            write_quorums: w,
+        }
+    }
+
+    /// Build a configuration, validating legality and non-emptiness.
+    ///
+    /// # Errors
+    ///
+    /// [`ConfigurationError`] if any quorum is empty or any read/write pair
+    /// fails to intersect.
+    pub fn new_legal(
+        read_quorums: impl IntoIterator<Item = BTreeSet<T>>,
+        write_quorums: impl IntoIterator<Item = BTreeSet<T>>,
+    ) -> Result<Self, ConfigurationError> {
+        let cfg = Self::new(read_quorums, write_quorums);
+        cfg.validate()?;
+        Ok(cfg)
+    }
+
+    /// The read-quorums.
+    pub fn read_quorums(&self) -> &[BTreeSet<T>] {
+        &self.read_quorums
+    }
+
+    /// The write-quorums.
+    pub fn write_quorums(&self) -> &[BTreeSet<T>] {
+        &self.write_quorums
+    }
+
+    /// Whether every read-quorum intersects every write-quorum — the
+    /// paper's `legal(S)` condition. Vacuously true if either side is empty.
+    pub fn is_legal(&self) -> bool {
+        self.read_quorums.iter().all(|r| {
+            self.write_quorums
+                .iter()
+                .all(|w| r.iter().any(|x| w.contains(x)))
+        })
+    }
+
+    /// Whether the configuration can actually serve both reads and writes:
+    /// legal *and* at least one read-quorum and one write-quorum exist.
+    pub fn is_usable(&self) -> bool {
+        !self.read_quorums.is_empty() && !self.write_quorums.is_empty() && self.is_legal()
+    }
+
+    /// Check legality and non-emptiness, reporting the first offence.
+    ///
+    /// # Errors
+    ///
+    /// [`ConfigurationError::EmptyQuorum`] or [`ConfigurationError::Illegal`].
+    pub fn validate(&self) -> Result<(), ConfigurationError> {
+        if self
+            .read_quorums
+            .iter()
+            .chain(&self.write_quorums)
+            .any(BTreeSet::is_empty)
+        {
+            return Err(ConfigurationError::EmptyQuorum);
+        }
+        for (ri, r) in self.read_quorums.iter().enumerate() {
+            for (wi, w) in self.write_quorums.iter().enumerate() {
+                if !r.iter().any(|x| w.contains(x)) {
+                    return Err(ConfigurationError::Illegal {
+                        read_index: ri,
+                        write_index: wi,
+                    });
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// All data-manager names mentioned by any quorum.
+    pub fn universe(&self) -> BTreeSet<T> {
+        self.read_quorums
+            .iter()
+            .chain(&self.write_quorums)
+            .flat_map(|q| q.iter().cloned())
+            .collect()
+    }
+
+    /// Find a read-quorum wholly contained in `available`, preferring the
+    /// smallest.
+    pub fn find_read_quorum(&self, available: &BTreeSet<T>) -> Option<&BTreeSet<T>> {
+        Self::find_quorum(&self.read_quorums, available)
+    }
+
+    /// Find a write-quorum wholly contained in `available`, preferring the
+    /// smallest.
+    pub fn find_write_quorum(&self, available: &BTreeSet<T>) -> Option<&BTreeSet<T>> {
+        Self::find_quorum(&self.write_quorums, available)
+    }
+
+    /// Whether `set` includes some read-quorum.
+    pub fn covers_read_quorum(&self, set: &BTreeSet<T>) -> bool {
+        self.read_quorums.iter().any(|q| q.is_subset(set))
+    }
+
+    /// Whether `set` includes some write-quorum.
+    pub fn covers_write_quorum(&self, set: &BTreeSet<T>) -> bool {
+        self.write_quorums.iter().any(|q| q.is_subset(set))
+    }
+
+    /// Remove non-minimal quorums (supersets of other quorums on the same
+    /// side). Coverage predicates are unaffected.
+    pub fn minimized(&self) -> Self {
+        Configuration {
+            read_quorums: Self::minimal(&self.read_quorums),
+            write_quorums: Self::minimal(&self.write_quorums),
+        }
+    }
+
+    fn minimal(quorums: &[BTreeSet<T>]) -> Vec<BTreeSet<T>> {
+        let mut out: Vec<BTreeSet<T>> = Vec::new();
+        for q in quorums {
+            if quorums.iter().any(|o| o != q && o.is_subset(q)) {
+                continue;
+            }
+            if !out.contains(q) {
+                out.push(q.clone());
+            }
+        }
+        out
+    }
+
+    fn find_quorum<'a>(
+        quorums: &'a [BTreeSet<T>],
+        available: &BTreeSet<T>,
+    ) -> Option<&'a BTreeSet<T>> {
+        quorums
+            .iter()
+            .filter(|q| q.is_subset(available))
+            .min_by_key(|q| q.len())
+    }
+
+    /// Map data-manager names through `f`, preserving quorum structure.
+    ///
+    /// Used to re-home a configuration onto concrete object identifiers
+    /// (e.g. from replica indices `0..n` to allocated `ObjectId`s).
+    pub fn map<U: Ord + Clone>(&self, mut f: impl FnMut(&T) -> U) -> Configuration<U> {
+        Configuration {
+            read_quorums: self
+                .read_quorums
+                .iter()
+                .map(|q| q.iter().map(&mut f).collect())
+                .collect(),
+            write_quorums: self
+                .write_quorums
+                .iter()
+                .map(|q| q.iter().map(&mut f).collect())
+                .collect(),
+        }
+    }
+}
+
+impl<T: Ord + Clone + fmt::Debug> fmt::Display for Configuration<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "config(r: {:?}, w: {:?})",
+            self.read_quorums, self.write_quorums
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn set(items: &[u32]) -> BTreeSet<u32> {
+        items.iter().copied().collect()
+    }
+
+    #[test]
+    fn majority_pair_is_legal() {
+        let cfg = Configuration::new(vec![set(&[0, 1])], vec![set(&[1, 2])]);
+        assert!(cfg.is_legal());
+        assert!(cfg.validate().is_ok());
+    }
+
+    #[test]
+    fn disjoint_quorums_are_illegal() {
+        let cfg = Configuration::new(vec![set(&[0])], vec![set(&[1, 2])]);
+        assert!(!cfg.is_legal());
+        assert_eq!(
+            cfg.validate(),
+            Err(ConfigurationError::Illegal {
+                read_index: 0,
+                write_index: 0
+            })
+        );
+    }
+
+    #[test]
+    fn empty_quorum_rejected() {
+        let cfg = Configuration::new(vec![BTreeSet::new()], vec![set(&[0])]);
+        assert_eq!(cfg.validate(), Err(ConfigurationError::EmptyQuorum));
+        // Legality is vacuous/odd for empty sets; usability is not.
+        assert!(!Configuration::<u32>::new(vec![], vec![]).is_usable());
+    }
+
+    #[test]
+    fn find_quorum_prefers_smallest() {
+        let cfg = Configuration::new(
+            vec![set(&[0]), set(&[0, 1, 2])],
+            vec![set(&[0, 1, 2])],
+        );
+        let avail = set(&[0, 1, 2]);
+        assert_eq!(cfg.find_read_quorum(&avail), Some(&set(&[0])));
+    }
+
+    #[test]
+    fn find_quorum_respects_availability() {
+        let cfg = Configuration::new(vec![set(&[0, 1]), set(&[1, 2])], vec![set(&[0, 1, 2])]);
+        assert_eq!(cfg.find_read_quorum(&set(&[1, 2])), Some(&set(&[1, 2])));
+        assert_eq!(cfg.find_read_quorum(&set(&[0, 2])), None);
+        assert!(cfg.find_write_quorum(&set(&[0, 1])).is_none());
+    }
+
+    #[test]
+    fn canonical_form_deduplicates() {
+        let a = Configuration::new(vec![set(&[0, 1]), set(&[0, 1])], vec![set(&[1])]);
+        let b = Configuration::new(vec![set(&[0, 1])], vec![set(&[1])]);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn minimized_removes_supersets() {
+        let cfg = Configuration::new(
+            vec![set(&[0]), set(&[0, 1]), set(&[2])],
+            vec![set(&[0, 2])],
+        );
+        let min = cfg.minimized();
+        assert_eq!(min.read_quorums(), &[set(&[0]), set(&[2])]);
+    }
+
+    #[test]
+    fn universe_collects_all_names() {
+        let cfg = Configuration::new(vec![set(&[0, 1])], vec![set(&[2])]);
+        assert_eq!(cfg.universe(), set(&[0, 1, 2]));
+    }
+
+    #[test]
+    fn map_preserves_structure() {
+        let cfg = Configuration::new(vec![set(&[0, 1])], vec![set(&[1, 2])]);
+        let mapped = cfg.map(|x| x + 100);
+        assert!(mapped.is_legal());
+        assert_eq!(
+            mapped.universe(),
+            [100u32, 101, 102].into_iter().collect::<BTreeSet<_>>()
+        );
+    }
+
+    #[test]
+    fn covers_predicates() {
+        let cfg = Configuration::new(vec![set(&[0, 1])], vec![set(&[1, 2])]);
+        assert!(cfg.covers_read_quorum(&set(&[0, 1, 5])));
+        assert!(!cfg.covers_read_quorum(&set(&[1, 5])));
+        assert!(cfg.covers_write_quorum(&set(&[1, 2])));
+    }
+}

@@ -1,0 +1,484 @@
+//! Predicate-form quorum systems over replica indices.
+//!
+//! Explicit [`Configuration`]s enumerate their quorums, which is faithful to
+//! the paper but infeasible for, say, majorities over 25 replicas. A
+//! [`QuorumSpec`] answers quorum questions by predicate instead, and is what
+//! the evaluation substrate (`qc-sim`) uses. Replicas are identified by
+//! indices `0..n`.
+
+use std::collections::BTreeSet;
+
+use crate::config::Configuration;
+
+
+/// A quorum system over replicas `0..n`, in predicate form.
+pub trait QuorumSpec: std::fmt::Debug {
+    /// Number of replicas.
+    fn n(&self) -> usize;
+
+    /// Whether `set` includes a read-quorum.
+    fn is_read_quorum(&self, set: &BTreeSet<usize>) -> bool;
+
+    /// Whether `set` includes a write-quorum.
+    fn is_write_quorum(&self, set: &BTreeSet<usize>) -> bool;
+
+    /// A (small) read-quorum contained in `available`, if any.
+    ///
+    /// The default implementation greedily drops elements from `available`
+    /// while the remainder still covers a read-quorum, yielding a minimal
+    /// (though not necessarily minimum) quorum.
+    fn find_read_quorum(&self, available: &BTreeSet<usize>) -> Option<BTreeSet<usize>> {
+        if !self.is_read_quorum(available) {
+            return None;
+        }
+        Some(shrink(available, |s| self.is_read_quorum(s)))
+    }
+
+    /// A (small) write-quorum contained in `available`, if any.
+    fn find_write_quorum(&self, available: &BTreeSet<usize>) -> Option<BTreeSet<usize>> {
+        if !self.is_write_quorum(available) {
+            return None;
+        }
+        Some(shrink(available, |s| self.is_write_quorum(s)))
+    }
+
+    /// A short human-readable label ("rowa", "majority", …) for reports.
+    fn label(&self) -> String;
+}
+
+/// Greedily remove elements while `pred` stays true.
+fn shrink(set: &BTreeSet<usize>, pred: impl Fn(&BTreeSet<usize>) -> bool) -> BTreeSet<usize> {
+    let mut s = set.clone();
+    let elements: Vec<usize> = s.iter().copied().collect();
+    for x in elements {
+        s.remove(&x);
+        if !pred(&s) {
+            s.insert(x);
+        }
+    }
+    s
+}
+
+/// Read-one / write-all.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Rowa {
+    n: usize,
+}
+
+impl Rowa {
+    /// ROWA over `n` replicas.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn new(n: usize) -> Self {
+        assert!(n > 0);
+        Rowa { n }
+    }
+}
+
+impl QuorumSpec for Rowa {
+    fn n(&self) -> usize {
+        self.n
+    }
+
+    fn is_read_quorum(&self, set: &BTreeSet<usize>) -> bool {
+        set.iter().any(|&x| x < self.n)
+    }
+
+    fn is_write_quorum(&self, set: &BTreeSet<usize>) -> bool {
+        (0..self.n).all(|x| set.contains(&x))
+    }
+
+    fn label(&self) -> String {
+        "rowa".into()
+    }
+}
+
+/// Majority (or general threshold) quorums: a read-quorum is any
+/// `read_size` replicas, a write-quorum any `write_size` replicas, with
+/// `read_size + write_size > n` (Gifford's constraint with unit votes).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Majority {
+    n: usize,
+    read_size: usize,
+    write_size: usize,
+}
+
+impl Majority {
+    /// Simple majorities on both sides: `⌊n/2⌋ + 1`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn new(n: usize) -> Self {
+        assert!(n > 0);
+        let k = n / 2 + 1;
+        Majority {
+            n,
+            read_size: k,
+            write_size: k,
+        }
+    }
+
+    /// Asymmetric thresholds.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < read_size, write_size ≤ n` and
+    /// `read_size + write_size > n`.
+    pub fn with_sizes(n: usize, read_size: usize, write_size: usize) -> Self {
+        assert!(n > 0 && read_size > 0 && write_size > 0);
+        assert!(read_size <= n && write_size <= n);
+        assert!(read_size + write_size > n, "quorum sizes must overlap");
+        Majority {
+            n,
+            read_size,
+            write_size,
+        }
+    }
+
+    /// The read threshold.
+    pub fn read_size(&self) -> usize {
+        self.read_size
+    }
+
+    /// The write threshold.
+    pub fn write_size(&self) -> usize {
+        self.write_size
+    }
+}
+
+impl QuorumSpec for Majority {
+    fn n(&self) -> usize {
+        self.n
+    }
+
+    fn is_read_quorum(&self, set: &BTreeSet<usize>) -> bool {
+        set.iter().filter(|&&x| x < self.n).count() >= self.read_size
+    }
+
+    fn is_write_quorum(&self, set: &BTreeSet<usize>) -> bool {
+        set.iter().filter(|&&x| x < self.n).count() >= self.write_size
+    }
+
+    fn label(&self) -> String {
+        if self.read_size == self.write_size {
+            format!("majority({}/{})", self.read_size, self.n)
+        } else {
+            format!("threshold(r{},w{}/{})", self.read_size, self.write_size, self.n)
+        }
+    }
+}
+
+/// Gifford weighted voting in predicate form.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Weighted {
+    votes: Vec<u32>,
+    read_threshold: u32,
+    write_threshold: u32,
+}
+
+impl Weighted {
+    /// Weighted voting with per-replica votes and thresholds.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `read_threshold + write_threshold > total votes > 0`
+    /// and both thresholds are attainable.
+    pub fn new(votes: Vec<u32>, read_threshold: u32, write_threshold: u32) -> Self {
+        let total: u32 = votes.iter().sum();
+        assert!(total > 0, "total votes must be positive");
+        assert!(
+            read_threshold + write_threshold > total,
+            "thresholds must overlap"
+        );
+        assert!(read_threshold <= total && write_threshold <= total);
+        Weighted {
+            votes,
+            read_threshold,
+            write_threshold,
+        }
+    }
+
+    fn tally(&self, set: &BTreeSet<usize>) -> u32 {
+        set.iter()
+            .filter_map(|&x| self.votes.get(x))
+            .copied()
+            .sum()
+    }
+}
+
+impl QuorumSpec for Weighted {
+    fn n(&self) -> usize {
+        self.votes.len()
+    }
+
+    fn is_read_quorum(&self, set: &BTreeSet<usize>) -> bool {
+        self.tally(set) >= self.read_threshold
+    }
+
+    fn is_write_quorum(&self, set: &BTreeSet<usize>) -> bool {
+        self.tally(set) >= self.write_threshold
+    }
+
+    fn label(&self) -> String {
+        format!(
+            "weighted(r{},w{}/{})",
+            self.read_threshold,
+            self.write_threshold,
+            self.votes.iter().sum::<u32>()
+        )
+    }
+}
+
+/// Grid quorums (see [`crate::generators::grid`]) in predicate form: replicas are
+/// arranged row-major in a `rows × cols` grid; a read-quorum covers every
+/// column; a write-quorum covers every column and fully covers some column.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Grid {
+    rows: usize,
+    cols: usize,
+}
+
+impl Grid {
+    /// A grid of the given dimensions; `n = rows * cols`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    pub fn new(rows: usize, cols: usize) -> Self {
+        assert!(rows > 0 && cols > 0);
+        Grid { rows, cols }
+    }
+
+    fn covers_every_column(&self, set: &BTreeSet<usize>) -> bool {
+        (0..self.cols).all(|c| (0..self.rows).any(|r| set.contains(&(r * self.cols + c))))
+    }
+
+    fn covers_full_column(&self, set: &BTreeSet<usize>) -> bool {
+        (0..self.cols).any(|c| (0..self.rows).all(|r| set.contains(&(r * self.cols + c))))
+    }
+}
+
+impl QuorumSpec for Grid {
+    fn n(&self) -> usize {
+        self.rows * self.cols
+    }
+
+    fn is_read_quorum(&self, set: &BTreeSet<usize>) -> bool {
+        self.covers_every_column(set)
+    }
+
+    fn is_write_quorum(&self, set: &BTreeSet<usize>) -> bool {
+        self.covers_every_column(set) && self.covers_full_column(set)
+    }
+
+    fn label(&self) -> String {
+        format!("grid({}x{})", self.rows, self.cols)
+    }
+}
+
+/// Hierarchical ternary-tree majority quorums (see
+/// [`crate::generators::tree_majority`]) in predicate form. `n` must be a power
+/// of 3.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TreeQuorum {
+    n: usize,
+}
+
+impl TreeQuorum {
+    /// A ternary-tree quorum system over `n` replicas.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `n` is a positive power of 3.
+    pub fn new(n: usize) -> Self {
+        let mut m = n;
+        while m > 1 && m.is_multiple_of(3) {
+            m /= 3;
+        }
+        assert!(n > 0 && m == 1, "n must be a power of 3");
+        TreeQuorum { n }
+    }
+
+    fn covers(&self, set: &BTreeSet<usize>, lo: usize, len: usize) -> bool {
+        if len == 1 {
+            return set.contains(&lo);
+        }
+        let third = len / 3;
+        let hit = (0..3)
+            .filter(|i| self.covers(set, lo + i * third, third))
+            .count();
+        hit >= 2
+    }
+}
+
+impl QuorumSpec for TreeQuorum {
+    fn n(&self) -> usize {
+        self.n
+    }
+
+    fn is_read_quorum(&self, set: &BTreeSet<usize>) -> bool {
+        self.covers(set, 0, self.n)
+    }
+
+    fn is_write_quorum(&self, set: &BTreeSet<usize>) -> bool {
+        self.covers(set, 0, self.n)
+    }
+
+    fn label(&self) -> String {
+        format!("tree({})", self.n)
+    }
+}
+
+/// Convert a spec into an explicit configuration by exhaustive enumeration
+/// (practical only for small `n`; capped at `n ≤ 12`).
+///
+/// # Panics
+///
+/// Panics if `spec.n() > 12`.
+pub fn to_configuration(spec: &dyn QuorumSpec) -> Configuration<usize> {
+    let n = spec.n();
+    assert!(n <= 12, "enumeration capped at n = 12");
+    let mut reads = Vec::new();
+    let mut writes = Vec::new();
+    for mask in 1u32..(1 << n) {
+        let set: BTreeSet<usize> = (0..n).filter(|i| mask & (1 << i) != 0).collect();
+        if spec.is_read_quorum(&set) {
+            reads.push(set.clone());
+        }
+        if spec.is_write_quorum(&set) {
+            writes.push(set);
+        }
+    }
+    Configuration::new(reads, writes).minimized()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+
+    fn set(items: &[usize]) -> BTreeSet<usize> {
+        items.iter().copied().collect()
+    }
+
+    #[test]
+    fn rowa_predicates() {
+        let q = Rowa::new(3);
+        assert!(q.is_read_quorum(&set(&[2])));
+        assert!(!q.is_read_quorum(&set(&[])));
+        assert!(q.is_write_quorum(&set(&[0, 1, 2])));
+        assert!(!q.is_write_quorum(&set(&[0, 1])));
+    }
+
+    #[test]
+    fn majority_predicates() {
+        let q = Majority::new(5);
+        assert!(q.is_read_quorum(&set(&[0, 2, 4])));
+        assert!(!q.is_read_quorum(&set(&[0, 2])));
+        // Out-of-range indices don't count.
+        assert!(!q.is_read_quorum(&set(&[5, 6, 7])));
+    }
+
+    #[test]
+    fn asymmetric_majority() {
+        let q = Majority::with_sizes(5, 2, 4);
+        assert!(q.is_read_quorum(&set(&[0, 1])));
+        assert!(q.is_write_quorum(&set(&[0, 1, 2, 3])));
+        assert!(!q.is_write_quorum(&set(&[0, 1, 2])));
+    }
+
+    #[test]
+    #[should_panic(expected = "overlap")]
+    fn majority_rejects_non_overlapping() {
+        Majority::with_sizes(5, 2, 3);
+    }
+
+    #[test]
+    fn weighted_predicates() {
+        let q = Weighted::new(vec![2, 1, 1], 2, 3);
+        assert!(q.is_read_quorum(&set(&[0])));
+        assert!(q.is_read_quorum(&set(&[1, 2])));
+        assert!(q.is_write_quorum(&set(&[0, 1])));
+        assert!(!q.is_write_quorum(&set(&[1, 2])));
+    }
+
+    #[test]
+    fn grid_predicates() {
+        let q = Grid::new(2, 3); // replicas 0..6, rows {0,1,2},{3,4,5}
+        assert!(q.is_read_quorum(&set(&[0, 4, 5])));
+        // Indices 0,1,2 form row 0, which covers every column.
+        assert!(q.is_read_quorum(&set(&[0, 1, 2])));
+        // Full column 0 is {0, 3}; plus one from each other column.
+        assert!(q.is_write_quorum(&set(&[0, 3, 1, 5])));
+        assert!(!q.is_write_quorum(&set(&[0, 1, 2])));
+    }
+
+    #[test]
+    fn tree_predicates() {
+        let q = TreeQuorum::new(9);
+        // Two leaves from each of two subtrees.
+        assert!(q.is_read_quorum(&set(&[0, 1, 3, 4])));
+        assert!(!q.is_read_quorum(&set(&[0, 1, 2])));
+    }
+
+    #[test]
+    fn find_quorum_shrinks_to_minimal() {
+        let q = Majority::new(5);
+        let avail = set(&[0, 1, 2, 3, 4]);
+        let rq = q.find_read_quorum(&avail).unwrap();
+        assert_eq!(rq.len(), 3);
+        assert!(q.is_read_quorum(&rq));
+    }
+
+    #[test]
+    fn find_quorum_none_when_unavailable() {
+        let q = Majority::new(5);
+        assert!(q.find_read_quorum(&set(&[0, 1])).is_none());
+    }
+
+    #[test]
+    fn spec_configuration_roundtrip_matches_generator() {
+        let q = Majority::new(5);
+        let from_spec = to_configuration(&q);
+        let explicit = generators::majority(&[0usize, 1, 2, 3, 4]).minimized();
+        assert_eq!(from_spec, explicit);
+    }
+
+    #[test]
+    fn grid_spec_matches_grid_generator() {
+        let q = Grid::new(2, 3);
+        let from_spec = to_configuration(&q);
+        let universe: Vec<usize> = (0..6).collect();
+        let explicit = generators::grid(&universe, 2, 3).minimized();
+        assert_eq!(from_spec, explicit);
+    }
+
+    #[test]
+    fn rowa_spec_matches_rowa_generator() {
+        let q = Rowa::new(4);
+        let from_spec = to_configuration(&q);
+        let universe: Vec<usize> = (0..4).collect();
+        assert_eq!(from_spec, generators::rowa(&universe).minimized());
+    }
+
+    #[test]
+    fn every_read_quorum_meets_every_write_quorum() {
+        // Cross-check the legality property on the enumerated form.
+        let specs: Vec<Box<dyn QuorumSpec>> = vec![
+            Box::new(Rowa::new(5)),
+            Box::new(Majority::new(5)),
+            Box::new(Weighted::new(vec![2, 1, 1, 1], 3, 3)),
+            Box::new(Grid::new(2, 3)),
+            Box::new(TreeQuorum::new(9)),
+        ];
+        for s in &specs {
+            if s.n() <= 12 {
+                let cfg = to_configuration(s.as_ref());
+                assert!(cfg.validate().is_ok(), "{} illegal", s.label());
+            }
+        }
+    }
+}

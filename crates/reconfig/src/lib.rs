@@ -1,0 +1,71 @@
+//! Dynamic reconfiguration for Quorum Consensus in nested transaction
+//! systems (paper §4).
+//!
+//! Read- and write-quorums may change during execution — "important for
+//! coping with site and link failures in practical systems". Each
+//! reconfigurable data manager ([`RcDm`]) carries a configuration and
+//! generation number alongside its value and version number; logical reads
+//! and writes *discover* the current configuration Gifford-style; and
+//! dedicated **reconfigure-TMs** install new configurations. Reconfigure-TMs
+//! are children of the user transactions (for atomicity) but are invoked
+//! spontaneously and transparently by per-user [`Spy`] automata — the
+//! paper's solution to the modelling conflict between placement and
+//! visibility. One more level of nesting separates each TM's access work
+//! into [`Coordinator`] subtransactions.
+//!
+//! The Goldman–Lynch refinement of Gifford's scheme is implemented as
+//! described: a new configuration is written only to a write-quorum of the
+//! *old* configuration (Gifford required old *and* new).
+//!
+//! Correctness is checked the same way as in the fixed-configuration case:
+//! random executions of the replicated system are erased down to logical
+//! operations and replayed against the non-replicated system **A**
+//! ([`check_rc_random`]), with generation/version invariants monitored at
+//! every step ([`RcInvariantMonitor`]).
+//!
+//! # Example
+//!
+//! ```
+//! use qc_reconfig::{check_rc_random, RcItemSpec, RcRunOptions, RcSystemSpec};
+//! use qc_replication::{UserSpec, UserStep};
+//! use nested_txn::Value;
+//!
+//! let u: Vec<usize> = (0..3).collect();
+//! let spec = RcSystemSpec {
+//!     items: vec![RcItemSpec {
+//!         name: "x".into(),
+//!         init: Value::Int(0),
+//!         replicas: 3,
+//!         initial_config: quorum::generators::majority(&u),
+//!         alt_configs: vec![quorum::generators::rowa(&u)],
+//!     }],
+//!     users: vec![UserSpec::new(vec![
+//!         UserStep::Write(0, Value::Int(1)),
+//!         UserStep::Read(0),
+//!     ])],
+//!     max_reconfigs_per_user: 1,
+//! };
+//! let report = check_rc_random(&spec, RcRunOptions::default())?;
+//! assert!(report.a_len <= report.b_len);
+//! # Ok::<(), ioa::IoaError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod check;
+mod coordinator;
+mod dm;
+mod spec;
+mod spy;
+mod tm;
+
+pub use check::{check_rc_random, run_system_rc, RcInvariantMonitor, RcReport, RcRunOptions};
+pub use coordinator::{CoordKind, Coordinator};
+pub use dm::{config_write_data, parse_config_write, parse_value_write, value_write_data, RcDm};
+pub use spec::{
+    build_system_a_rc, build_system_rc, wf_monitor_for_a_rc, BuiltRcSystem, RcItemLayout,
+    RcItemSpec, RcLayout, RcSystemSpec, COORD_RETRY_SLOTS,
+};
+pub use spy::{Spy, SPY_CHILD_BASE};
+pub use tm::CoordinatorTm;

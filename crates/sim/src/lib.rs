@@ -1,0 +1,38 @@
+//! Discrete-event simulation substrate for evaluating quorum-consensus
+//! replication.
+//!
+//! Goldman & Lynch (PODC 1987) is a theory paper; its introduction
+//! motivates replication by availability, reliability and performance.
+//! This crate provides the testbed-stand-in used by the workspace's
+//! quantitative experiments (Q1–Q5 in `EXPERIMENTS.md`): replica sites
+//! with exponential crash/repair processes, parametric message latency
+//! (LAN / WAN / fixed), closed-loop clients running the Gifford protocol
+//! (read-quorum discovery, then write-quorum installation), and per-class
+//! metrics (latency percentiles, message cost, availability, throughput).
+//!
+//! # Example
+//!
+//! ```
+//! use std::sync::Arc;
+//! use qc_sim::{run, SimConfig, SimTime};
+//! use quorum::Majority;
+//!
+//! let mut config = SimConfig::new(Arc::new(Majority::new(5)));
+//! config.duration = SimTime::from_secs(2);
+//! let metrics = run(config);
+//! assert!(metrics.reads.availability() > 0.99);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod latency;
+mod metrics;
+#[allow(clippy::module_inception)]
+mod sim;
+mod time;
+
+pub use latency::{sample_exponential, LatencyModel};
+pub use metrics::{Metrics, OpStats, OpSummary};
+pub use sim::{run, ContactPolicy, SimConfig, Simulation};
+pub use time::SimTime;

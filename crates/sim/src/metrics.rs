@@ -1,0 +1,172 @@
+//! Operation metrics and summaries.
+
+use serde::Serialize;
+
+use crate::time::SimTime;
+
+/// Statistics for one operation class (reads or writes).
+#[derive(Clone, Debug, Default)]
+pub struct OpStats {
+    /// Operations attempted.
+    pub attempts: u64,
+    /// Operations that obtained their quorums in time.
+    pub successes: u64,
+    /// Messages sent (requests + responses).
+    pub messages: u64,
+    latencies_us: Vec<u64>,
+}
+
+impl OpStats {
+    /// Record a successful operation.
+    pub fn record_success(&mut self, latency: SimTime, messages: u64) {
+        self.attempts += 1;
+        self.successes += 1;
+        self.messages += messages;
+        self.latencies_us.push(latency.as_micros());
+    }
+
+    /// Record a failed operation.
+    pub fn record_failure(&mut self, messages: u64) {
+        self.attempts += 1;
+        self.messages += messages;
+    }
+
+    /// Fraction of attempts that succeeded (1.0 when nothing attempted).
+    pub fn availability(&self) -> f64 {
+        if self.attempts == 0 {
+            1.0
+        } else {
+            self.successes as f64 / self.attempts as f64
+        }
+    }
+
+    /// Mean success latency in milliseconds.
+    pub fn mean_latency_ms(&self) -> f64 {
+        if self.latencies_us.is_empty() {
+            return 0.0;
+        }
+        self.latencies_us.iter().sum::<u64>() as f64 / self.latencies_us.len() as f64 / 1_000.0
+    }
+
+    /// A latency percentile (0–100) in milliseconds.
+    pub fn percentile_ms(&self, p: f64) -> f64 {
+        if self.latencies_us.is_empty() {
+            return 0.0;
+        }
+        let mut v = self.latencies_us.clone();
+        v.sort_unstable();
+        let rank = ((p / 100.0) * (v.len() as f64 - 1.0)).round() as usize;
+        v[rank.min(v.len() - 1)] as f64 / 1_000.0
+    }
+
+    /// Mean messages per attempted operation.
+    pub fn messages_per_op(&self) -> f64 {
+        if self.attempts == 0 {
+            0.0
+        } else {
+            self.messages as f64 / self.attempts as f64
+        }
+    }
+
+    /// Condensed summary for reports.
+    pub fn summary(&self) -> OpSummary {
+        OpSummary {
+            attempts: self.attempts,
+            successes: self.successes,
+            availability: self.availability(),
+            mean_ms: self.mean_latency_ms(),
+            p50_ms: self.percentile_ms(50.0),
+            p95_ms: self.percentile_ms(95.0),
+            p99_ms: self.percentile_ms(99.0),
+            messages_per_op: self.messages_per_op(),
+        }
+    }
+}
+
+/// Serializable summary of an [`OpStats`].
+#[derive(Clone, Copy, Debug, Default, Serialize)]
+pub struct OpSummary {
+    /// Operations attempted.
+    pub attempts: u64,
+    /// Operations that succeeded.
+    pub successes: u64,
+    /// successes / attempts.
+    pub availability: f64,
+    /// Mean success latency (ms).
+    pub mean_ms: f64,
+    /// Median success latency (ms).
+    pub p50_ms: f64,
+    /// 95th-percentile latency (ms).
+    pub p95_ms: f64,
+    /// 99th-percentile latency (ms).
+    pub p99_ms: f64,
+    /// Mean messages per attempted operation.
+    pub messages_per_op: f64,
+}
+
+/// Metrics for a whole simulation run.
+#[derive(Clone, Debug, Default)]
+pub struct Metrics {
+    /// Logical-read statistics.
+    pub reads: OpStats,
+    /// Logical-write statistics.
+    pub writes: OpStats,
+    /// Site-down events observed.
+    pub site_failures: u64,
+}
+
+impl Metrics {
+    /// Combined throughput in operations per simulated second.
+    pub fn throughput_ops_per_sec(&self, duration: SimTime) -> f64 {
+        let ops = self.reads.successes + self.writes.successes;
+        let secs = duration.as_micros() as f64 / 1e6;
+        if secs == 0.0 {
+            0.0
+        } else {
+            ops as f64 / secs
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn availability_counts() {
+        let mut s = OpStats::default();
+        s.record_success(SimTime(1_000), 6);
+        s.record_success(SimTime(3_000), 6);
+        s.record_failure(6);
+        assert!((s.availability() - 2.0 / 3.0).abs() < 1e-12);
+        assert_eq!(s.messages_per_op(), 6.0);
+        assert_eq!(s.mean_latency_ms(), 2.0);
+    }
+
+    #[test]
+    fn percentiles_are_ordered() {
+        let mut s = OpStats::default();
+        for i in 1..=100u64 {
+            s.record_success(SimTime(i * 1000), 1);
+        }
+        assert!(s.percentile_ms(50.0) <= s.percentile_ms(95.0));
+        assert!(s.percentile_ms(95.0) <= s.percentile_ms(99.0));
+        assert_eq!(s.percentile_ms(100.0), 100.0);
+    }
+
+    #[test]
+    fn empty_stats_are_benign() {
+        let s = OpStats::default();
+        assert_eq!(s.availability(), 1.0);
+        assert_eq!(s.mean_latency_ms(), 0.0);
+        assert_eq!(s.percentile_ms(99.0), 0.0);
+    }
+
+    #[test]
+    fn throughput() {
+        let mut m = Metrics::default();
+        m.reads.record_success(SimTime(1), 1);
+        m.writes.record_success(SimTime(1), 1);
+        assert_eq!(m.throughput_ops_per_sec(SimTime::from_secs(2)), 1.0);
+    }
+}

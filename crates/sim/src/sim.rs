@@ -1,0 +1,421 @@
+//! The discrete-event simulation of a quorum-replicated store.
+//!
+//! The paper is a theory paper; this simulator is the evaluation substrate
+//! for the quantitative claims its introduction motivates — replication
+//! "to improve availability, reliability and performance". Sites host one
+//! replica each and crash/recover under an exponential failure process;
+//! closed-loop clients issue logical reads and writes through the Gifford
+//! protocol (version-number discovery against a read-quorum, then, for
+//! writes, installation at a write-quorum); message costs and latencies are
+//! accounted per operation.
+//!
+//! Protocol fidelity notes: quorum membership is decided by a
+//! [`QuorumSpec`] predicate, so all the quorum systems in the `quorum`
+//! crate plug in directly. Site state is sampled at operation start (an
+//! operation shorter than a repair interval almost never straddles a
+//! transition; failures mid-operation are modelled by the timeout).
+
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, BTreeSet};
+use std::sync::Arc;
+
+use quorum::QuorumSpec;
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+use crate::latency::{sample_exponential, LatencyModel};
+use crate::metrics::Metrics;
+use crate::time::SimTime;
+
+/// Which replicas the coordinator contacts in each phase.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ContactPolicy {
+    /// Contact every live replica; finish when a quorum of responses is in
+    /// (lowest latency, highest message cost).
+    AllLive,
+    /// Contact a minimal quorum among the live replicas (lowest message
+    /// cost; a single slow member delays the phase).
+    MinimalQuorum,
+}
+
+/// Configuration of one simulation run.
+pub struct SimConfig {
+    /// The quorum system (over replicas `0..n`).
+    pub quorum: Arc<dyn QuorumSpec + Send + Sync>,
+    /// One-way message latency model.
+    pub latency: LatencyModel,
+    /// Coordinator contact policy.
+    pub contact: ContactPolicy,
+    /// Number of closed-loop clients.
+    pub clients: usize,
+    /// Fraction of operations that are logical reads.
+    pub read_fraction: f64,
+    /// Client think time between operations.
+    pub think_time: SimTime,
+    /// Per-phase timeout: an operation fails if a phase's quorum is not
+    /// assembled in this time.
+    pub timeout: SimTime,
+    /// Mean time to failure per site (`None` disables failures).
+    pub mttf: Option<SimTime>,
+    /// Mean time to repair per site.
+    pub mttr: SimTime,
+    /// Simulated duration.
+    pub duration: SimTime,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl std::fmt::Debug for SimConfig {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SimConfig")
+            .field("quorum", &self.quorum.label())
+            .field("clients", &self.clients)
+            .field("read_fraction", &self.read_fraction)
+            .finish_non_exhaustive()
+    }
+}
+
+impl SimConfig {
+    /// A reasonable default over the given quorum system: 4 clients, 90%
+    /// reads, LAN latencies, no failures, 10 simulated seconds.
+    pub fn new(quorum: Arc<dyn QuorumSpec + Send + Sync>) -> Self {
+        SimConfig {
+            quorum,
+            latency: LatencyModel::lan(),
+            contact: ContactPolicy::AllLive,
+            clients: 4,
+            read_fraction: 0.9,
+            think_time: SimTime::from_millis(1),
+            timeout: SimTime::from_millis(50),
+            mttf: None,
+            mttr: SimTime::from_secs(2),
+            duration: SimTime::from_secs(10),
+            seed: 0,
+        }
+    }
+}
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Event {
+    OpStart { client: usize },
+    SiteDown { site: usize },
+    SiteUp { site: usize },
+}
+
+/// The simulator state.
+pub struct Simulation {
+    config: SimConfig,
+    rng: ChaCha8Rng,
+    now: SimTime,
+    queue: BinaryHeap<Reverse<(SimTime, u64, EventBox)>>,
+    seq: u64,
+    up: Vec<bool>,
+    metrics: Metrics,
+}
+
+// BinaryHeap needs Ord; wrap the event.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+struct EventBox(u8, usize);
+
+impl EventBox {
+    fn pack(e: Event) -> Self {
+        match e {
+            Event::OpStart { client } => EventBox(0, client),
+            Event::SiteDown { site } => EventBox(1, site),
+            Event::SiteUp { site } => EventBox(2, site),
+        }
+    }
+
+    fn unpack(self) -> Event {
+        match self.0 {
+            0 => Event::OpStart { client: self.1 },
+            1 => Event::SiteDown { site: self.1 },
+            _ => Event::SiteUp { site: self.1 },
+        }
+    }
+}
+
+/// The outcome of one simulated phase: completion time offset and message
+/// count, or a timeout.
+struct PhaseOutcome {
+    elapsed: SimTime,
+    messages: u64,
+    ok: bool,
+}
+
+impl Simulation {
+    /// Create a simulation from a configuration.
+    pub fn new(config: SimConfig) -> Self {
+        let n = config.quorum.n();
+        let rng = ChaCha8Rng::seed_from_u64(config.seed);
+        let mut sim = Simulation {
+            rng,
+            now: SimTime::ZERO,
+            queue: BinaryHeap::new(),
+            seq: 0,
+            up: vec![true; n],
+            metrics: Metrics::default(),
+            config,
+        };
+        for c in 0..sim.config.clients {
+            // Stagger client starts to avoid phase lock.
+            let jitter = SimTime(sim.rng.gen_range(0..1_000));
+            sim.schedule(jitter, Event::OpStart { client: c });
+        }
+        if let Some(mttf) = sim.config.mttf {
+            for s in 0..n {
+                let t = sample_exponential(mttf, &mut sim.rng);
+                sim.schedule(t, Event::SiteDown { site: s });
+            }
+        }
+        sim
+    }
+
+    fn schedule(&mut self, delay: SimTime, e: Event) {
+        self.seq += 1;
+        self.queue
+            .push(Reverse((self.now + delay, self.seq, EventBox::pack(e))));
+    }
+
+    /// Run to completion, consuming the simulator and returning metrics.
+    pub fn run(mut self) -> Metrics {
+        while let Some(Reverse((t, _, e))) = self.queue.pop() {
+            if t > self.config.duration {
+                break;
+            }
+            self.now = t;
+            match e.unpack() {
+                Event::OpStart { client } => self.handle_op(client),
+                Event::SiteDown { site } => {
+                    if self.up[site] {
+                        self.up[site] = false;
+                        self.metrics.site_failures += 1;
+                    }
+                    let repair = sample_exponential(self.config.mttr, &mut self.rng);
+                    self.schedule(repair, Event::SiteUp { site });
+                }
+                Event::SiteUp { site } => {
+                    self.up[site] = true;
+                    if let Some(mttf) = self.config.mttf {
+                        let fail = sample_exponential(mttf, &mut self.rng);
+                        self.schedule(fail, Event::SiteDown { site });
+                    }
+                }
+            }
+        }
+        self.metrics
+    }
+
+    fn live_set(&self) -> BTreeSet<usize> {
+        (0..self.up.len()).filter(|&s| self.up[s]).collect()
+    }
+
+    /// Simulate one quorum-gathering phase from the current site state.
+    ///
+    /// `targets` are contacted (one request + one response each if live;
+    /// requests to dead sites are sent and lost); the phase completes at
+    /// the earliest time the responder set satisfies `is_quorum`.
+    fn phase(
+        &mut self,
+        targets: &BTreeSet<usize>,
+        is_quorum: &dyn Fn(&BTreeSet<usize>) -> bool,
+    ) -> PhaseOutcome {
+        let mut responses: Vec<(SimTime, usize)> = Vec::new();
+        let mut messages = 0u64;
+        for &s in targets {
+            messages += 1; // request
+            if self.up[s] {
+                let rtt = self.config.latency.sample(&mut self.rng)
+                    + self.config.latency.sample(&mut self.rng);
+                messages += 1; // response
+                responses.push((rtt, s));
+            }
+        }
+        responses.sort();
+        let mut have: BTreeSet<usize> = BTreeSet::new();
+        for (t, s) in &responses {
+            if *t > self.config.timeout {
+                break;
+            }
+            have.insert(*s);
+            if is_quorum(&have) {
+                return PhaseOutcome {
+                    elapsed: *t,
+                    messages,
+                    ok: true,
+                };
+            }
+        }
+        PhaseOutcome {
+            elapsed: self.config.timeout,
+            messages,
+            ok: false,
+        }
+    }
+
+    fn read_targets(&mut self) -> Option<BTreeSet<usize>> {
+        let live = self.live_set();
+        match self.config.contact {
+            ContactPolicy::AllLive => Some((0..self.up.len()).collect()),
+            ContactPolicy::MinimalQuorum => self.config.quorum.find_read_quorum(&live),
+        }
+    }
+
+    fn write_targets(&mut self) -> Option<BTreeSet<usize>> {
+        let live = self.live_set();
+        match self.config.contact {
+            ContactPolicy::AllLive => Some((0..self.up.len()).collect()),
+            ContactPolicy::MinimalQuorum => self.config.quorum.find_write_quorum(&live),
+        }
+    }
+
+    fn handle_op(&mut self, client: usize) {
+        let is_read = self.rng.gen_bool(self.config.read_fraction);
+        let quorum = Arc::clone(&self.config.quorum);
+
+        // Phase 1 (both kinds): version-number discovery at a read-quorum.
+        let (mut elapsed, mut messages, mut ok) = match self.read_targets() {
+            Some(targets) => {
+                let q = Arc::clone(&quorum);
+                let out = self.phase(&targets, &move |s| q.is_read_quorum(s));
+                (out.elapsed, out.messages, out.ok)
+            }
+            None => (self.config.timeout, 0, false),
+        };
+
+        // Phase 2 (writes): install at a write-quorum.
+        if ok && !is_read {
+            match self.write_targets() {
+                Some(targets) => {
+                    let q = Arc::clone(&quorum);
+                    let out = self.phase(&targets, &move |s| q.is_write_quorum(s));
+                    elapsed += out.elapsed;
+                    messages += out.messages;
+                    ok = out.ok;
+                }
+                None => {
+                    ok = false;
+                }
+            }
+        }
+
+        let stats = if is_read {
+            &mut self.metrics.reads
+        } else {
+            &mut self.metrics.writes
+        };
+        if ok {
+            stats.record_success(elapsed, messages);
+        } else {
+            stats.record_failure(messages);
+        }
+        let next = elapsed + self.config.think_time;
+        self.schedule(next, Event::OpStart { client });
+    }
+}
+
+/// Convenience: build and run in one call.
+pub fn run(config: SimConfig) -> Metrics {
+    Simulation::new(config).run()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use quorum::{Majority, Rowa};
+
+    fn base(q: Arc<dyn QuorumSpec + Send + Sync>) -> SimConfig {
+        let mut c = SimConfig::new(q);
+        c.duration = SimTime::from_secs(5);
+        c
+    }
+
+    #[test]
+    fn healthy_cluster_is_fully_available() {
+        let m = run(base(Arc::new(Majority::new(5))));
+        assert!(m.reads.attempts > 100);
+        assert_eq!(m.reads.availability(), 1.0);
+        assert_eq!(m.writes.availability(), 1.0);
+        assert_eq!(m.site_failures, 0);
+    }
+
+    #[test]
+    fn rowa_reads_cost_less_than_majority_reads() {
+        let mut c1 = base(Arc::new(Rowa::new(5)));
+        c1.contact = ContactPolicy::MinimalQuorum;
+        let rowa = run(c1);
+        let mut c2 = base(Arc::new(Majority::new(5)));
+        c2.contact = ContactPolicy::MinimalQuorum;
+        let maj = run(c2);
+        assert!(
+            rowa.reads.messages_per_op() < maj.reads.messages_per_op(),
+            "rowa {} vs majority {}",
+            rowa.reads.messages_per_op(),
+            maj.reads.messages_per_op()
+        );
+        // ROWA read = 1 round trip to 1 replica: 2 messages.
+        assert!((rowa.reads.messages_per_op() - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn rowa_writes_suffer_under_failures() {
+        let mut c = base(Arc::new(Rowa::new(5)));
+        c.mttf = Some(SimTime::from_secs(3));
+        c.mttr = SimTime::from_secs(3);
+        c.read_fraction = 0.5;
+        c.duration = SimTime::from_secs(30);
+        let m = run(c);
+        assert!(m.site_failures > 0);
+        // With ~half the time one site down, ROWA writes fail often while
+        // reads almost always succeed.
+        assert!(m.writes.availability() < 0.9, "writes {}", m.writes.availability());
+        assert!(m.reads.availability() > m.writes.availability());
+    }
+
+    #[test]
+    fn majority_survives_minority_failures() {
+        let mut c = base(Arc::new(Majority::new(5)));
+        c.mttf = Some(SimTime::from_secs(10));
+        c.mttr = SimTime::from_secs(1);
+        c.read_fraction = 0.5;
+        c.duration = SimTime::from_secs(30);
+        let m = run(c);
+        // 5 sites, short repairs: a majority is almost always up.
+        assert!(m.reads.availability() > 0.97, "reads {}", m.reads.availability());
+        assert!(m.writes.availability() > 0.95, "writes {}", m.writes.availability());
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a = run(base(Arc::new(Majority::new(3))));
+        let b = run(base(Arc::new(Majority::new(3))));
+        assert_eq!(a.reads.attempts, b.reads.attempts);
+        assert_eq!(a.reads.messages, b.reads.messages);
+    }
+
+    #[test]
+    fn minimal_quorum_contact_halves_read_messages() {
+        let mut all = base(Arc::new(Majority::new(5)));
+        all.contact = ContactPolicy::AllLive;
+        let a = run(all);
+        // AllLive read: 5 requests + 5 responses = 10 per op.
+        assert!((a.reads.messages_per_op() - 10.0).abs() < 1e-9);
+        let mut min = base(Arc::new(Majority::new(5)));
+        min.contact = ContactPolicy::MinimalQuorum;
+        let m = run(min);
+        // MinimalQuorum read: 3 + 3 = 6 per op.
+        assert!((m.reads.messages_per_op() - 6.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn writes_pay_two_phases() {
+        let mut c = base(Arc::new(Majority::new(3)));
+        c.contact = ContactPolicy::MinimalQuorum;
+        c.read_fraction = 0.0;
+        let m = run(c);
+        // Write: read-quorum (2+2) + write-quorum (2+2) = 8 messages.
+        assert!((m.writes.messages_per_op() - 8.0).abs() < 1e-9);
+        assert!(m.writes.mean_latency_ms() > m.reads.mean_latency_ms());
+    }
+}

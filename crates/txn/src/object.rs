@@ -1,0 +1,394 @@
+//! Basic objects: read/write objects (paper §2.3).
+
+use std::any::Any;
+use std::collections::{BTreeMap, BTreeSet};
+
+use ioa::{Component, OpClass};
+
+use crate::op::{AccessKind, TxnOp};
+use crate::tid::Tid;
+use crate::value::{ObjectId, Value};
+
+/// How an object learns the attributes of an access with a given name.
+///
+/// The paper makes `kind(T)` and `data(T)` attributes of the access *name*.
+/// In the replicated system **B**, transaction managers mint access names on
+/// the fly and our operations carry the attributes inline
+/// ([`AccessSpec`](crate::AccessSpec)); in the non-replicated system **A**
+/// the accesses are the (statically known) transaction-manager names, so the
+/// object is built with a registry mapping each name to its attributes.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RegisteredAccess {
+    /// Read or write.
+    pub kind: AccessKind,
+    /// The data for writes. `None` means "take the `param` payload of the
+    /// `CREATE` operation", for value-parameterised accesses.
+    pub data: Option<Value>,
+}
+
+/// A read-write object: the fully-specified basic object of §2.3.
+///
+/// State: `active` (the current access, initially `nil`) and `data` (a
+/// domain element, initially the object's initial value).
+///
+/// * `CREATE(T)` (input) sets `active := T`.
+/// * `REQUEST-COMMIT(T,v)` with `kind(T) = read` requires `active = T` and
+///   `v = data`; it sets `active := nil`.
+/// * `REQUEST-COMMIT(T,v)` with `kind(T) = write` requires `active = T` and
+///   `v = nil`; it sets `data := data(T)` and `active := nil`.
+///
+/// The same automaton serves as a data manager (over the versioned domain
+/// `N × V`) in system **B** and as the single logical object `O(x)` in
+/// system **A**; only the domain and the access-resolution mode differ.
+#[derive(Clone, Debug)]
+pub struct ReadWriteObject {
+    id: ObjectId,
+    label: String,
+    init: Value,
+    data: Value,
+    active: Option<(Tid, AccessKind, Value)>,
+    created: BTreeSet<Tid>,
+    registry: BTreeMap<Tid, RegisteredAccess>,
+}
+
+impl ReadWriteObject {
+    /// An object whose accesses carry their attributes inline (system
+    /// **B** style).
+    pub fn new(id: ObjectId, label: impl Into<String>, init: Value) -> Self {
+        ReadWriteObject {
+            id,
+            label: label.into(),
+            data: init.clone(),
+            init,
+            active: None,
+            created: BTreeSet::new(),
+            registry: BTreeMap::new(),
+        }
+    }
+
+    /// An object with a pre-registered access map (system **A** style).
+    pub fn with_registry(
+        id: ObjectId,
+        label: impl Into<String>,
+        init: Value,
+        registry: BTreeMap<Tid, RegisteredAccess>,
+    ) -> Self {
+        ReadWriteObject {
+            id,
+            label: label.into(),
+            data: init.clone(),
+            init,
+            active: None,
+            created: BTreeSet::new(),
+            registry,
+        }
+    }
+
+    /// This object's identifier.
+    pub fn id(&self) -> ObjectId {
+        self.id
+    }
+
+    /// The current data component of the state.
+    pub fn data(&self) -> &Value {
+        &self.data
+    }
+
+    /// The currently active access, if any.
+    pub fn active(&self) -> Option<&Tid> {
+        self.active.as_ref().map(|(t, _, _)| t)
+    }
+
+    /// All accesses created at this object so far.
+    pub fn accesses_created(&self) -> &BTreeSet<Tid> {
+        &self.created
+    }
+
+    fn resolve(&self, op: &TxnOp) -> Option<(AccessKind, Value)> {
+        // Inline spec takes precedence; otherwise the registry.
+        if let Some(spec) = op.access() {
+            if spec.object == self.id {
+                return Some((spec.kind, spec.data.clone()));
+            }
+            return None;
+        }
+        let tid = op.tid();
+        self.registry.get(tid).map(|reg| {
+            let data = reg
+                .data
+                .clone()
+                .or_else(|| op.param().cloned())
+                .unwrap_or(Value::Nil);
+            (reg.kind, data)
+        })
+    }
+}
+
+impl Component<TxnOp> for ReadWriteObject {
+    fn name(&self) -> String {
+        self.label.clone()
+    }
+
+    fn classify(&self, op: &TxnOp) -> OpClass {
+        match op {
+            TxnOp::Create { .. } => {
+                if self.resolve(op).is_some() {
+                    OpClass::Input
+                } else {
+                    OpClass::NotMine
+                }
+            }
+            TxnOp::RequestCommit { tid, .. } => {
+                // Our access iff we created it (its CREATE necessarily
+                // precedes in any well-formed schedule), or it is
+                // registered to us.
+                if self.created.contains(tid) || self.registry.contains_key(tid) {
+                    OpClass::Output
+                } else {
+                    OpClass::NotMine
+                }
+            }
+            _ => OpClass::NotMine,
+        }
+    }
+
+    fn reset(&mut self) {
+        self.data = self.init.clone();
+        self.active = None;
+        self.created.clear();
+    }
+
+    fn enabled_outputs(&self) -> Vec<TxnOp> {
+        match &self.active {
+            Some((tid, AccessKind::Read, _)) => vec![TxnOp::RequestCommit {
+                tid: tid.clone(),
+                value: self.data.clone(),
+            }],
+            Some((tid, AccessKind::Write, _)) => vec![TxnOp::RequestCommit {
+                tid: tid.clone(),
+                value: Value::Nil,
+            }],
+            None => Vec::new(),
+        }
+    }
+
+    fn apply(&mut self, op: &TxnOp) -> Result<(), String> {
+        match op {
+            TxnOp::Create { tid, .. } => {
+                let (kind, data) = self
+                    .resolve(op)
+                    .ok_or_else(|| format!("{}: CREATE for foreign access {tid}", self.label))?;
+                // Postcondition: active := T.
+                self.active = Some((tid.clone(), kind, data));
+                self.created.insert(tid.clone());
+                Ok(())
+            }
+            TxnOp::RequestCommit { tid, value } => {
+                let Some((active, kind, wdata)) = self.active.clone() else {
+                    return Err(format!(
+                        "{}: REQUEST-COMMIT({tid}) with no active access",
+                        self.label
+                    ));
+                };
+                if &active != tid {
+                    return Err(format!(
+                        "{}: REQUEST-COMMIT({tid}) but active is {active}",
+                        self.label
+                    ));
+                }
+                match kind {
+                    AccessKind::Read => {
+                        if *value != self.data {
+                            return Err(format!(
+                                "{}: read access {tid} returns {value}, data is {}",
+                                self.label, self.data
+                            ));
+                        }
+                    }
+                    AccessKind::Write => {
+                        if !value.is_nil() {
+                            return Err(format!(
+                                "{}: write access {tid} must return nil",
+                                self.label
+                            ));
+                        }
+                        self.data = wdata;
+                    }
+                }
+                self.active = None;
+                Ok(())
+            }
+            other => Err(format!("{}: not an object operation: {other}", self.label)),
+        }
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::op::AccessSpec;
+
+    fn t(path: &[u32]) -> Tid {
+        Tid::from_path(path)
+    }
+
+    fn obj() -> ReadWriteObject {
+        ReadWriteObject::new(ObjectId(0), "x", Value::Int(0))
+    }
+
+    fn create_read(o: &ObjectId, path: &[u32]) -> TxnOp {
+        TxnOp::Create {
+            tid: t(path),
+            access: Some(AccessSpec::read(*o)),
+            param: None,
+        }
+    }
+
+    fn create_write(o: &ObjectId, path: &[u32], v: Value) -> TxnOp {
+        TxnOp::Create {
+            tid: t(path),
+            access: Some(AccessSpec::write(*o, v)),
+            param: None,
+        }
+    }
+
+    #[test]
+    fn read_returns_current_data() {
+        let mut x = obj();
+        x.apply(&create_read(&ObjectId(0), &[1, 0])).unwrap();
+        let outs = x.enabled_outputs();
+        assert_eq!(
+            outs,
+            vec![TxnOp::RequestCommit {
+                tid: t(&[1, 0]),
+                value: Value::Int(0),
+            }]
+        );
+        x.apply(&outs[0]).unwrap();
+        assert!(x.enabled_outputs().is_empty());
+        assert!(x.active().is_none());
+    }
+
+    #[test]
+    fn write_installs_data_and_returns_nil() {
+        let mut x = obj();
+        x.apply(&create_write(&ObjectId(0), &[1, 0], Value::Int(42)))
+            .unwrap();
+        let outs = x.enabled_outputs();
+        assert_eq!(
+            outs,
+            vec![TxnOp::RequestCommit {
+                tid: t(&[1, 0]),
+                value: Value::Nil,
+            }]
+        );
+        x.apply(&outs[0]).unwrap();
+        assert_eq!(x.data(), &Value::Int(42));
+    }
+
+    #[test]
+    fn wrong_read_value_refused() {
+        let mut x = obj();
+        x.apply(&create_read(&ObjectId(0), &[1, 0])).unwrap();
+        let err = x
+            .apply(&TxnOp::RequestCommit {
+                tid: t(&[1, 0]),
+                value: Value::Int(99),
+            })
+            .unwrap_err();
+        assert!(err.contains("returns"));
+    }
+
+    #[test]
+    fn foreign_access_not_mine() {
+        let x = obj();
+        let op = create_read(&ObjectId(5), &[1, 0]);
+        assert_eq!(x.classify(&op), OpClass::NotMine);
+        assert_eq!(
+            x.classify(&TxnOp::RequestCommit {
+                tid: t(&[9]),
+                value: Value::Nil
+            }),
+            OpClass::NotMine
+        );
+    }
+
+    #[test]
+    fn commit_without_active_refused() {
+        let mut x = obj();
+        let err = x
+            .apply(&TxnOp::RequestCommit {
+                tid: t(&[1, 0]),
+                value: Value::Int(0),
+            })
+            .unwrap_err();
+        assert!(err.contains("no active access"));
+    }
+
+    #[test]
+    fn registry_resolution_with_param() {
+        let mut reg = BTreeMap::new();
+        reg.insert(
+            t(&[1]),
+            RegisteredAccess {
+                kind: AccessKind::Write,
+                data: None, // take data from the CREATE's param
+            },
+        );
+        reg.insert(
+            t(&[2]),
+            RegisteredAccess {
+                kind: AccessKind::Read,
+                data: None,
+            },
+        );
+        let mut x = ReadWriteObject::with_registry(ObjectId(0), "x", Value::Int(0), reg);
+        // Write via param.
+        x.apply(&TxnOp::Create {
+            tid: t(&[1]),
+            access: None,
+            param: Some(Value::Int(7)),
+        })
+        .unwrap();
+        x.apply(&TxnOp::RequestCommit {
+            tid: t(&[1]),
+            value: Value::Nil,
+        })
+        .unwrap();
+        assert_eq!(x.data(), &Value::Int(7));
+        // Read sees it.
+        x.apply(&TxnOp::Create {
+            tid: t(&[2]),
+            access: None,
+            param: None,
+        })
+        .unwrap();
+        assert_eq!(
+            x.enabled_outputs(),
+            vec![TxnOp::RequestCommit {
+                tid: t(&[2]),
+                value: Value::Int(7),
+            }]
+        );
+    }
+
+    #[test]
+    fn reset_restores_initial_state() {
+        let mut x = obj();
+        x.apply(&create_write(&ObjectId(0), &[1, 0], Value::Int(5)))
+            .unwrap();
+        x.apply(&TxnOp::RequestCommit {
+            tid: t(&[1, 0]),
+            value: Value::Nil,
+        })
+        .unwrap();
+        x.reset();
+        assert_eq!(x.data(), &Value::Int(0));
+        assert!(x.active().is_none());
+        assert!(x.accesses_created().is_empty());
+    }
+}

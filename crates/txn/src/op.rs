@@ -1,0 +1,258 @@
+//! The operation vocabulary of nested transaction systems.
+
+use std::fmt;
+
+use crate::tid::Tid;
+use crate::value::{ObjectId, Value};
+
+/// Whether an access reads or writes its object (the `kind` attribute of an
+/// access to a read-write object, paper §2.3).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub enum AccessKind {
+    /// A read access: returns the object's data.
+    Read,
+    /// A write access: replaces the object's data, returns `nil`.
+    Write,
+}
+
+/// The attributes of an access transaction: which object it touches, its
+/// kind, and (for writes) the data to be written.
+///
+/// The paper treats these as attributes of the transaction *name* (footnote
+/// 1: transactions with different parameters are different transactions; the
+/// tree is a naming scheme for all possible transactions). We realise that
+/// convention by carrying the attributes inside the `REQUEST-CREATE` /
+/// `CREATE` operations for the access, which is equivalent: the pair
+/// `(tid, spec)` plays the role of the paper's access name.
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct AccessSpec {
+    /// The object accessed.
+    pub object: ObjectId,
+    /// Read or write.
+    pub kind: AccessKind,
+    /// For writes, the data to write; `nil` for reads.
+    pub data: Value,
+}
+
+impl AccessSpec {
+    /// A read access to `object`.
+    pub fn read(object: ObjectId) -> Self {
+        AccessSpec {
+            object,
+            kind: AccessKind::Read,
+            data: Value::Nil,
+        }
+    }
+
+    /// A write access to `object` with the given data.
+    pub fn write(object: ObjectId, data: Value) -> Self {
+        AccessSpec {
+            object,
+            kind: AccessKind::Write,
+            data,
+        }
+    }
+}
+
+/// An operation of a nested transaction system (paper §2.2).
+///
+/// | operation | output of | input of |
+/// |---|---|---|
+/// | `REQUEST-CREATE(T)` | `parent(T)` | serial scheduler |
+/// | `CREATE(T)` | serial scheduler | `T` (or `T`'s object, for accesses) |
+/// | `REQUEST-COMMIT(T,v)` | `T` (or its object) | serial scheduler |
+/// | `COMMIT(T,v)` | serial scheduler | `parent(T)` |
+/// | `ABORT(T)` | serial scheduler | `parent(T)` |
+///
+/// `COMMIT(T,v)` and `ABORT(T)` are the *return* operations for `T`.
+///
+/// The optional `access` payload carries the access attributes for leaf
+/// transactions (see [`AccessSpec`]); the optional `param` payload carries a
+/// creation parameter for non-access transactions whose behaviour is
+/// value-parameterised (e.g. a write transaction-manager's `value(T)`). Both
+/// are part of the transaction *name* in the paper's sense.
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum TxnOp {
+    /// `REQUEST-CREATE(T)`: the parent asks for child `T` to run.
+    RequestCreate {
+        /// The transaction to create.
+        tid: Tid,
+        /// Access attributes if `T` is an access (leaf).
+        access: Option<AccessSpec>,
+        /// Creation parameter if `T`'s automaton is value-parameterised.
+        param: Option<Value>,
+    },
+    /// `CREATE(T)`: the scheduler wakes `T` up.
+    Create {
+        /// The transaction created.
+        tid: Tid,
+        /// Access attributes, copied from the request.
+        access: Option<AccessSpec>,
+        /// Creation parameter, copied from the request.
+        param: Option<Value>,
+    },
+    /// `REQUEST-COMMIT(T,v)`: `T` announces completion with result `v`.
+    RequestCommit {
+        /// The completing transaction.
+        tid: Tid,
+        /// Its result value.
+        value: Value,
+    },
+    /// `COMMIT(T,v)`: the scheduler reports `T`'s success to its parent.
+    Commit {
+        /// The committed transaction.
+        tid: Tid,
+        /// The value passed to the parent.
+        value: Value,
+    },
+    /// `ABORT(T)`: the scheduler reports `T`'s failure to its parent;
+    /// semantically, `T` was never created.
+    Abort {
+        /// The aborted transaction.
+        tid: Tid,
+    },
+}
+
+impl TxnOp {
+    /// `REQUEST-CREATE` for a non-access child with no parameter.
+    pub fn request_create(tid: Tid) -> Self {
+        TxnOp::RequestCreate {
+            tid,
+            access: None,
+            param: None,
+        }
+    }
+
+    /// `REQUEST-CREATE` for an access child.
+    pub fn request_access(tid: Tid, spec: AccessSpec) -> Self {
+        TxnOp::RequestCreate {
+            tid,
+            access: Some(spec),
+            param: None,
+        }
+    }
+
+    /// The transaction this operation concerns.
+    pub fn tid(&self) -> &Tid {
+        match self {
+            TxnOp::RequestCreate { tid, .. }
+            | TxnOp::Create { tid, .. }
+            | TxnOp::RequestCommit { tid, .. }
+            | TxnOp::Commit { tid, .. }
+            | TxnOp::Abort { tid } => tid,
+        }
+    }
+
+    /// Whether this is a *return* operation (`COMMIT` or `ABORT`) for `t`.
+    pub fn is_return_for(&self, t: &Tid) -> bool {
+        matches!(self, TxnOp::Commit { tid, .. } | TxnOp::Abort { tid } if tid == t)
+    }
+
+    /// The access attributes carried by a `REQUEST-CREATE`/`CREATE`, if any.
+    pub fn access(&self) -> Option<&AccessSpec> {
+        match self {
+            TxnOp::RequestCreate { access, .. } | TxnOp::Create { access, .. } => access.as_ref(),
+            _ => None,
+        }
+    }
+
+    /// The creation parameter carried by a `REQUEST-CREATE`/`CREATE`.
+    pub fn param(&self) -> Option<&Value> {
+        match self {
+            TxnOp::RequestCreate { param, .. } | TxnOp::Create { param, .. } => param.as_ref(),
+            _ => None,
+        }
+    }
+
+    /// A short tag for weighting policies and diagnostics.
+    pub fn tag(&self) -> &'static str {
+        match self {
+            TxnOp::RequestCreate { .. } => "REQUEST-CREATE",
+            TxnOp::Create { .. } => "CREATE",
+            TxnOp::RequestCommit { .. } => "REQUEST-COMMIT",
+            TxnOp::Commit { .. } => "COMMIT",
+            TxnOp::Abort { .. } => "ABORT",
+        }
+    }
+}
+
+impl fmt::Display for TxnOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TxnOp::RequestCreate { tid, access, param } => {
+                write!(f, "REQUEST-CREATE({tid}")?;
+                if let Some(a) = access {
+                    write!(f, ", {a:?}")?;
+                }
+                if let Some(p) = param {
+                    write!(f, ", param={p}")?;
+                }
+                write!(f, ")")
+            }
+            TxnOp::Create { tid, .. } => write!(f, "CREATE({tid})"),
+            TxnOp::RequestCommit { tid, value } => write!(f, "REQUEST-COMMIT({tid}, {value})"),
+            TxnOp::Commit { tid, value } => write!(f, "COMMIT({tid}, {value})"),
+            TxnOp::Abort { tid } => write!(f, "ABORT({tid})"),
+        }
+    }
+}
+
+impl fmt::Debug for TxnOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn op_accessors() {
+        let t = Tid::root().child(1);
+        let spec = AccessSpec::read(ObjectId(3));
+        let op = TxnOp::request_access(t.clone(), spec.clone());
+        assert_eq!(op.tid(), &t);
+        assert_eq!(op.access(), Some(&spec));
+        assert_eq!(op.param(), None);
+        assert_eq!(op.tag(), "REQUEST-CREATE");
+    }
+
+    #[test]
+    fn return_ops() {
+        let t = Tid::root().child(1);
+        let commit = TxnOp::Commit {
+            tid: t.clone(),
+            value: Value::Nil,
+        };
+        let abort = TxnOp::Abort { tid: t.clone() };
+        assert!(commit.is_return_for(&t));
+        assert!(abort.is_return_for(&t));
+        assert!(!commit.is_return_for(&Tid::root()));
+        let rc = TxnOp::RequestCommit {
+            tid: t.clone(),
+            value: Value::Nil,
+        };
+        assert!(!rc.is_return_for(&t));
+    }
+
+    #[test]
+    fn access_spec_constructors() {
+        let r = AccessSpec::read(ObjectId(0));
+        assert_eq!(r.kind, AccessKind::Read);
+        assert!(r.data.is_nil());
+        let w = AccessSpec::write(ObjectId(0), Value::Int(4));
+        assert_eq!(w.kind, AccessKind::Write);
+        assert_eq!(w.data, Value::Int(4));
+    }
+
+    #[test]
+    fn display_is_readable() {
+        let t = Tid::root().child(2);
+        let op = TxnOp::RequestCommit {
+            tid: t,
+            value: Value::Int(1),
+        };
+        assert_eq!(op.to_string(), "REQUEST-COMMIT(T0.2, 1)");
+    }
+}

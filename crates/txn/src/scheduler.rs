@@ -1,0 +1,393 @@
+//! The serial scheduler automaton (paper §2.2, fully specified).
+
+use std::any::Any;
+use std::collections::{BTreeMap, BTreeSet};
+
+use ioa::{Component, OpClass};
+
+use crate::op::{AccessSpec, TxnOp};
+use crate::tid::Tid;
+use crate::value::Value;
+
+/// The serial scheduler: the fully-specified automaton that controls
+/// communication between transactions and basic objects, and thereby defines
+/// the allowable (serial) orders in which they may take steps.
+///
+/// State components follow the paper exactly: `create-requested`, `created`,
+/// `commit-requested`, `committed`, `aborted`, and `returned`. Initially
+/// `create-requested = {T0}` and the rest are empty.
+///
+/// Output preconditions (transcribed):
+///
+/// * `CREATE(T)`: `T ∈ create-requested − (created ∪ aborted)` and
+///   `siblings(T) ∩ created ⊆ returned` — siblings run one at a time, in a
+///   depth-first traversal of the transaction tree.
+/// * `COMMIT(T,v)`: `(T,v) ∈ commit-requested`, `T ∉ returned`, and
+///   `children(T) ∩ create-requested ⊆ returned` — a transaction cannot
+///   commit until all its requested children have returned.
+/// * `ABORT(T)`: `T ∈ create-requested − (created ∪ aborted)` and
+///   `siblings(T) ∩ created ⊆ returned` — the scheduler may spontaneously
+///   abort any requested-but-not-yet-created transaction; the semantics of
+///   `ABORT(T)` are that `T` was never created.
+///
+/// The root `T0` "may neither commit nor abort" (it models the external
+/// world), so the scheduler never emits `COMMIT`/`ABORT` for it.
+///
+/// The scheduler also ferries the access/parameter payloads from
+/// `REQUEST-CREATE(T)` to `CREATE(T)` — those payloads are part of the
+/// transaction *name* in the paper's encoding (see
+/// [`AccessSpec`](crate::AccessSpec)).
+#[derive(Debug, Clone, Default)]
+pub struct SerialScheduler {
+    create_requested: BTreeMap<Tid, (Option<AccessSpec>, Option<Value>)>,
+    created: BTreeSet<Tid>,
+    commit_requested: BTreeMap<Tid, Value>,
+    committed: BTreeMap<Tid, Value>,
+    aborted: BTreeSet<Tid>,
+    returned: BTreeSet<Tid>,
+}
+
+impl SerialScheduler {
+    /// A scheduler in its start state (`create-requested = {T0}`).
+    pub fn new() -> Self {
+        let mut s = SerialScheduler::default();
+        s.create_requested.insert(Tid::root(), (None, None));
+        s
+    }
+
+    /// The set of created transactions.
+    pub fn created(&self) -> &BTreeSet<Tid> {
+        &self.created
+    }
+
+    /// The set of aborted transactions.
+    pub fn aborted(&self) -> &BTreeSet<Tid> {
+        &self.aborted
+    }
+
+    /// The set of returned (committed or aborted) transactions.
+    pub fn returned(&self) -> &BTreeSet<Tid> {
+        &self.returned
+    }
+
+    /// Committed transactions with their values.
+    pub fn committed(&self) -> &BTreeMap<Tid, Value> {
+        &self.committed
+    }
+
+    /// Whether `tid` is an *orphan*: some ancestor has aborted. (Used for
+    /// the non-orphan hypothesis of the paper's Theorem 11.)
+    pub fn is_orphan(&self, tid: &Tid) -> bool {
+        self.aborted.iter().any(|a| a.is_ancestor_of(tid))
+    }
+
+    fn siblings_quiet(&self, t: &Tid) -> bool {
+        self.created
+            .iter()
+            .filter(|s| s.is_sibling_of(t))
+            .all(|s| self.returned.contains(s))
+    }
+
+    fn children_returned(&self, t: &Tid) -> bool {
+        self.create_requested
+            .keys()
+            .filter(|c| c.is_child_of(t))
+            .all(|c| self.returned.contains(c))
+    }
+
+    fn create_enabled(&self, t: &Tid) -> bool {
+        self.create_requested.contains_key(t)
+            && !self.created.contains(t)
+            && !self.aborted.contains(t)
+            && self.siblings_quiet(t)
+    }
+
+    fn commit_enabled(&self, t: &Tid) -> bool {
+        !t.is_root()
+            && self.commit_requested.contains_key(t)
+            && !self.returned.contains(t)
+            && self.children_returned(t)
+    }
+
+    fn abort_enabled(&self, t: &Tid) -> bool {
+        !t.is_root() && self.create_enabled(t)
+    }
+}
+
+impl Component<TxnOp> for SerialScheduler {
+    fn name(&self) -> String {
+        "serial-scheduler".into()
+    }
+
+    fn classify(&self, op: &TxnOp) -> OpClass {
+        match op {
+            TxnOp::RequestCreate { .. } | TxnOp::RequestCommit { .. } => OpClass::Input,
+            TxnOp::Create { .. } | TxnOp::Commit { .. } | TxnOp::Abort { .. } => OpClass::Output,
+        }
+    }
+
+    fn reset(&mut self) {
+        *self = SerialScheduler::new();
+    }
+
+    fn enabled_outputs(&self) -> Vec<TxnOp> {
+        let mut out = Vec::new();
+        for (t, (access, param)) in &self.create_requested {
+            if self.create_enabled(t) {
+                out.push(TxnOp::Create {
+                    tid: t.clone(),
+                    access: access.clone(),
+                    param: param.clone(),
+                });
+                if !t.is_root() {
+                    out.push(TxnOp::Abort { tid: t.clone() });
+                }
+            }
+        }
+        for (t, v) in &self.commit_requested {
+            if self.commit_enabled(t) {
+                out.push(TxnOp::Commit {
+                    tid: t.clone(),
+                    value: v.clone(),
+                });
+            }
+        }
+        out
+    }
+
+    fn apply(&mut self, op: &TxnOp) -> Result<(), String> {
+        match op {
+            TxnOp::RequestCreate { tid, access, param } => {
+                // Postcondition: create-requested ∪= {T}. (Set union: a
+                // repeat — which only an ill-formed parent would issue — is
+                // idempotent.)
+                self.create_requested
+                    .entry(tid.clone())
+                    .or_insert_with(|| (access.clone(), param.clone()));
+                Ok(())
+            }
+            TxnOp::RequestCommit { tid, value } => {
+                self.commit_requested
+                    .entry(tid.clone())
+                    .or_insert_with(|| value.clone());
+                Ok(())
+            }
+            TxnOp::Create { tid, .. } => {
+                if !self.create_enabled(tid) {
+                    return Err(format!("CREATE({tid}) precondition fails"));
+                }
+                self.created.insert(tid.clone());
+                Ok(())
+            }
+            TxnOp::Commit { tid, value } => {
+                if !self.commit_enabled(tid) {
+                    return Err(format!("COMMIT({tid}) precondition fails"));
+                }
+                if self.commit_requested.get(tid) != Some(value) {
+                    return Err(format!("COMMIT({tid}) value differs from request"));
+                }
+                self.committed.insert(tid.clone(), value.clone());
+                self.returned.insert(tid.clone());
+                Ok(())
+            }
+            TxnOp::Abort { tid } => {
+                if !self.abort_enabled(tid) {
+                    return Err(format!("ABORT({tid}) precondition fails"));
+                }
+                self.aborted.insert(tid.clone());
+                self.returned.insert(tid.clone());
+                Ok(())
+            }
+        }
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(path: &[u32]) -> Tid {
+        Tid::from_path(path)
+    }
+
+    fn req(path: &[u32]) -> TxnOp {
+        TxnOp::request_create(t(path))
+    }
+
+    fn create(path: &[u32]) -> TxnOp {
+        TxnOp::Create {
+            tid: t(path),
+            access: None,
+            param: None,
+        }
+    }
+
+    #[test]
+    fn initially_only_root_creation_enabled() {
+        let s = SerialScheduler::new();
+        let outs = s.enabled_outputs();
+        assert_eq!(outs, vec![create(&[])]);
+    }
+
+    #[test]
+    fn root_is_never_aborted_or_committed() {
+        let mut s = SerialScheduler::new();
+        s.apply(&create(&[])).unwrap();
+        s.apply(&TxnOp::RequestCommit {
+            tid: Tid::root(),
+            value: Value::Nil,
+        })
+        .unwrap();
+        assert!(s.enabled_outputs().is_empty());
+    }
+
+    #[test]
+    fn siblings_run_one_at_a_time() {
+        let mut s = SerialScheduler::new();
+        s.apply(&create(&[])).unwrap();
+        s.apply(&req(&[0])).unwrap();
+        s.apply(&req(&[1])).unwrap();
+        // Both children creatable...
+        let outs = s.enabled_outputs();
+        assert!(outs.contains(&create(&[0])));
+        assert!(outs.contains(&create(&[1])));
+        // ...but once T0.0 is created, T0.1 must wait.
+        s.apply(&create(&[0])).unwrap();
+        let outs = s.enabled_outputs();
+        assert!(!outs.contains(&create(&[1])));
+        // T0.1 may still be aborted? No: ABORT shares the sibling condition.
+        assert!(!outs.contains(&TxnOp::Abort { tid: t(&[1]) }));
+        // After T0.0 commits, T0.1 becomes creatable again.
+        s.apply(&TxnOp::RequestCommit {
+            tid: t(&[0]),
+            value: Value::Nil,
+        })
+        .unwrap();
+        s.apply(&TxnOp::Commit {
+            tid: t(&[0]),
+            value: Value::Nil,
+        })
+        .unwrap();
+        assert!(s.enabled_outputs().contains(&create(&[1])));
+    }
+
+    #[test]
+    fn commit_waits_for_children() {
+        let mut s = SerialScheduler::new();
+        s.apply(&create(&[])).unwrap();
+        s.apply(&req(&[0])).unwrap();
+        s.apply(&create(&[0])).unwrap();
+        s.apply(&req(&[0, 0])).unwrap();
+        s.apply(&TxnOp::RequestCommit {
+            tid: t(&[0]),
+            value: Value::Int(1),
+        })
+        .unwrap();
+        // Child T0.0.0 requested but not returned: COMMIT(T0.0) disabled.
+        assert!(!s
+            .enabled_outputs()
+            .iter()
+            .any(|o| matches!(o, TxnOp::Commit { tid, .. } if tid == &t(&[0]))));
+        // Abort the child (never created): now the commit can go.
+        s.apply(&TxnOp::Abort { tid: t(&[0, 0]) }).unwrap();
+        assert!(s
+            .enabled_outputs()
+            .iter()
+            .any(|o| matches!(o, TxnOp::Commit { tid, .. } if tid == &t(&[0]))));
+    }
+
+    #[test]
+    fn abort_only_before_creation() {
+        let mut s = SerialScheduler::new();
+        s.apply(&create(&[])).unwrap();
+        s.apply(&req(&[0])).unwrap();
+        assert!(s.abort_enabled(&t(&[0])));
+        s.apply(&create(&[0])).unwrap();
+        assert!(!s.abort_enabled(&t(&[0])));
+        assert!(s
+            .apply(&TxnOp::Abort { tid: t(&[0]) })
+            .is_err());
+    }
+
+    #[test]
+    fn create_requires_request() {
+        let mut s = SerialScheduler::new();
+        s.apply(&create(&[])).unwrap();
+        assert!(s.apply(&create(&[5])).is_err());
+    }
+
+    #[test]
+    fn no_repeat_create() {
+        let mut s = SerialScheduler::new();
+        s.apply(&create(&[])).unwrap();
+        assert!(s.apply(&create(&[])).is_err());
+    }
+
+    #[test]
+    fn commit_value_must_match_request() {
+        let mut s = SerialScheduler::new();
+        s.apply(&create(&[])).unwrap();
+        s.apply(&req(&[0])).unwrap();
+        s.apply(&create(&[0])).unwrap();
+        s.apply(&TxnOp::RequestCommit {
+            tid: t(&[0]),
+            value: Value::Int(1),
+        })
+        .unwrap();
+        assert!(s
+            .apply(&TxnOp::Commit {
+                tid: t(&[0]),
+                value: Value::Int(2),
+            })
+            .is_err());
+        assert!(s
+            .apply(&TxnOp::Commit {
+                tid: t(&[0]),
+                value: Value::Int(1),
+            })
+            .is_ok());
+        // No double return.
+        assert!(s
+            .apply(&TxnOp::Commit {
+                tid: t(&[0]),
+                value: Value::Int(1),
+            })
+            .is_err());
+    }
+
+    #[test]
+    fn orphan_detection() {
+        let mut s = SerialScheduler::new();
+        s.apply(&create(&[])).unwrap();
+        s.apply(&req(&[0])).unwrap();
+        s.apply(&TxnOp::Abort { tid: t(&[0]) }).unwrap();
+        assert!(s.is_orphan(&t(&[0])));
+        assert!(s.is_orphan(&t(&[0, 3])));
+        assert!(!s.is_orphan(&t(&[1])));
+    }
+
+    #[test]
+    fn payloads_ferried_from_request_to_create() {
+        use crate::op::AccessSpec;
+        use crate::value::ObjectId;
+        let mut s = SerialScheduler::new();
+        s.apply(&create(&[])).unwrap();
+        let spec = AccessSpec::read(ObjectId(7));
+        s.apply(&TxnOp::RequestCreate {
+            tid: t(&[0]),
+            access: Some(spec.clone()),
+            param: Some(Value::Int(9)),
+        })
+        .unwrap();
+        let outs = s.enabled_outputs();
+        assert!(outs.contains(&TxnOp::Create {
+            tid: t(&[0]),
+            access: Some(spec),
+            param: Some(Value::Int(9)),
+        }));
+    }
+}

@@ -1,0 +1,75 @@
+//! A replicated banking ledger under *concurrent* nested transactions.
+//!
+//! Two accounts are each replicated across five data managers with majority
+//! quorums. Deposit and audit transactions from several tellers interleave
+//! under Moss two-phase locking at the copy level; the scheduler may abort
+//! transactions (deadlock victims), and the example then verifies the
+//! paper's Theorem 11 end-to-end: the concurrent run serializes against the
+//! replicated serial system B, and its projection replays on the
+//! single-copy system A.
+//!
+//! ```sh
+//! cargo run --example banking
+//! ```
+
+use qcnt::cc::{check_theorem11, CcRunOptions};
+use qcnt::replication::{ConfigChoice, ItemSpec, SystemSpec, UserSpec, UserStep};
+use qcnt::txn::Value;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // Item 0 = alice's account, item 1 = bob's account.
+    let account = |name: &str| ItemSpec {
+        name: name.into(),
+        init: Value::Int(100),
+        replicas: 5,
+        config: ConfigChoice::Majority,
+    };
+
+    // Teller 1 deposits to alice then audits; teller 2 moves value from
+    // bob to alice as a nested transfer sub-transaction; teller 3 audits
+    // both accounts.
+    let spec = SystemSpec {
+        items: vec![account("alice"), account("bob")],
+        plain: vec![],
+        users: vec![
+            UserSpec::new(vec![
+                UserStep::Write(0, Value::Int(150)),
+                UserStep::Read(0),
+            ]),
+            UserSpec::new(vec![UserStep::Sub(UserSpec::new(vec![
+                UserStep::Write(1, Value::Int(50)),
+                UserStep::Write(0, Value::Int(200)),
+            ]))]),
+            UserSpec::new(vec![UserStep::Read(0), UserStep::Read(1)]),
+        ],
+        strategy: Default::default(),
+    };
+
+    println!("tellers: deposit, nested transfer, audit — interleaved under 2PL\n");
+    let mut serialized = 0;
+    for seed in 0..5 {
+        let report = check_theorem11(
+            &spec,
+            CcRunOptions {
+                seed,
+                ..CcRunOptions::default()
+            },
+        )?;
+        serialized += 1;
+        println!(
+            "seed {seed}: γ = {:>4} ops, σ = {:>4} ops, α = {:>3} ops | \
+             {} committed tellers, {} aborts, {} lock conflicts",
+            report.gamma_len,
+            report.sigma_len,
+            report.alpha_len,
+            report.users_committed,
+            report.aborts,
+            report.lock_conflicts,
+        );
+    }
+    println!(
+        "\nTheorem 11 verified on {serialized}/{serialized} concurrent runs: every \
+         interleaving was serializable at the logical-account level."
+    );
+    Ok(())
+}

@@ -1,0 +1,65 @@
+//! Small-scope model checking: exhaustively enumerate *every* abort-free
+//! schedule of a tiny replicated system and verify the paper's Lemma 7,
+//! Lemma 8, and Theorem 10 on all of them.
+//!
+//! Where the other examples sample the schedule space randomly, this one
+//! covers it completely — if the algorithm had a bug reachable within the
+//! scope, this run would print a minimal witness schedule instead of the
+//! summary.
+//!
+//! ```sh
+//! cargo run --release --example model_checking
+//! ```
+
+use qcnt::ioa::ExploreLimits;
+use qcnt::replication::{
+    verify_exhaustive, ConfigChoice, ItemSpec, SystemSpec, UserSpec, UserStep,
+};
+use qcnt::txn::Value;
+
+fn main() -> Result<(), String> {
+    // One item, two replicas, majority quorums; one writer, one reader.
+    let spec = SystemSpec {
+        items: vec![ItemSpec {
+            name: "x".into(),
+            init: Value::Int(0),
+            replicas: 2,
+            config: ConfigChoice::Majority,
+        }],
+        plain: vec![],
+        users: vec![
+            UserSpec::new(vec![UserStep::Write(0, Value::Int(1))]),
+            UserSpec::new(vec![UserStep::Read(0)]),
+        ],
+        strategy: Default::default(),
+    };
+
+    println!("exhaustively checking: 2 replicas, majority, writer + reader …");
+    let report = verify_exhaustive(
+        &spec,
+        ExploreLimits {
+            max_depth: 80,
+            max_schedules: 5_000_000,
+        },
+    )?;
+
+    println!();
+    println!("schedules visited:     {}", report.stats.schedules);
+    println!("maximal schedules:     {}", report.stats.maximal);
+    println!("quiescent:             {}", report.stats.quiescent);
+    println!("projections replayed:  {}", report.projections_checked);
+    println!(
+        "coverage:              {}",
+        if report.stats.truncated {
+            "bounded (depth limit hit)"
+        } else {
+            "COMPLETE abort-free behaviour"
+        }
+    );
+    println!();
+    println!(
+        "Lemma 7, Lemma 8 held in every reachable state; Theorem 10 held on \
+         every maximal schedule."
+    );
+    Ok(())
+}

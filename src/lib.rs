@@ -1,0 +1,83 @@
+//! **qcnt** — Quorum Consensus in Nested Transaction Systems.
+//!
+//! A complete, executable reproduction of Goldman & Lynch, *Quorum
+//! Consensus in Nested Transaction Systems* (PODC 1987): Gifford's
+//! weighted-voting replication algorithm generalized to nested transactions
+//! and transaction failures, formalized in the Lynch–Merritt I/O-automaton
+//! model, with the paper's correctness results turned into randomized
+//! differential checks.
+//!
+//! This crate is a facade re-exporting the workspace's layers:
+//!
+//! | module | crate | contents |
+//! |---|---|---|
+//! | [`ioa`] | `ioa` | I/O automata, composition, executions, schedules |
+//! | [`txn`] | `nested-txn` | transaction trees, serial scheduler, objects, well-formedness |
+//! | [`quorum`] | `quorum` | configurations, quorum systems, availability analysis |
+//! | [`replication`] | `qc-replication` | read/write TMs, systems **B** and **A**, Theorem 10, Lemmas 7–8 |
+//! | [`reconfig`] | `qc-reconfig` | §4 dynamic reconfiguration: coordinators, reconfigure-TMs, spies |
+//! | [`cc`] | `qc-cc` | Moss 2PL at the copy level, concurrent scheduler, Theorem 11 |
+//! | [`sim`] | `qc-sim` | discrete-event simulator for the quantitative evaluation |
+//!
+//! # Quickstart
+//!
+//! Check the paper's main theorem on a random execution of a replicated
+//! system:
+//!
+//! ```
+//! use qcnt::replication::{
+//!     check_random, ConfigChoice, ItemSpec, RunOptions, SystemSpec, UserSpec, UserStep,
+//! };
+//! use qcnt::txn::Value;
+//!
+//! let spec = SystemSpec {
+//!     items: vec![ItemSpec {
+//!         name: "x".into(),
+//!         init: Value::Int(0),
+//!         replicas: 5,
+//!         config: ConfigChoice::Majority,
+//!     }],
+//!     plain: vec![],
+//!     users: vec![UserSpec::new(vec![
+//!         UserStep::Write(0, Value::Int(42)),
+//!         UserStep::Read(0),
+//!     ])],
+//!     strategy: Default::default(),
+//! };
+//! let report = check_random(&spec, RunOptions::default())?;
+//! println!("β had {} operations; α replayed with {}", report.b_len, report.a_len);
+//! # Ok::<(), qcnt::replication::Theorem10Error>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use ioa;
+
+/// Nested transaction systems (re-export of `nested-txn`).
+pub mod txn {
+    pub use nested_txn::*;
+}
+
+pub use quorum;
+
+/// The core replication algorithm and its checkers (re-export of
+/// `qc-replication`).
+pub mod replication {
+    pub use qc_replication::*;
+}
+
+/// Dynamic reconfiguration (re-export of `qc-reconfig`).
+pub mod reconfig {
+    pub use qc_reconfig::*;
+}
+
+/// Concurrency control and Theorem 11 (re-export of `qc-cc`).
+pub mod cc {
+    pub use qc_cc::*;
+}
+
+/// Discrete-event simulation substrate (re-export of `qc-sim`).
+pub mod sim {
+    pub use qc_sim::*;
+}

@@ -1,0 +1,133 @@
+//! Property-based tests for the formal model: transaction-name laws,
+//! schedule projection laws, and well-formedness checking.
+
+use proptest::prelude::*;
+use qcnt::ioa::Schedule;
+use qcnt::txn::{wf, Tid, TxnOp, Value};
+
+fn tid_strategy() -> impl Strategy<Value = Tid> {
+    prop::collection::vec(0u32..4, 0..5).prop_map(|p| Tid::from_path(&p))
+}
+
+proptest! {
+    /// Ancestry is a partial order refining the prefix relation, with the
+    /// root below everything and every name its own ancestor.
+    #[test]
+    fn ancestry_laws(a in tid_strategy(), b in tid_strategy(), c in tid_strategy()) {
+        prop_assert!(Tid::root().is_ancestor_of(&a));
+        prop_assert!(a.is_ancestor_of(&a));
+        // Antisymmetry.
+        if a.is_ancestor_of(&b) && b.is_ancestor_of(&a) {
+            prop_assert_eq!(&a, &b);
+        }
+        // Transitivity.
+        if a.is_ancestor_of(&b) && b.is_ancestor_of(&c) {
+            prop_assert!(a.is_ancestor_of(&c));
+        }
+    }
+
+    /// The LCA is a common ancestor and is maximal among common ancestors.
+    #[test]
+    fn lca_laws(a in tid_strategy(), b in tid_strategy()) {
+        let l = a.lca(&b);
+        prop_assert!(l.is_ancestor_of(&a));
+        prop_assert!(l.is_ancestor_of(&b));
+        // Any deeper common ancestor would be l itself.
+        if a.is_ancestor_of(&b) {
+            prop_assert_eq!(&l, &a);
+        }
+        prop_assert_eq!(a.lca(&b), b.lca(&a));
+    }
+
+    /// parent/child round trips; siblings share parents and differ.
+    #[test]
+    fn parent_child_laws(a in tid_strategy(), i in 0u32..8, j in 0u32..8) {
+        let ci = a.child(i);
+        let parent = ci.parent();
+        prop_assert_eq!(parent.as_ref(), Some(&a));
+        prop_assert!(ci.is_child_of(&a));
+        let cj = a.child(j);
+        if i != j {
+            prop_assert!(ci.is_sibling_of(&cj));
+        } else {
+            prop_assert!(!ci.is_sibling_of(&cj));
+        }
+    }
+
+    /// Projection is idempotent, monotone in length, and order-preserving;
+    /// projecting with complementary predicates partitions the schedule.
+    #[test]
+    fn projection_laws(ops in prop::collection::vec(0u32..10, 0..40), modulus in 1u32..5) {
+        let sched: Schedule<u32> = ops.clone().into();
+        let keep = |x: &u32| x.is_multiple_of(modulus);
+        let p = sched.project(keep);
+        prop_assert!(p.len() <= sched.len());
+        prop_assert_eq!(p.project(keep), p.clone());
+        let q = sched.project(|x| !keep(x));
+        prop_assert_eq!(p.len() + q.len(), sched.len());
+        // Order preservation: p is a subsequence of sched.
+        let mut it = sched.iter();
+        for x in p.iter() {
+            prop_assert!(it.any(|y| y == x));
+        }
+    }
+
+    /// The incremental transaction well-formedness tracker agrees with the
+    /// whole-sequence checker on arbitrary op soups.
+    #[test]
+    fn wf_incremental_matches_batch(choices in prop::collection::vec((0u8..5, 0u32..3), 0..25)) {
+        let me = Tid::root().child(1);
+        let ops: Vec<TxnOp> = choices
+            .into_iter()
+            .map(|(kind, idx)| {
+                let child = me.child(idx);
+                match kind {
+                    0 => TxnOp::Create { tid: me.clone(), access: None, param: None },
+                    1 => TxnOp::request_create(child),
+                    2 => TxnOp::Commit { tid: child, value: Value::Nil },
+                    3 => TxnOp::Abort { tid: child },
+                    _ => TxnOp::RequestCommit { tid: me.clone(), value: Value::Nil },
+                }
+            })
+            .collect();
+        let batch = wf::check_transaction_wf(&me, &ops);
+        let mut tracker = wf::TxnWfTracker::new();
+        let mut incremental = Ok(());
+        for op in &ops {
+            if let Err(e) = tracker.observe(&me, op) {
+                incremental = Err(e);
+                break;
+            }
+        }
+        prop_assert_eq!(batch.is_ok(), incremental.is_ok());
+        if let (Err(a), Err(b)) = (batch, incremental) {
+            prop_assert_eq!(a, b);
+        }
+    }
+
+    /// Well-formed prefixes stay well-formed (well-formedness is
+    /// prefix-closed, as the recursive definition requires).
+    #[test]
+    fn wf_prefix_closed(n_children in 1u32..5) {
+        let me = Tid::root().child(0);
+        let mut ops = vec![TxnOp::Create { tid: me.clone(), access: None, param: None }];
+        for i in 0..n_children {
+            ops.push(TxnOp::request_create(me.child(i)));
+            ops.push(TxnOp::Commit { tid: me.child(i), value: Value::Int(i64::from(i)) });
+        }
+        ops.push(TxnOp::RequestCommit { tid: me.clone(), value: Value::Nil });
+        prop_assert!(wf::check_transaction_wf(&me, &ops).is_ok());
+        for k in 0..=ops.len() {
+            prop_assert!(wf::check_transaction_wf(&me, &ops[..k]).is_ok());
+        }
+    }
+
+    /// Value ordering is total and stable under clone (sanity for use as
+    /// BTreeMap keys in schedulers).
+    #[test]
+    fn value_total_order(a in -5i64..5, b in -5i64..5) {
+        let (va, vb) = (Value::Int(a), Value::Int(b));
+        prop_assert_eq!(va.cmp(&vb), a.cmp(&b));
+        prop_assert_eq!(va.clone(), va);
+    }
+}

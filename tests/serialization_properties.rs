@@ -1,0 +1,122 @@
+//! Properties of the return-order serialization over *real* concurrent
+//! executions (not hand-built schedules): projection preservation, length
+//! accounting, and final-state agreement between the concurrent run and
+//! its serial witness.
+
+use proptest::prelude::*;
+use qcnt::cc::{
+    final_dm_values, non_orphans, run_concurrent, serialize_return_order, CcRunOptions,
+};
+use qcnt::replication::{ops_of_transaction, random_spec, GenParams};
+use qcnt::txn::TxnOp;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+fn small_params() -> GenParams {
+    GenParams {
+        items: (1, 2),
+        replicas: (1, 3),
+        users: (1, 3),
+        ops_per_user: (1, 3),
+        max_depth: 1,
+        sub_probability: 0.2,
+        write_probability: 0.5,
+        with_plain: false,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 10,
+        .. ProptestConfig::default()
+    })]
+
+    /// On quiescent runs: σ contains exactly γ minus the operations of
+    /// aborted subtrees (every non-orphan op survives, every orphan op
+    /// past its ABORT disappears), and σ|T = γ|T for every non-orphan.
+    #[test]
+    fn sigma_accounts_for_every_non_orphan_op(gen_seed in 0u64..10_000, run_seed in 0u64..10_000) {
+        let mut rng = ChaCha8Rng::seed_from_u64(gen_seed);
+        let spec = random_spec(&mut rng, &small_params());
+        let (gamma, _, _, quiescent) = run_concurrent(
+            &spec,
+            CcRunOptions {
+                seed: run_seed,
+                max_steps: 150_000,
+                ..CcRunOptions::default()
+            },
+        )
+        .expect("run");
+        prop_assume!(quiescent);
+        let sigma = serialize_return_order(&gamma).expect("quiescent run serializes");
+        prop_assert!(sigma.len() <= gamma.len());
+
+        // Aborted tids in γ.
+        let aborted: Vec<_> = gamma
+            .iter()
+            .filter_map(|op| match op {
+                TxnOp::Abort { tid } => Some(tid.clone()),
+                _ => None,
+            })
+            .collect();
+        // σ length = γ length minus ops of strict members of aborted
+        // subtrees (their ABORT itself stays; ops *of* the aborted
+        // transaction and below go).
+        let erased = gamma
+            .iter()
+            .filter(|op| {
+                let tid = match op {
+                    // Ops attributed to the transaction itself.
+                    TxnOp::Create { tid, .. } | TxnOp::RequestCommit { tid, .. } => tid.clone(),
+                    // Parent-attributed ops survive unless the *parent* is
+                    // in an aborted subtree.
+                    TxnOp::RequestCreate { tid, .. }
+                    | TxnOp::Commit { tid, .. }
+                    | TxnOp::Abort { tid } => match tid.parent() {
+                        Some(p) => p,
+                        None => return false,
+                    },
+                };
+                aborted.iter().any(|a| a.is_ancestor_of(&tid))
+            })
+            .count();
+        prop_assert_eq!(sigma.len() + erased, gamma.len());
+
+        for tid in non_orphans(&gamma) {
+            prop_assert_eq!(
+                ops_of_transaction(&tid, &gamma),
+                ops_of_transaction(&tid, &sigma),
+                "projection differs at {}", tid
+            );
+        }
+    }
+
+    /// Replaying σ on a fresh system B leaves the data managers holding
+    /// versioned values (domain discipline survives the whole pipeline).
+    #[test]
+    fn sigma_replay_leaves_versioned_dms(gen_seed in 0u64..10_000) {
+        let mut rng = ChaCha8Rng::seed_from_u64(gen_seed);
+        let spec = random_spec(&mut rng, &small_params());
+        let (gamma, _, _, quiescent) = run_concurrent(
+            &spec,
+            CcRunOptions {
+                seed: gen_seed,
+                max_steps: 150_000,
+                ..CcRunOptions::default()
+            },
+        )
+        .expect("run");
+        prop_assume!(quiescent);
+        let sigma = serialize_return_order(&gamma).expect("serializes");
+        let values = final_dm_values(&spec, &sigma);
+        prop_assert!(!values.is_empty(), "σ must replay on B");
+        for (name, v) in values {
+            if name.starts_with("dm(") {
+                prop_assert!(
+                    v.as_versioned().is_some(),
+                    "{} holds non-versioned {}", name, v
+                );
+            }
+        }
+    }
+}
