@@ -5,9 +5,33 @@
 use std::collections::BTreeSet;
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use quorum::{analysis, generators, Grid, Majority, QuorumSpec, Rowa, TreeQuorum, Weighted};
+use quorum::{
+    analysis, generators, Grid, Majority, QuorumSpec, ReplicaSet, Rowa, TreeQuorum, Weighted,
+};
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
+
+/// The pre-bitset greedy shrink, kept here as the before/after baseline:
+/// clone the candidate `BTreeSet` and re-test the whole set for every
+/// dropped element — O(n²·log n) with an allocation per probe, versus the
+/// allocation-free bit shrink behind [`QuorumSpec::find_read_quorum_bits`].
+fn find_read_quorum_btree_reference(
+    q: &dyn QuorumSpec,
+    available: &BTreeSet<usize>,
+) -> Option<BTreeSet<usize>> {
+    if !q.is_read_quorum(available) {
+        return None;
+    }
+    let mut current = available.clone();
+    for x in available {
+        let mut trial = current.clone();
+        trial.remove(x);
+        if q.is_read_quorum(&trial) {
+            current = trial;
+        }
+    }
+    Some(current)
+}
 
 fn bench_find_quorum(c: &mut Criterion) {
     let mut g = c.benchmark_group("find_read_quorum");
@@ -37,6 +61,40 @@ fn bench_find_quorum(c: &mut Criterion) {
     g.bench_function("tree(27)/27", |b| {
         b.iter(|| tree.find_read_quorum(std::hint::black_box(&avail)))
     });
+    g.finish();
+}
+
+/// Before/after for the bitset migration: the old clone-based `BTreeSet`
+/// shrink versus the `ReplicaSet` hot path, plus raw membership tests.
+fn bench_bitset_vs_btreeset(c: &mut Criterion) {
+    let mut g = c.benchmark_group("bitset_vs_btreeset");
+    for n in [5usize, 25, 101] {
+        let q = Majority::new(n);
+        let avail_btree: BTreeSet<usize> = (0..n).collect();
+        let avail_bits = ReplicaSet::full(n);
+        g.bench_with_input(
+            BenchmarkId::new("find_btreeset_reference", n),
+            &avail_btree,
+            |b, avail| {
+                b.iter(|| find_read_quorum_btree_reference(&q, std::hint::black_box(avail)))
+            },
+        );
+        g.bench_with_input(
+            BenchmarkId::new("find_bits", n),
+            &avail_bits,
+            |b, &avail| b.iter(|| q.find_read_quorum_bits(std::hint::black_box(avail))),
+        );
+        g.bench_with_input(
+            BenchmarkId::new("is_quorum_btreeset", n),
+            &avail_btree,
+            |b, avail| b.iter(|| q.is_read_quorum(std::hint::black_box(avail))),
+        );
+        g.bench_with_input(
+            BenchmarkId::new("is_quorum_bits", n),
+            &avail_bits,
+            |b, &avail| b.iter(|| q.is_read_quorum_bits(std::hint::black_box(avail))),
+        );
+    }
     g.finish();
 }
 
@@ -73,5 +131,11 @@ fn bench_availability(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_find_quorum, bench_configuration, bench_availability);
+criterion_group!(
+    benches,
+    bench_find_quorum,
+    bench_bitset_vs_btreeset,
+    bench_configuration,
+    bench_availability
+);
 criterion_main!(benches);

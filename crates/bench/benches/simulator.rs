@@ -4,7 +4,7 @@
 use std::sync::Arc;
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use qc_sim::{run, ContactPolicy, SimConfig, SimTime};
+use qc_sim::{default_threads, run, run_batch, ContactPolicy, SimConfig, SimTime};
 use quorum::{Grid, Majority, QuorumSpec, Rowa};
 
 fn config(q: Arc<dyn QuorumSpec + Send + Sync>, failures: bool, seed: u64) -> SimConfig {
@@ -55,5 +55,39 @@ fn bench_simulator(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_simulator);
+/// The parallel sweep runner on an 8-cell grid, serial vs all cores. On a
+/// multi-core host the batch time should shrink toward
+/// `serial / default_threads()`; the per-cell metrics are identical either
+/// way.
+fn bench_sweep_runner(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sweep_runner_8x2s");
+    g.sample_size(10);
+    let grid = |seed0: u64| -> Vec<SimConfig> {
+        (0..8)
+            .map(|i| {
+                config(
+                    Arc::new(Majority::new(5)) as Arc<dyn QuorumSpec + Send + Sync>,
+                    false,
+                    seed0 + i,
+                )
+            })
+            .collect()
+    };
+    for threads in [1, default_threads()] {
+        g.bench_with_input(
+            BenchmarkId::new("threads", threads),
+            &threads,
+            |b, &threads| {
+                let mut seed0 = 0u64;
+                b.iter(|| {
+                    seed0 += 100;
+                    run_batch(grid(seed0), threads)
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_simulator, bench_sweep_runner);
 criterion_main!(benches);

@@ -14,6 +14,7 @@ use qc_bench::{row, rule};
 use qc_replication::{
     run_system_b, ConfigChoice, ItemSpec, RunOptions, SystemSpec, TmStrategy, UserSpec, UserStep,
 };
+use qc_sim::{default_threads, par_map};
 
 fn spec(strategy: TmStrategy, config: ConfigChoice) -> SystemSpec {
     SystemSpec {
@@ -35,35 +36,39 @@ fn spec(strategy: TmStrategy, config: ConfigChoice) -> SystemSpec {
 
 fn measure(name: &str, s: &SystemSpec, widths: &[usize]) {
     let runs = 40u64;
-    let mut steps = 0usize;
-    let mut accesses = 0usize;
-    let mut completed = 0usize;
-    for seed in 0..runs {
-        let (beta, layout) = run_system_b(
-            s,
-            RunOptions {
-                seed,
-                abort_weight: 0,
-                max_steps: 30_000,
-                ..RunOptions::default()
-            },
-        )
-        .expect("run");
-        steps += beta.len();
-        accesses += beta
-            .iter()
-            .filter(|op| {
-                matches!(op, TxnOp::Create { .. }) && layout.is_replica_access_op(op)
-            })
-            .count();
-        // Completed = every TM committed.
-        if layout.tm_roles.keys().all(|t| {
-            beta.iter()
-                .any(|op| matches!(op, TxnOp::Commit { tid, .. } if tid == t))
-        }) {
-            completed += 1;
-        }
-    }
+    // Independent seeded runs — fan them across cores; per-seed results
+    // are deterministic, so the aggregates below are thread-count-stable.
+    let per_seed = par_map(
+        (0..runs).collect::<Vec<u64>>(),
+        default_threads(),
+        |_, seed| {
+            let (beta, layout) = run_system_b(
+                s,
+                RunOptions {
+                    seed,
+                    abort_weight: 0,
+                    max_steps: 30_000,
+                    ..RunOptions::default()
+                },
+            )
+            .expect("run");
+            let accesses = beta
+                .iter()
+                .filter(|op| {
+                    matches!(op, TxnOp::Create { .. }) && layout.is_replica_access_op(op)
+                })
+                .count();
+            // Completed = every TM committed.
+            let completed = layout.tm_roles.keys().all(|t| {
+                beta.iter()
+                    .any(|op| matches!(op, TxnOp::Commit { tid, .. } if tid == t))
+            });
+            (beta.len(), accesses, completed)
+        },
+    );
+    let steps: usize = per_seed.iter().map(|(s, _, _)| s).sum();
+    let accesses: usize = per_seed.iter().map(|(_, a, _)| a).sum();
+    let completed = per_seed.iter().filter(|(_, _, c)| *c).count();
     row(
         &[
             name.into(),

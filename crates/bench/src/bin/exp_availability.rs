@@ -8,12 +8,12 @@
 use std::sync::Arc;
 
 use qc_bench::{row, rule};
-use qc_sim::{run, ContactPolicy, SimConfig, SimTime};
+use qc_sim::{default_threads, run_batch, ContactPolicy, SimConfig, SimTime};
 use quorum::{analysis, Majority, QuorumSpec, Rowa};
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 
-fn simulate(q: &Arc<dyn QuorumSpec + Send + Sync>, p_down: f64) -> (f64, f64) {
+fn sim_config(q: &Arc<dyn QuorumSpec + Send + Sync>, p_down: f64) -> SimConfig {
     // Choose mttf/mttr so the stationary down-probability is p_down.
     let cycle = SimTime::from_secs(20);
     let mttr = SimTime((cycle.as_micros() as f64 * p_down) as u64 + 1);
@@ -31,8 +31,7 @@ fn simulate(q: &Arc<dyn QuorumSpec + Send + Sync>, p_down: f64) -> (f64, f64) {
     // operations finish faster.
     c.think_time = SimTime::from_millis(500);
     c.seed = 17;
-    let m = run(c);
-    (m.reads.availability(), m.writes.availability())
+    c
 }
 
 fn main() {
@@ -56,15 +55,27 @@ fn main() {
     let systems: Vec<Arc<dyn QuorumSpec + Send + Sync>> =
         vec![Arc::new(Rowa::new(5)), Arc::new(Majority::new(5))];
     let mut rng = ChaCha8Rng::seed_from_u64(0xA2);
+    let ps = [0.01, 0.05, 0.1, 0.2, 0.3, 0.5];
+
+    // The simulator column is the expensive one — fan the whole
+    // (quorum × p) grid across cores; each cell is self-seeded, so the
+    // table is identical at any thread count.
+    let grid: Vec<SimConfig> = systems
+        .iter()
+        .flat_map(|q| ps.iter().map(|&p| sim_config(q, p)))
+        .collect();
+    let sims = run_batch(grid, default_threads());
+    let mut sims = sims.iter();
 
     for q in &systems {
-        for p in [0.01, 0.05, 0.1, 0.2, 0.3, 0.5] {
+        for p in ps {
             let up = 1.0 - p;
             let r_ex = analysis::exact_read_availability(q.as_ref(), up);
             let w_ex = analysis::exact_write_availability(q.as_ref(), up);
             let (r_mc, w_mc) =
                 analysis::monte_carlo_availability(q.as_ref(), up, 50_000, &mut rng);
-            let (r_sim, w_sim) = simulate(q, p);
+            let m = sims.next().expect("one sim per grid cell");
+            let (r_sim, w_sim) = (m.reads.availability(), m.writes.availability());
             row(
                 &[
                     q.label(),

@@ -2,20 +2,80 @@
 //! contention statistics on the concurrent nested-transaction runtime.
 //!
 //! Part 1 (simulator): closed-loop clients; throughput falls as the write
-//! fraction rises because writes pay two quorum phases.
+//! fraction rises because writes pay two quorum phases. The parameter grid
+//! runs on the parallel sweep runner ([`qc_sim::run_batch`]) — per-cell
+//! metrics are bit-identical to serial runs because every cell carries its
+//! own seed.
 //!
 //! Part 2 (2PL runtime): committed user transactions, aborts, and lock
-//! conflicts as contention (number of users on the same items) grows.
+//! conflicts as contention (number of users on the same items) grows; the
+//! per-seed runs fan out over [`qc_sim::par_map`].
+//!
+//! Also writes `results/BENCH_hotpath.json`: hot-path throughput numbers
+//! (simulator ops/sec, explorer schedules/sec with checkpointed vs
+//! full-replay state reconstruction, sweep-runner thread scaling) for
+//! before/after comparisons.
 
 use std::sync::Arc;
+use std::time::Instant;
 
+use ioa::{ExploreLimits, ReplayStrategy};
+use nested_txn::Value;
 use qc_bench::{contention_spec, row, rule};
 use qc_cc::{check_theorem11, CcRunOptions};
-use qc_sim::{run, ContactPolicy, SimConfig, SimTime};
+use qc_replication::{
+    verify_exhaustive_with, ConfigChoice, ItemSpec, SystemSpec, UserSpec, UserStep,
+};
+use qc_sim::{default_threads, par_map, run_batch, ContactPolicy, SimConfig, SimTime};
 use quorum::{Majority, QuorumSpec, Rowa};
+use serde_json::JsonObject;
+
+const SIM_SECS: u64 = 20;
+
+fn sim_grid() -> Vec<(String, f64, SimConfig)> {
+    let systems: Vec<Arc<dyn QuorumSpec + Send + Sync>> =
+        vec![Arc::new(Rowa::new(5)), Arc::new(Majority::new(5))];
+    let mut grid = Vec::new();
+    for q in &systems {
+        for rf in [0.5, 0.9, 0.99] {
+            let mut c = SimConfig::new(Arc::clone(q));
+            c.clients = 8;
+            c.read_fraction = rf;
+            c.contact = ContactPolicy::MinimalQuorum;
+            c.think_time = SimTime::from_millis(0);
+            c.duration = SimTime::from_secs(SIM_SECS);
+            c.seed = 23;
+            grid.push((q.label(), rf, c));
+        }
+    }
+    grid
+}
+
+/// The seed scope used for the explorer throughput numbers: one write then
+/// one read on 2 ROWA replicas — the largest single-user scope from E6.
+fn explorer_scope() -> SystemSpec {
+    SystemSpec {
+        items: vec![ItemSpec {
+            name: "x".into(),
+            init: Value::Int(0),
+            replicas: 2,
+            config: ConfigChoice::Rowa,
+        }],
+        plain: vec![],
+        users: vec![UserSpec::new(vec![
+            UserStep::Write(0, Value::Int(1)),
+            UserStep::Read(0),
+        ])],
+        strategy: Default::default(),
+    }
+}
 
 fn main() {
-    println!("Q3a — simulated throughput vs read fraction (n = 5, 8 clients, LAN)\n");
+    let threads = default_threads();
+    println!(
+        "Q3a — simulated throughput vs read fraction (n = 5, 8 clients, LAN, \
+         {threads}-thread sweep)\n"
+    );
     let widths = [14, 8, 14, 12, 12];
     row(
         &[
@@ -29,31 +89,96 @@ fn main() {
     );
     rule(&widths);
 
-    let systems: Vec<Arc<dyn QuorumSpec + Send + Sync>> =
-        vec![Arc::new(Rowa::new(5)), Arc::new(Majority::new(5))];
-    for q in &systems {
-        for rf in [0.5, 0.9, 0.99] {
-            let mut c = SimConfig::new(Arc::clone(q));
-            c.clients = 8;
-            c.read_fraction = rf;
-            c.contact = ContactPolicy::MinimalQuorum;
-            c.think_time = SimTime::from_millis(0);
-            c.duration = SimTime::from_secs(20);
-            c.seed = 23;
-            let m = run(c);
-            row(
-                &[
-                    q.label(),
-                    format!("{rf:.2}"),
-                    format!("{:.0}", m.throughput_ops_per_sec(SimTime::from_secs(20))),
-                    format!("{:.2}ms", m.reads.percentile_ms(50.0)),
-                    format!("{:.2}ms", m.writes.percentile_ms(50.0)),
-                ],
-                &widths,
-            );
+    let grid = sim_grid();
+    let configs: Vec<SimConfig> = grid.iter().map(|(_, _, c)| c.clone()).collect();
+    let metrics = run_batch(configs, threads);
+    let mut sim_rows = Vec::new();
+    let mut prev_label = None;
+    for ((label, rf, _), m) in grid.iter().zip(&metrics) {
+        if prev_label.is_some() && prev_label != Some(label) {
+            rule(&widths);
         }
-        rule(&widths);
+        prev_label = Some(label);
+        let ops = m.throughput_ops_per_sec(SimTime::from_secs(SIM_SECS));
+        row(
+            &[
+                label.clone(),
+                format!("{rf:.2}"),
+                format!("{ops:.0}"),
+                format!("{:.2}ms", m.reads.percentile_ms(50.0)),
+                format!("{:.2}ms", m.writes.percentile_ms(50.0)),
+            ],
+            &widths,
+        );
+        sim_rows.push(
+            JsonObject::new()
+                .field("quorum", label.as_str())
+                .field("read_fraction", rf)
+                .field("ops_per_sec", &ops)
+                .build(),
+        );
     }
+    rule(&widths);
+
+    // Sweep-runner thread scaling on the same grid (wall-clock; on a
+    // single-core host the counts still validate determinism while the
+    // speedup column stays ~1).
+    let mut scaling_rows = Vec::new();
+    let mut thread_counts = vec![1usize, 2, threads.max(2)];
+    thread_counts.dedup();
+    for t in thread_counts {
+        let configs: Vec<SimConfig> = grid.iter().map(|(_, _, c)| c.clone()).collect();
+        let start = Instant::now();
+        let out = run_batch(configs, t);
+        let secs = start.elapsed().as_secs_f64();
+        assert_eq!(out.len(), grid.len());
+        scaling_rows.push(
+            JsonObject::new()
+                .field("threads", &t)
+                .field("wall_secs", &secs)
+                .build(),
+        );
+    }
+
+    // Explorer throughput: checkpointed state reconstruction vs the
+    // full-replay baseline on the seed scope (identical stats; the work
+    // counters and wall time differ).
+    let limits = ExploreLimits {
+        max_depth: 80,
+        max_schedules: 5_000_000,
+    };
+    let mut explorer_rows = Vec::new();
+    for (name, strategy) in [
+        ("full_replay", ReplayStrategy::FullReplay),
+        ("checkpoint_every_4", ReplayStrategy::default()),
+    ] {
+        let start = Instant::now();
+        let report = verify_exhaustive_with(&explorer_scope(), limits, strategy)
+            .expect("seed scope verifies");
+        let secs = start.elapsed().as_secs_f64();
+        let sched_per_sec = report.stats.schedules as f64 / secs.max(1e-9);
+        explorer_rows.push(
+            JsonObject::new()
+                .field("strategy", name)
+                .field("schedules", &report.stats.schedules)
+                .field("replayed_steps", &report.profile.replayed_steps)
+                .field("checkpoints_taken", &report.profile.checkpoints_taken)
+                .field("wall_secs", &secs)
+                .field("schedules_per_sec", &sched_per_sec)
+                .build(),
+        );
+    }
+
+    let json = JsonObject::new()
+        .field("cores", &threads)
+        .field("sim_duration_secs", &SIM_SECS)
+        .field_raw("simulator", &serde_json::array_raw(sim_rows))
+        .field_raw("thread_scaling", &serde_json::array_raw(scaling_rows))
+        .field_raw("explorer", &serde_json::array_raw(explorer_rows))
+        .build();
+    std::fs::create_dir_all("results").expect("create results/");
+    std::fs::write("results/BENCH_hotpath.json", json).expect("write BENCH_hotpath.json");
+    println!("\nwrote results/BENCH_hotpath.json");
 
     println!("\nQ3b — 2PL contention on the concurrent nested-transaction runtime\n");
     let widths = [8, 6, 12, 12, 12, 12];
@@ -72,12 +197,8 @@ fn main() {
     for users in [1usize, 2, 3, 4, 5] {
         let spec = contention_spec(users, 3);
         let runs = 8u64;
-        let mut commits = 0usize;
-        let mut aborts = 0usize;
-        let mut conflicts = 0u64;
-        let mut gamma = 0usize;
-        for seed in 0..runs {
-            let r = check_theorem11(
+        let reports = par_map((0..runs).collect::<Vec<u64>>(), threads, |_, seed| {
+            check_theorem11(
                 &spec,
                 CcRunOptions {
                     seed,
@@ -86,20 +207,17 @@ fn main() {
                     ..CcRunOptions::default()
                 },
             )
-            .expect("theorem 11 must hold");
-            commits += r.users_committed;
-            aborts += r.aborts;
-            conflicts += r.lock_conflicts;
-            gamma += r.gamma_len;
-        }
+            .expect("theorem 11 must hold")
+        });
+        let commits: usize = reports.iter().map(|r| r.users_committed).sum();
+        let aborts: usize = reports.iter().map(|r| r.aborts).sum();
+        let conflicts: u64 = reports.iter().map(|r| r.lock_conflicts).sum();
+        let gamma: usize = reports.iter().map(|r| r.gamma_len).sum();
         row(
             &[
                 format!("{users}"),
                 format!("{runs}"),
-                format!(
-                    "{:.2}",
-                    commits as f64 / (runs as usize * users) as f64
-                ),
+                format!("{:.2}", commits as f64 / (runs as usize * users) as f64),
                 format!("{:.1}", aborts as f64 / runs as f64),
                 format!("{:.1}", conflicts as f64 / runs as f64),
                 format!("{:.0}", gamma as f64 / runs as f64),

@@ -294,6 +294,10 @@ impl Component<TxnOp> for LockingObject {
     fn as_any(&self) -> &dyn Any {
         self
     }
+
+    fn clone_boxed(&self) -> Box<dyn Component<TxnOp>> {
+        Box::new(self.clone())
+    }
 }
 
 #[cfg(test)]

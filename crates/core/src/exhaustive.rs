@@ -9,7 +9,10 @@
 //! bounded behaviour, spontaneous aborts and all. This complements the
 //! randomized checker: small scopes, total coverage.
 
-use ioa::{explore_pruned, ExploreError, ExploreLimits, ExploreStats, Schedule, System};
+use ioa::{
+    explore_profiled, ExploreError, ExploreLimits, ExploreProfile, ExploreStats, ReplayStrategy,
+    Schedule, System,
+};
 use nested_txn::{ReadWriteObject, TxnOp};
 
 use crate::invariants::{access_sequence, current_vn, logical_state};
@@ -23,6 +26,8 @@ pub struct ExhaustiveReport {
     pub stats: ExploreStats,
     /// Maximal schedules whose projections were replayed on **A**.
     pub projections_checked: u64,
+    /// State-reconstruction work counters (replayed steps, snapshots).
+    pub profile: ExploreProfile,
 }
 
 /// Functional (non-incremental) form of the Lemma 7 / Lemma 8 state
@@ -111,13 +116,30 @@ pub fn verify_exhaustive(
     spec: &SystemSpec,
     limits: ExploreLimits,
 ) -> Result<ExhaustiveReport, String> {
+    verify_exhaustive_with(spec, limits, ReplayStrategy::default())
+}
+
+/// [`verify_exhaustive`] with an explicit state-reconstruction strategy —
+/// used to compare checkpointed exploration against the full-replay
+/// baseline (the report's `profile` carries the work counters; `stats` is
+/// strategy-independent).
+///
+/// # Errors
+///
+/// As for [`verify_exhaustive`].
+pub fn verify_exhaustive_with(
+    spec: &SystemSpec,
+    limits: ExploreLimits,
+    strategy: ReplayStrategy,
+) -> Result<ExhaustiveReport, String> {
     let layout = build_system_b(spec).layout;
     let mut projections_checked = 0u64;
     let spec2 = spec.clone();
     let layout2 = layout.clone();
-    let stats = explore_pruned(
+    let (stats, profile) = explore_profiled(
         move || build_system_b(&spec2).system,
         limits,
+        strategy,
         |op: &TxnOp| !matches!(op, TxnOp::Abort { .. }),
         |system, sched, maximal| -> Result<(), String> {
             check_lemmas_functional(system, &layout2, sched)?;
@@ -137,6 +159,7 @@ pub fn verify_exhaustive(
     Ok(ExhaustiveReport {
         stats,
         projections_checked,
+        profile,
     })
 }
 

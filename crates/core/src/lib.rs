@@ -58,7 +58,7 @@ mod spec;
 pub mod theorem10;
 mod tm;
 
-pub use exhaustive::{verify_exhaustive, ExhaustiveReport};
+pub use exhaustive::{verify_exhaustive, verify_exhaustive_with, ExhaustiveReport};
 pub use genspec::{random_spec, GenParams};
 pub use invariants::{access_sequence, current_vn, logical_state, LemmaMonitor};
 pub use item::{ItemId, LogicalItem};

@@ -362,6 +362,10 @@ impl Component<TxnOp> for ReadTm {
     fn as_any(&self) -> &dyn Any {
         self
     }
+
+    fn clone_boxed(&self) -> Box<dyn Component<TxnOp>> {
+        Box::new(self.clone())
+    }
 }
 
 /// A write-TM for logical item `x` (paper §3.1).
@@ -602,6 +606,10 @@ impl Component<TxnOp> for WriteTm {
 
     fn as_any(&self) -> &dyn Any {
         self
+    }
+
+    fn clone_boxed(&self) -> Box<dyn Component<TxnOp>> {
+        Box::new(self.clone())
     }
 }
 

@@ -82,4 +82,12 @@ pub trait Component<Op>: fmt::Debug {
     /// concrete states of specific automata (e.g. reading every data
     /// manager's version number to check the paper's Lemma 7).
     fn as_any(&self) -> &dyn Any;
+
+    /// A boxed deep copy of this automaton in its current state.
+    ///
+    /// This is the hook behind [`System::snapshot`](crate::System::snapshot):
+    /// the explorer checkpoints system states every few levels so that
+    /// backtracking restores a snapshot and replays a bounded suffix instead
+    /// of rebuilding the whole path from the start state.
+    fn clone_boxed(&self) -> Box<dyn Component<Op>>;
 }

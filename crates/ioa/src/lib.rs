@@ -58,6 +58,9 @@ pub mod toy;
 pub use component::{Component, OpClass};
 pub use error::{IoaError, MonitorViolation};
 pub use exec::{Execution, Executor, FnMonitor, Monitor, Policy, UniformPolicy, WeightedPolicy};
-pub use explore::{explore, explore_pruned, ExploreError, ExploreLimits, ExploreStats};
+pub use explore::{
+    explore, explore_parallel, explore_profiled, explore_pruned, ExploreError, ExploreLimits,
+    ExploreProfile, ExploreStats, ReplayStrategy,
+};
 pub use schedule::Schedule;
 pub use system::System;

@@ -85,6 +85,18 @@ impl<Op: Clone + fmt::Debug> System<Op> {
             .filter_map(|c| c.as_any().downcast_ref().map(|t| (c.name(), t)))
     }
 
+    /// A deep copy of the system in its current state, each component
+    /// cloned via [`Component::clone_boxed`].
+    ///
+    /// Snapshots are what make checkpointed exploration
+    /// ([`explore_pruned`](crate::explore_pruned)) replay-free: restoring a
+    /// snapshot is O(state), independent of how many steps produced it.
+    pub fn snapshot(&self) -> System<Op> {
+        System {
+            components: self.components.iter().map(|c| c.clone_boxed()).collect(),
+        }
+    }
+
     /// Return every component to its start state.
     pub fn reset(&mut self) {
         for c in &mut self.components {

@@ -75,6 +75,10 @@ impl Component<ToyOp> for Producer {
     fn as_any(&self) -> &dyn Any {
         self
     }
+
+    fn clone_boxed(&self) -> Box<dyn Component<ToyOp>> {
+        Box::new(self.clone())
+    }
 }
 
 /// A bounded FIFO channel: buffers `Send`s, outputs `Deliver`s in order.
@@ -148,6 +152,10 @@ impl Component<ToyOp> for Channel {
 
     fn as_any(&self) -> &dyn Any {
         self
+    }
+
+    fn clone_boxed(&self) -> Box<dyn Component<ToyOp>> {
+        Box::new(self.clone())
     }
 }
 

@@ -4,10 +4,9 @@
 //! (paper §1, first sentence). These functions quantify that claim for the
 //! quorum systems in this crate and back experiments Q1, Q2 and Q5.
 
-use std::collections::BTreeSet;
-
 use rand::Rng;
 
+use crate::replica_set::ReplicaSet;
 use crate::spec::QuorumSpec;
 
 /// Exact probability that the live replicas contain a read-quorum, when
@@ -35,17 +34,21 @@ fn exact_availability(spec: &dyn QuorumSpec, up: f64, read: bool) -> f64 {
     let n = spec.n();
     assert!(n <= 20, "exact enumeration capped at n = 20");
     assert!((0.0..=1.0).contains(&up), "probability out of range");
+    // Precompute P(exactly the replicas in `live` are up) per cardinality;
+    // the sweep then touches no sets at all — one predicate call per mask.
+    let p_by_count: Vec<f64> = (0..=n as i32)
+        .map(|k| up.powi(k) * (1.0 - up).powi(n as i32 - k))
+        .collect();
     let mut total = 0.0;
     for mask in 0u32..(1 << n) {
-        let live: BTreeSet<usize> = (0..n).filter(|i| mask & (1 << i) != 0).collect();
+        let live = ReplicaSet::from_bits(mask as u128);
         let ok = if read {
-            spec.is_read_quorum(&live)
+            spec.is_read_quorum_bits(live)
         } else {
-            spec.is_write_quorum(&live)
+            spec.is_write_quorum_bits(live)
         };
         if ok {
-            let k = live.len() as i32;
-            total += up.powi(k) * (1.0 - up).powi(n as i32 - k);
+            total += p_by_count[live.len()];
         }
     }
     total
@@ -69,11 +72,11 @@ pub fn monte_carlo_availability(
     let mut r_ok = 0u32;
     let mut w_ok = 0u32;
     for _ in 0..trials {
-        let live: BTreeSet<usize> = (0..n).filter(|_| rng.gen_bool(up)).collect();
-        if spec.is_read_quorum(&live) {
+        let live: ReplicaSet = (0..n).filter(|_| rng.gen_bool(up)).collect();
+        if spec.is_read_quorum_bits(live) {
             r_ok += 1;
         }
-        if spec.is_write_quorum(&live) {
+        if spec.is_write_quorum_bits(live) {
             w_ok += 1;
         }
     }
@@ -84,13 +87,13 @@ pub fn monte_carlo_availability(
 /// the per-operation message cost floor (one round-trip per quorum member,
 /// plus one more write round for logical writes).
 pub fn min_quorum_sizes(spec: &dyn QuorumSpec) -> (usize, usize) {
-    let all: BTreeSet<usize> = (0..spec.n()).collect();
+    let all = ReplicaSet::full(spec.n());
     let r = spec
-        .find_read_quorum(&all)
+        .find_read_quorum_bits(all)
         .map(|q| q.len())
         .unwrap_or(usize::MAX);
     let w = spec
-        .find_write_quorum(&all)
+        .find_write_quorum_bits(all)
         .map(|q| q.len())
         .unwrap_or(usize::MAX);
     (r, w)
@@ -120,20 +123,20 @@ pub fn uniform_load_estimate(spec: &dyn QuorumSpec, rng: &mut dyn rand::RngCore)
     let mut total = 0u32;
     for _ in 0..samples {
         // Random availability order: shrink from a random permutation bias.
-        let mut avail: BTreeSet<usize> = (0..n).collect();
+        let mut avail = ReplicaSet::full(n);
         // Randomly drop a few replicas to diversify the minimal quorums found.
         for i in 0..n {
             if rng.gen_bool(0.3) && avail.len() > 1 {
-                let mut candidate = avail.clone();
-                candidate.remove(&i);
-                if spec.is_read_quorum(&candidate) {
+                let mut candidate = avail;
+                candidate.remove(i);
+                if spec.is_read_quorum_bits(candidate) {
                     avail = candidate;
                 }
             }
         }
-        if let Some(q) = spec.find_read_quorum(&avail) {
-            for x in &q {
-                counts[*x] += 1;
+        if let Some(q) = spec.find_read_quorum_bits(avail) {
+            for x in q {
+                counts[x] += 1;
             }
             total += 1;
         }

@@ -4,6 +4,8 @@ use std::collections::BTreeSet;
 use std::error::Error;
 use std::fmt;
 
+use crate::replica_set::{ReplicaSet, MAX_REPLICAS};
+
 /// Error constructing or validating a [`Configuration`].
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum ConfigurationError {
@@ -97,11 +99,10 @@ impl<T: Ord + Clone> Configuration<T> {
     /// Whether every read-quorum intersects every write-quorum — the
     /// paper's `legal(S)` condition. Vacuously true if either side is empty.
     pub fn is_legal(&self) -> bool {
-        self.read_quorums.iter().all(|r| {
-            self.write_quorums
-                .iter()
-                .all(|w| r.iter().any(|x| w.contains(x)))
-        })
+        let c = self.compiled();
+        c.read_masks()
+            .iter()
+            .all(|&r| c.write_masks().iter().all(|&w| r.intersects(w)))
     }
 
     /// Whether the configuration can actually serve both reads and writes:
@@ -116,17 +117,17 @@ impl<T: Ord + Clone> Configuration<T> {
     ///
     /// [`ConfigurationError::EmptyQuorum`] or [`ConfigurationError::Illegal`].
     pub fn validate(&self) -> Result<(), ConfigurationError> {
-        if self
-            .read_quorums
+        let c = self.compiled();
+        if c.read_masks()
             .iter()
-            .chain(&self.write_quorums)
-            .any(BTreeSet::is_empty)
+            .chain(c.write_masks())
+            .any(|m| m.is_empty())
         {
             return Err(ConfigurationError::EmptyQuorum);
         }
-        for (ri, r) in self.read_quorums.iter().enumerate() {
-            for (wi, w) in self.write_quorums.iter().enumerate() {
-                if !r.iter().any(|x| w.contains(x)) {
+        for (ri, &r) in c.read_masks().iter().enumerate() {
+            for (wi, &w) in c.write_masks().iter().enumerate() {
+                if !r.intersects(w) {
                     return Err(ConfigurationError::Illegal {
                         read_index: ri,
                         write_index: wi,
@@ -171,20 +172,29 @@ impl<T: Ord + Clone> Configuration<T> {
     /// Remove non-minimal quorums (supersets of other quorums on the same
     /// side). Coverage predicates are unaffected.
     pub fn minimized(&self) -> Self {
+        let c = self.compiled();
         Configuration {
-            read_quorums: Self::minimal(&self.read_quorums),
-            write_quorums: Self::minimal(&self.write_quorums),
+            read_quorums: Self::minimal(&self.read_quorums, c.read_masks()),
+            write_quorums: Self::minimal(&self.write_quorums, c.write_masks()),
         }
     }
 
-    fn minimal(quorums: &[BTreeSet<T>]) -> Vec<BTreeSet<T>> {
+    /// Keep `quorums[i]` only if no *other* quorum is a subset of it;
+    /// `masks[i]` is the bitset form of `quorums[i]`.
+    fn minimal(quorums: &[BTreeSet<T>], masks: &[ReplicaSet]) -> Vec<BTreeSet<T>> {
+        let mut kept_masks: Vec<ReplicaSet> = Vec::new();
         let mut out: Vec<BTreeSet<T>> = Vec::new();
-        for q in quorums {
-            if quorums.iter().any(|o| o != q && o.is_subset(q)) {
+        for (i, &q) in masks.iter().enumerate() {
+            if masks
+                .iter()
+                .enumerate()
+                .any(|(j, &o)| j != i && o != q && o.is_subset(q))
+            {
                 continue;
             }
-            if !out.contains(q) {
-                out.push(q.clone());
+            if !kept_masks.contains(&q) {
+                kept_masks.push(q);
+                out.push(quorums[i].clone());
             }
         }
         out
@@ -198,6 +208,32 @@ impl<T: Ord + Clone> Configuration<T> {
             .iter()
             .filter(|q| q.is_subset(available))
             .min_by_key(|q| q.len())
+    }
+
+    /// Compile to a bitset form: the universe is indexed in sorted order and
+    /// every quorum becomes a [`ReplicaSet`] mask. Coverage checks against
+    /// the compiled form are single AND/compare operations per quorum, with
+    /// no allocation; build it once and reuse it on hot paths.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the universe exceeds 128 names (the [`ReplicaSet`] cap).
+    pub fn compiled(&self) -> CompiledConfiguration<T> {
+        let members: Vec<T> = self.universe().into_iter().collect();
+        assert!(
+            members.len() <= MAX_REPLICAS,
+            "ReplicaSet caps replicas at 128"
+        );
+        let mask = |q: &BTreeSet<T>| -> ReplicaSet {
+            q.iter()
+                .map(|x| members.binary_search(x).expect("member in universe"))
+                .collect()
+        };
+        CompiledConfiguration {
+            read_masks: self.read_quorums.iter().map(mask).collect(),
+            write_masks: self.write_quorums.iter().map(mask).collect(),
+            members,
+        }
     }
 
     /// Map data-manager names through `f`, preserving quorum structure.
@@ -217,6 +253,79 @@ impl<T: Ord + Clone> Configuration<T> {
                 .map(|q| q.iter().map(&mut f).collect())
                 .collect(),
         }
+    }
+}
+
+/// The bitset form of a [`Configuration`], built by
+/// [`Configuration::compiled`]: quorums as [`ReplicaSet`] masks over indices
+/// into a sorted member list.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CompiledConfiguration<T: Ord + Clone> {
+    members: Vec<T>,
+    read_masks: Vec<ReplicaSet>,
+    write_masks: Vec<ReplicaSet>,
+}
+
+impl<T: Ord + Clone> CompiledConfiguration<T> {
+    /// The universe, sorted; a name's position is its bit index.
+    pub fn members(&self) -> &[T] {
+        &self.members
+    }
+
+    /// The bit index of `name`, if it is in the universe.
+    pub fn index_of(&self, name: &T) -> Option<usize> {
+        self.members.binary_search(name).ok()
+    }
+
+    /// The read-quorum masks, in the same order as
+    /// [`Configuration::read_quorums`].
+    pub fn read_masks(&self) -> &[ReplicaSet] {
+        &self.read_masks
+    }
+
+    /// The write-quorum masks, in the same order as
+    /// [`Configuration::write_quorums`].
+    pub fn write_masks(&self) -> &[ReplicaSet] {
+        &self.write_masks
+    }
+
+    /// Convert an explicit set of names to a mask, ignoring names outside
+    /// the universe (they cannot affect any coverage check).
+    pub fn bits_of<'a>(&self, set: impl IntoIterator<Item = &'a T>) -> ReplicaSet
+    where
+        T: 'a,
+    {
+        set.into_iter().filter_map(|x| self.index_of(x)).collect()
+    }
+
+    /// Whether `set` includes some read-quorum.
+    pub fn covers_read_quorum(&self, set: ReplicaSet) -> bool {
+        self.read_masks.iter().any(|q| q.is_subset(set))
+    }
+
+    /// Whether `set` includes some write-quorum.
+    pub fn covers_write_quorum(&self, set: ReplicaSet) -> bool {
+        self.write_masks.iter().any(|q| q.is_subset(set))
+    }
+
+    /// The mask of a read-quorum wholly contained in `available`,
+    /// preferring the smallest — mirrors [`Configuration::find_read_quorum`].
+    pub fn find_read_quorum(&self, available: ReplicaSet) -> Option<ReplicaSet> {
+        Self::find_quorum(&self.read_masks, available)
+    }
+
+    /// The mask of a write-quorum wholly contained in `available`,
+    /// preferring the smallest.
+    pub fn find_write_quorum(&self, available: ReplicaSet) -> Option<ReplicaSet> {
+        Self::find_quorum(&self.write_masks, available)
+    }
+
+    fn find_quorum(masks: &[ReplicaSet], available: ReplicaSet) -> Option<ReplicaSet> {
+        masks
+            .iter()
+            .copied()
+            .filter(|q| q.is_subset(available))
+            .min_by_key(|q| q.len())
     }
 }
 
@@ -324,5 +433,39 @@ mod tests {
         assert!(cfg.covers_read_quorum(&set(&[0, 1, 5])));
         assert!(!cfg.covers_read_quorum(&set(&[1, 5])));
         assert!(cfg.covers_write_quorum(&set(&[1, 2])));
+    }
+
+    #[test]
+    fn compiled_agrees_with_explicit() {
+        // Non-contiguous names exercise the universe indexing.
+        let cfg = Configuration::new(
+            vec![set(&[10, 30]), set(&[30, 50])],
+            vec![set(&[10, 30, 50])],
+        );
+        let c = cfg.compiled();
+        assert_eq!(c.members(), &[10, 30, 50]);
+        assert_eq!(c.index_of(&30), Some(1));
+        assert_eq!(c.index_of(&99), None);
+        for mask in 0u32..8 {
+            let bits = crate::ReplicaSet::from_bits(mask as u128);
+            let explicit: BTreeSet<u32> =
+                bits.iter().map(|i| c.members()[i]).collect();
+            assert_eq!(
+                c.covers_read_quorum(bits),
+                cfg.covers_read_quorum(&explicit)
+            );
+            assert_eq!(
+                c.covers_write_quorum(bits),
+                cfg.covers_write_quorum(&explicit)
+            );
+            assert_eq!(
+                c.find_read_quorum(bits)
+                    .map(|q| q.iter().map(|i| c.members()[i]).collect::<BTreeSet<_>>()),
+                cfg.find_read_quorum(&explicit).cloned()
+            );
+        }
+        // Names outside the universe are ignored by bits_of.
+        let with_stranger: BTreeSet<u32> = [10u32, 30, 99].into_iter().collect();
+        assert!(c.covers_read_quorum(c.bits_of(&with_stranger)));
     }
 }

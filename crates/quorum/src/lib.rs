@@ -42,7 +42,9 @@
 pub mod analysis;
 mod config;
 pub mod generators;
+pub mod replica_set;
 mod spec;
 
-pub use config::{Configuration, ConfigurationError};
+pub use config::{CompiledConfiguration, Configuration, ConfigurationError};
+pub use replica_set::ReplicaSet;
 pub use spec::{to_configuration, Grid, Majority, QuorumSpec, Rowa, TreeQuorum, Weighted};

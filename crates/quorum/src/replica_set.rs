@@ -1,0 +1,351 @@
+//! [`ReplicaSet`]: an allocation-free set of replica indices backed by a
+//! `u128` bitset.
+//!
+//! The quorum-membership predicates are the hottest code in the workspace —
+//! the simulator evaluates one per response message and the availability
+//! sweeps evaluate 2^n of them per point — and `BTreeSet<usize>` costs a
+//! heap allocation and pointer-chasing per probe. `ReplicaSet` represents
+//! replicas `0..n` (n ≤ 128, see `DESIGN.md`) as bits, making membership,
+//! union, intersection, subset, and cardinality single popcount/mask
+//! instructions, and making set values `Copy`.
+//!
+//! `From`/`Into` conversions to `BTreeSet<usize>` keep the explicit-set API
+//! available at the edges (tests, `Configuration` interop) while the hot
+//! paths stay on bits.
+
+use std::collections::BTreeSet;
+use std::fmt;
+use std::ops::{BitAnd, BitAndAssign, BitOr, BitOrAssign, BitXor, Sub};
+
+/// The maximum replica index representable (`0..=127`).
+pub const MAX_REPLICAS: usize = 128;
+
+/// A set of replica indices in `0..128`, as a `u128` bitmask.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct ReplicaSet(u128);
+
+impl ReplicaSet {
+    /// The empty set.
+    pub const EMPTY: ReplicaSet = ReplicaSet(0);
+
+    /// The empty set.
+    #[inline]
+    pub const fn new() -> Self {
+        ReplicaSet(0)
+    }
+
+    /// The set `{0, 1, …, n-1}`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n > 128`.
+    #[inline]
+    pub const fn full(n: usize) -> Self {
+        assert!(n <= MAX_REPLICAS, "ReplicaSet caps replicas at 128");
+        if n == MAX_REPLICAS {
+            ReplicaSet(u128::MAX)
+        } else {
+            ReplicaSet((1u128 << n) - 1)
+        }
+    }
+
+    /// The singleton `{i}`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= 128`.
+    #[inline]
+    pub const fn singleton(i: usize) -> Self {
+        assert!(i < MAX_REPLICAS, "replica index out of range");
+        ReplicaSet(1u128 << i)
+    }
+
+    /// Construct directly from a bitmask (bit `i` ⇔ replica `i`).
+    #[inline]
+    pub const fn from_bits(bits: u128) -> Self {
+        ReplicaSet(bits)
+    }
+
+    /// The underlying bitmask.
+    #[inline]
+    pub const fn bits(self) -> u128 {
+        self.0
+    }
+
+    /// Whether `i` is in the set (`false` for `i >= 128`).
+    #[inline]
+    pub const fn contains(self, i: usize) -> bool {
+        i < MAX_REPLICAS && self.0 & (1u128 << i) != 0
+    }
+
+    /// Insert `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= 128`.
+    #[inline]
+    pub fn insert(&mut self, i: usize) {
+        assert!(i < MAX_REPLICAS, "replica index out of range");
+        self.0 |= 1u128 << i;
+    }
+
+    /// Remove `i` (no-op if absent or out of range).
+    #[inline]
+    pub fn remove(&mut self, i: usize) {
+        if i < MAX_REPLICAS {
+            self.0 &= !(1u128 << i);
+        }
+    }
+
+    /// Number of replicas in the set (popcount).
+    #[inline]
+    pub const fn len(self) -> usize {
+        self.0.count_ones() as usize
+    }
+
+    /// Whether the set is empty.
+    #[inline]
+    pub const fn is_empty(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Whether `self ⊆ other`.
+    #[inline]
+    pub const fn is_subset(self, other: ReplicaSet) -> bool {
+        self.0 & !other.0 == 0
+    }
+
+    /// Whether `self ⊇ other`.
+    #[inline]
+    pub const fn is_superset(self, other: ReplicaSet) -> bool {
+        other.is_subset(self)
+    }
+
+    /// Whether the sets share at least one replica.
+    #[inline]
+    pub const fn intersects(self, other: ReplicaSet) -> bool {
+        self.0 & other.0 != 0
+    }
+
+    /// Set union.
+    #[inline]
+    pub const fn union(self, other: ReplicaSet) -> ReplicaSet {
+        ReplicaSet(self.0 | other.0)
+    }
+
+    /// Set intersection.
+    #[inline]
+    pub const fn intersection(self, other: ReplicaSet) -> ReplicaSet {
+        ReplicaSet(self.0 & other.0)
+    }
+
+    /// Set difference `self \ other`.
+    #[inline]
+    pub const fn difference(self, other: ReplicaSet) -> ReplicaSet {
+        ReplicaSet(self.0 & !other.0)
+    }
+
+    /// Complement within the universe `0..n`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n > 128`.
+    #[inline]
+    pub const fn complement(self, n: usize) -> ReplicaSet {
+        ReplicaSet(!self.0 & Self::full(n).0)
+    }
+
+    /// The smallest index in the set, if any.
+    #[inline]
+    pub const fn min(self) -> Option<usize> {
+        if self.0 == 0 {
+            None
+        } else {
+            Some(self.0.trailing_zeros() as usize)
+        }
+    }
+
+    /// Iterate indices in ascending order.
+    #[inline]
+    pub fn iter(self) -> Iter {
+        Iter(self.0)
+    }
+}
+
+/// Ascending-order iterator over a [`ReplicaSet`].
+#[derive(Clone, Debug)]
+pub struct Iter(u128);
+
+impl Iterator for Iter {
+    type Item = usize;
+
+    #[inline]
+    fn next(&mut self) -> Option<usize> {
+        if self.0 == 0 {
+            None
+        } else {
+            let i = self.0.trailing_zeros() as usize;
+            self.0 &= self.0 - 1; // clear lowest set bit
+            Some(i)
+        }
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let n = self.0.count_ones() as usize;
+        (n, Some(n))
+    }
+}
+
+impl ExactSizeIterator for Iter {}
+
+impl IntoIterator for ReplicaSet {
+    type Item = usize;
+    type IntoIter = Iter;
+
+    fn into_iter(self) -> Iter {
+        self.iter()
+    }
+}
+
+impl FromIterator<usize> for ReplicaSet {
+    fn from_iter<I: IntoIterator<Item = usize>>(iter: I) -> Self {
+        let mut s = ReplicaSet::new();
+        for i in iter {
+            s.insert(i);
+        }
+        s
+    }
+}
+
+impl From<&BTreeSet<usize>> for ReplicaSet {
+    fn from(set: &BTreeSet<usize>) -> Self {
+        set.iter().copied().collect()
+    }
+}
+
+impl From<BTreeSet<usize>> for ReplicaSet {
+    fn from(set: BTreeSet<usize>) -> Self {
+        ReplicaSet::from(&set)
+    }
+}
+
+impl From<ReplicaSet> for BTreeSet<usize> {
+    fn from(set: ReplicaSet) -> Self {
+        set.iter().collect()
+    }
+}
+
+impl BitOr for ReplicaSet {
+    type Output = ReplicaSet;
+    fn bitor(self, rhs: ReplicaSet) -> ReplicaSet {
+        self.union(rhs)
+    }
+}
+
+impl BitOrAssign for ReplicaSet {
+    fn bitor_assign(&mut self, rhs: ReplicaSet) {
+        self.0 |= rhs.0;
+    }
+}
+
+impl BitAnd for ReplicaSet {
+    type Output = ReplicaSet;
+    fn bitand(self, rhs: ReplicaSet) -> ReplicaSet {
+        self.intersection(rhs)
+    }
+}
+
+impl BitAndAssign for ReplicaSet {
+    fn bitand_assign(&mut self, rhs: ReplicaSet) {
+        self.0 &= rhs.0;
+    }
+}
+
+impl BitXor for ReplicaSet {
+    type Output = ReplicaSet;
+    fn bitxor(self, rhs: ReplicaSet) -> ReplicaSet {
+        ReplicaSet(self.0 ^ rhs.0)
+    }
+}
+
+impl Sub for ReplicaSet {
+    type Output = ReplicaSet;
+    fn sub(self, rhs: ReplicaSet) -> ReplicaSet {
+        self.difference(rhs)
+    }
+}
+
+impl fmt::Debug for ReplicaSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_set().entries(self.iter()).finish()
+    }
+}
+
+impl fmt::Display for ReplicaSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_membership() {
+        let s = ReplicaSet::full(5);
+        assert_eq!(s.len(), 5);
+        assert!(s.contains(0) && s.contains(4) && !s.contains(5));
+        assert!(!s.contains(200));
+        let t: ReplicaSet = [1usize, 3, 3, 7].into_iter().collect();
+        assert_eq!(t.len(), 3);
+        assert_eq!(t.iter().collect::<Vec<_>>(), vec![1, 3, 7]);
+    }
+
+    #[test]
+    fn set_algebra() {
+        let a: ReplicaSet = [0usize, 1, 2].into_iter().collect();
+        let b: ReplicaSet = [2usize, 3].into_iter().collect();
+        assert_eq!((a | b).len(), 4);
+        assert_eq!((a & b).iter().collect::<Vec<_>>(), vec![2]);
+        assert_eq!((a - b).iter().collect::<Vec<_>>(), vec![0, 1]);
+        assert!(a.intersects(b));
+        assert!((a & b).is_subset(a));
+        assert!(a.is_superset(a & b));
+        assert_eq!(a.complement(4).iter().collect::<Vec<_>>(), vec![3]);
+    }
+
+    #[test]
+    fn btreeset_round_trip() {
+        let orig: BTreeSet<usize> = [5usize, 9, 127].into_iter().collect();
+        let rs = ReplicaSet::from(&orig);
+        let back: BTreeSet<usize> = rs.into();
+        assert_eq!(orig, back);
+    }
+
+    #[test]
+    fn boundary_128() {
+        let full = ReplicaSet::full(128);
+        assert_eq!(full.len(), 128);
+        assert!(full.contains(127));
+        let s = ReplicaSet::singleton(127);
+        assert_eq!(s.min(), Some(127));
+        assert_eq!(s.complement(128).len(), 127);
+    }
+
+    #[test]
+    #[should_panic(expected = "caps replicas")]
+    fn full_beyond_cap_panics() {
+        let _ = ReplicaSet::full(129);
+    }
+
+    #[test]
+    fn iteration_is_ascending_and_exact() {
+        let s: ReplicaSet = [64usize, 2, 100, 31].into_iter().collect();
+        let v: Vec<usize> = s.iter().collect();
+        assert_eq!(v, vec![2, 31, 64, 100]);
+        assert_eq!(s.iter().len(), 4);
+        assert_eq!(s.min(), Some(2));
+        assert_eq!(ReplicaSet::EMPTY.min(), None);
+    }
+}

@@ -9,51 +9,84 @@
 use std::collections::BTreeSet;
 
 use crate::config::Configuration;
-
+use crate::replica_set::{ReplicaSet, MAX_REPLICAS};
 
 /// A quorum system over replicas `0..n`, in predicate form.
+///
+/// The required predicates operate on [`ReplicaSet`] bitsets — the form the
+/// simulator and availability sweeps use on their hot paths. The
+/// `BTreeSet`-based methods are provided conversions for callers that hold
+/// explicit sets; they give identical answers.
 pub trait QuorumSpec: std::fmt::Debug {
     /// Number of replicas.
     fn n(&self) -> usize;
 
     /// Whether `set` includes a read-quorum.
-    fn is_read_quorum(&self, set: &BTreeSet<usize>) -> bool;
+    fn is_read_quorum_bits(&self, set: ReplicaSet) -> bool;
 
     /// Whether `set` includes a write-quorum.
-    fn is_write_quorum(&self, set: &BTreeSet<usize>) -> bool;
+    fn is_write_quorum_bits(&self, set: ReplicaSet) -> bool;
 
     /// A (small) read-quorum contained in `available`, if any.
     ///
-    /// The default implementation greedily drops elements from `available`
-    /// while the remainder still covers a read-quorum, yielding a minimal
-    /// (though not necessarily minimum) quorum.
-    fn find_read_quorum(&self, available: &BTreeSet<usize>) -> Option<BTreeSet<usize>> {
-        if !self.is_read_quorum(available) {
+    /// The default implementation greedily drops replicas from `available`
+    /// in ascending index order while the remainder still covers a
+    /// read-quorum, yielding a minimal (though not necessarily minimum)
+    /// quorum.
+    fn find_read_quorum_bits(&self, available: ReplicaSet) -> Option<ReplicaSet> {
+        if !self.is_read_quorum_bits(available) {
             return None;
         }
-        Some(shrink(available, |s| self.is_read_quorum(s)))
+        Some(shrink(available, |s| self.is_read_quorum_bits(s)))
+    }
+
+    /// A (small) write-quorum contained in `available`, if any.
+    fn find_write_quorum_bits(&self, available: ReplicaSet) -> Option<ReplicaSet> {
+        if !self.is_write_quorum_bits(available) {
+            return None;
+        }
+        Some(shrink(available, |s| self.is_write_quorum_bits(s)))
+    }
+
+    /// Whether `set` includes a read-quorum (explicit-set form).
+    fn is_read_quorum(&self, set: &BTreeSet<usize>) -> bool {
+        self.is_read_quorum_bits(to_bits(set))
+    }
+
+    /// Whether `set` includes a write-quorum (explicit-set form).
+    fn is_write_quorum(&self, set: &BTreeSet<usize>) -> bool {
+        self.is_write_quorum_bits(to_bits(set))
+    }
+
+    /// A (small) read-quorum contained in `available`, if any
+    /// (explicit-set form; same greedy drop order as the bitset form).
+    fn find_read_quorum(&self, available: &BTreeSet<usize>) -> Option<BTreeSet<usize>> {
+        self.find_read_quorum_bits(to_bits(available)).map(Into::into)
     }
 
     /// A (small) write-quorum contained in `available`, if any.
     fn find_write_quorum(&self, available: &BTreeSet<usize>) -> Option<BTreeSet<usize>> {
-        if !self.is_write_quorum(available) {
-            return None;
-        }
-        Some(shrink(available, |s| self.is_write_quorum(s)))
+        self.find_write_quorum_bits(to_bits(available)).map(Into::into)
     }
 
     /// A short human-readable label ("rowa", "majority", …) for reports.
     fn label(&self) -> String;
 }
 
-/// Greedily remove elements while `pred` stays true.
-fn shrink(set: &BTreeSet<usize>, pred: impl Fn(&BTreeSet<usize>) -> bool) -> BTreeSet<usize> {
-    let mut s = set.clone();
-    let elements: Vec<usize> = s.iter().copied().collect();
-    for x in elements {
-        s.remove(&x);
-        if !pred(&s) {
-            s.insert(x);
+/// Convert an explicit set to bits, ignoring indices beyond the 128-replica
+/// cap (they can never be in `0..n`, so every predicate ignores them).
+fn to_bits(set: &BTreeSet<usize>) -> ReplicaSet {
+    set.iter().copied().filter(|&x| x < MAX_REPLICAS).collect()
+}
+
+/// Greedily drop bits in ascending index order while `pred` stays true.
+fn shrink(set: ReplicaSet, pred: impl Fn(ReplicaSet) -> bool) -> ReplicaSet {
+    let mut s = set;
+    for x in set.iter() {
+        let mut t = s;
+        t.remove(x);
+        if pred(t) {
+            s = t;
         }
     }
     s
@@ -70,9 +103,10 @@ impl Rowa {
     ///
     /// # Panics
     ///
-    /// Panics if `n == 0`.
+    /// Panics if `n == 0` or `n > 128` (the [`ReplicaSet`] cap).
     pub fn new(n: usize) -> Self {
         assert!(n > 0);
+        assert!(n <= MAX_REPLICAS, "ReplicaSet caps replicas at 128");
         Rowa { n }
     }
 }
@@ -82,12 +116,12 @@ impl QuorumSpec for Rowa {
         self.n
     }
 
-    fn is_read_quorum(&self, set: &BTreeSet<usize>) -> bool {
-        set.iter().any(|&x| x < self.n)
+    fn is_read_quorum_bits(&self, set: ReplicaSet) -> bool {
+        set.intersects(ReplicaSet::full(self.n))
     }
 
-    fn is_write_quorum(&self, set: &BTreeSet<usize>) -> bool {
-        (0..self.n).all(|x| set.contains(&x))
+    fn is_write_quorum_bits(&self, set: ReplicaSet) -> bool {
+        set.is_superset(ReplicaSet::full(self.n))
     }
 
     fn label(&self) -> String {
@@ -110,9 +144,10 @@ impl Majority {
     ///
     /// # Panics
     ///
-    /// Panics if `n == 0`.
+    /// Panics if `n == 0` or `n > 128` (the [`ReplicaSet`] cap).
     pub fn new(n: usize) -> Self {
         assert!(n > 0);
+        assert!(n <= MAX_REPLICAS, "ReplicaSet caps replicas at 128");
         let k = n / 2 + 1;
         Majority {
             n,
@@ -129,6 +164,7 @@ impl Majority {
     /// `read_size + write_size > n`.
     pub fn with_sizes(n: usize, read_size: usize, write_size: usize) -> Self {
         assert!(n > 0 && read_size > 0 && write_size > 0);
+        assert!(n <= MAX_REPLICAS, "ReplicaSet caps replicas at 128");
         assert!(read_size <= n && write_size <= n);
         assert!(read_size + write_size > n, "quorum sizes must overlap");
         Majority {
@@ -154,12 +190,12 @@ impl QuorumSpec for Majority {
         self.n
     }
 
-    fn is_read_quorum(&self, set: &BTreeSet<usize>) -> bool {
-        set.iter().filter(|&&x| x < self.n).count() >= self.read_size
+    fn is_read_quorum_bits(&self, set: ReplicaSet) -> bool {
+        set.intersection(ReplicaSet::full(self.n)).len() >= self.read_size
     }
 
-    fn is_write_quorum(&self, set: &BTreeSet<usize>) -> bool {
-        set.iter().filter(|&&x| x < self.n).count() >= self.write_size
+    fn is_write_quorum_bits(&self, set: ReplicaSet) -> bool {
+        set.intersection(ReplicaSet::full(self.n)).len() >= self.write_size
     }
 
     fn label(&self) -> String {
@@ -189,6 +225,7 @@ impl Weighted {
     pub fn new(votes: Vec<u32>, read_threshold: u32, write_threshold: u32) -> Self {
         let total: u32 = votes.iter().sum();
         assert!(total > 0, "total votes must be positive");
+        assert!(votes.len() <= MAX_REPLICAS, "ReplicaSet caps replicas at 128");
         assert!(
             read_threshold + write_threshold > total,
             "thresholds must overlap"
@@ -201,9 +238,9 @@ impl Weighted {
         }
     }
 
-    fn tally(&self, set: &BTreeSet<usize>) -> u32 {
+    fn tally(&self, set: ReplicaSet) -> u32 {
         set.iter()
-            .filter_map(|&x| self.votes.get(x))
+            .filter_map(|x| self.votes.get(x))
             .copied()
             .sum()
     }
@@ -214,11 +251,11 @@ impl QuorumSpec for Weighted {
         self.votes.len()
     }
 
-    fn is_read_quorum(&self, set: &BTreeSet<usize>) -> bool {
+    fn is_read_quorum_bits(&self, set: ReplicaSet) -> bool {
         self.tally(set) >= self.read_threshold
     }
 
-    fn is_write_quorum(&self, set: &BTreeSet<usize>) -> bool {
+    fn is_write_quorum_bits(&self, set: ReplicaSet) -> bool {
         self.tally(set) >= self.write_threshold
     }
 
@@ -246,18 +283,35 @@ impl Grid {
     ///
     /// # Panics
     ///
-    /// Panics if either dimension is zero.
+    /// Panics if either dimension is zero or `rows * cols > 128` (the
+    /// [`ReplicaSet`] cap).
     pub fn new(rows: usize, cols: usize) -> Self {
         assert!(rows > 0 && cols > 0);
+        assert!(rows * cols <= MAX_REPLICAS, "ReplicaSet caps replicas at 128");
         Grid { rows, cols }
     }
 
-    fn covers_every_column(&self, set: &BTreeSet<usize>) -> bool {
-        (0..self.cols).all(|c| (0..self.rows).any(|r| set.contains(&(r * self.cols + c))))
+    /// Bitmask of column 0 (replicas `r * cols` for each row `r`); column
+    /// `c`'s mask is this shifted left by `c`.
+    fn column_zero_mask(&self) -> u128 {
+        let mut m = 0u128;
+        for r in 0..self.rows {
+            m |= 1u128 << (r * self.cols);
+        }
+        m
     }
 
-    fn covers_full_column(&self, set: &BTreeSet<usize>) -> bool {
-        (0..self.cols).any(|c| (0..self.rows).all(|r| set.contains(&(r * self.cols + c))))
+    fn covers_every_column(&self, set: ReplicaSet) -> bool {
+        let col0 = self.column_zero_mask();
+        (0..self.cols).all(|c| set.bits() & (col0 << c) != 0)
+    }
+
+    fn covers_full_column(&self, set: ReplicaSet) -> bool {
+        let col0 = self.column_zero_mask();
+        (0..self.cols).any(|c| {
+            let col = col0 << c;
+            set.bits() & col == col
+        })
     }
 }
 
@@ -266,11 +320,11 @@ impl QuorumSpec for Grid {
         self.rows * self.cols
     }
 
-    fn is_read_quorum(&self, set: &BTreeSet<usize>) -> bool {
+    fn is_read_quorum_bits(&self, set: ReplicaSet) -> bool {
         self.covers_every_column(set)
     }
 
-    fn is_write_quorum(&self, set: &BTreeSet<usize>) -> bool {
+    fn is_write_quorum_bits(&self, set: ReplicaSet) -> bool {
         self.covers_every_column(set) && self.covers_full_column(set)
     }
 
@@ -299,12 +353,13 @@ impl TreeQuorum {
             m /= 3;
         }
         assert!(n > 0 && m == 1, "n must be a power of 3");
+        assert!(n <= MAX_REPLICAS, "ReplicaSet caps replicas at 128");
         TreeQuorum { n }
     }
 
-    fn covers(&self, set: &BTreeSet<usize>, lo: usize, len: usize) -> bool {
+    fn covers(&self, set: ReplicaSet, lo: usize, len: usize) -> bool {
         if len == 1 {
-            return set.contains(&lo);
+            return set.contains(lo);
         }
         let third = len / 3;
         let hit = (0..3)
@@ -319,11 +374,11 @@ impl QuorumSpec for TreeQuorum {
         self.n
     }
 
-    fn is_read_quorum(&self, set: &BTreeSet<usize>) -> bool {
+    fn is_read_quorum_bits(&self, set: ReplicaSet) -> bool {
         self.covers(set, 0, self.n)
     }
 
-    fn is_write_quorum(&self, set: &BTreeSet<usize>) -> bool {
+    fn is_write_quorum_bits(&self, set: ReplicaSet) -> bool {
         self.covers(set, 0, self.n)
     }
 
@@ -344,12 +399,17 @@ pub fn to_configuration(spec: &dyn QuorumSpec) -> Configuration<usize> {
     let mut reads = Vec::new();
     let mut writes = Vec::new();
     for mask in 1u32..(1 << n) {
-        let set: BTreeSet<usize> = (0..n).filter(|i| mask & (1 << i) != 0).collect();
-        if spec.is_read_quorum(&set) {
-            reads.push(set.clone());
-        }
-        if spec.is_write_quorum(&set) {
-            writes.push(set);
+        let set = ReplicaSet::from_bits(mask as u128);
+        let r = spec.is_read_quorum_bits(set);
+        let w = spec.is_write_quorum_bits(set);
+        if r || w {
+            let explicit: BTreeSet<usize> = set.into();
+            if r {
+                reads.push(explicit.clone());
+            }
+            if w {
+                writes.push(explicit);
+            }
         }
     }
     Configuration::new(reads, writes).minimized()
@@ -422,6 +482,54 @@ mod tests {
         // Two leaves from each of two subtrees.
         assert!(q.is_read_quorum(&set(&[0, 1, 3, 4])));
         assert!(!q.is_read_quorum(&set(&[0, 1, 2])));
+    }
+
+    #[test]
+    fn bits_and_explicit_forms_agree() {
+        let specs: Vec<Box<dyn QuorumSpec>> = vec![
+            Box::new(Rowa::new(5)),
+            Box::new(Majority::new(5)),
+            Box::new(Weighted::new(vec![2, 1, 1, 1], 3, 3)),
+            Box::new(Grid::new(2, 3)),
+            Box::new(TreeQuorum::new(9)),
+        ];
+        for s in &specs {
+            let n = s.n();
+            for mask in 0u32..(1 << n) {
+                let bits = ReplicaSet::from_bits(mask as u128);
+                let explicit: BTreeSet<usize> = bits.into();
+                assert_eq!(
+                    s.is_read_quorum_bits(bits),
+                    s.is_read_quorum(&explicit),
+                    "{} read mismatch on {:?}",
+                    s.label(),
+                    explicit
+                );
+                assert_eq!(
+                    s.is_write_quorum_bits(bits),
+                    s.is_write_quorum(&explicit),
+                    "{} write mismatch on {:?}",
+                    s.label(),
+                    explicit
+                );
+                assert_eq!(
+                    s.find_read_quorum_bits(bits).map(BTreeSet::from),
+                    s.find_read_quorum(&explicit),
+                    "{} find mismatch on {:?}",
+                    s.label(),
+                    explicit
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn find_quorum_bits_shrinks_to_minimal() {
+        let q = Majority::new(5);
+        let rq = q.find_read_quorum_bits(ReplicaSet::full(5)).unwrap();
+        assert_eq!(rq.len(), 3);
+        assert!(q.is_read_quorum_bits(rq));
+        assert!(q.find_write_quorum_bits(ReplicaSet::full(2)).is_none());
     }
 
     #[test]

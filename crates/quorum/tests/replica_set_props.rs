@@ -1,0 +1,83 @@
+//! Property tests: every [`ReplicaSet`] operation agrees with the obvious
+//! `BTreeSet<usize>` reference implementation on random sets over the full
+//! supported universe `0..128`.
+
+use std::collections::BTreeSet;
+
+use proptest::prelude::*;
+use quorum::ReplicaSet;
+
+fn bits(set: &BTreeSet<usize>) -> ReplicaSet {
+    set.iter().copied().collect()
+}
+
+proptest! {
+    #[test]
+    fn roundtrip_through_btreeset(a in prop::collection::btree_set(0usize..128, 0..=50)) {
+        let rs = bits(&a);
+        let back: BTreeSet<usize> = rs.into();
+        prop_assert_eq!(&back, &a);
+        prop_assert_eq!(rs.len(), a.len());
+        prop_assert_eq!(rs.is_empty(), a.is_empty());
+        prop_assert_eq!(rs.min(), a.first().copied());
+    }
+
+    #[test]
+    fn iteration_is_ascending_and_complete(a in prop::collection::btree_set(0usize..128, 0..=50)) {
+        let collected: Vec<usize> = bits(&a).iter().collect();
+        let reference: Vec<usize> = a.iter().copied().collect();
+        prop_assert_eq!(collected, reference);
+    }
+
+    #[test]
+    fn membership_agrees(
+        a in prop::collection::btree_set(0usize..128, 0..=50),
+        probe in 0usize..128,
+    ) {
+        prop_assert_eq!(bits(&a).contains(probe), a.contains(&probe));
+    }
+
+    #[test]
+    fn set_algebra_agrees(
+        a in prop::collection::btree_set(0usize..128, 0..=50),
+        b in prop::collection::btree_set(0usize..128, 0..=50),
+    ) {
+        let (ra, rb) = (bits(&a), bits(&b));
+        let union: BTreeSet<usize> = a.union(&b).copied().collect();
+        let inter: BTreeSet<usize> = a.intersection(&b).copied().collect();
+        let diff: BTreeSet<usize> = a.difference(&b).copied().collect();
+        prop_assert_eq!(ra.union(rb), bits(&union));
+        prop_assert_eq!(ra | rb, bits(&union));
+        prop_assert_eq!(ra.intersection(rb), bits(&inter));
+        prop_assert_eq!(ra & rb, bits(&inter));
+        prop_assert_eq!(ra.difference(rb), bits(&diff));
+        prop_assert_eq!(ra - rb, bits(&diff));
+        prop_assert_eq!(ra.is_subset(rb), a.is_subset(&b));
+        prop_assert_eq!(ra.is_superset(rb), a.is_superset(&b));
+        prop_assert_eq!(ra.intersects(rb), !inter.is_empty());
+    }
+
+    #[test]
+    fn insert_remove_agree(
+        a in prop::collection::btree_set(0usize..128, 0..=50),
+        x in 0usize..128,
+    ) {
+        let mut rs = bits(&a);
+        let mut reference = a.clone();
+        rs.insert(x);
+        reference.insert(x);
+        prop_assert_eq!(rs, bits(&reference));
+        rs.remove(x);
+        reference.remove(&x);
+        prop_assert_eq!(rs, bits(&reference));
+    }
+
+    #[test]
+    fn complement_within_universe(
+        a in prop::collection::btree_set(0usize..64, 0..=30),
+        n in 64usize..=128,
+    ) {
+        let reference: BTreeSet<usize> = (0..n).filter(|x| !a.contains(x)).collect();
+        prop_assert_eq!(bits(&a).complement(n), bits(&reference));
+    }
+}

@@ -424,6 +424,10 @@ impl Component<TxnOp> for Coordinator {
     fn as_any(&self) -> &dyn Any {
         self
     }
+
+    fn clone_boxed(&self) -> Box<dyn Component<TxnOp>> {
+        Box::new(self.clone())
+    }
 }
 
 #[cfg(test)]

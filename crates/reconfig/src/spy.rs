@@ -149,6 +149,10 @@ impl Component<TxnOp> for Spy {
     fn as_any(&self) -> &dyn Any {
         self
     }
+
+    fn clone_boxed(&self) -> Box<dyn Component<TxnOp>> {
+        Box::new(self.clone())
+    }
 }
 
 #[cfg(test)]

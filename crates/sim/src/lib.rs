@@ -28,11 +28,13 @@
 
 mod latency;
 mod metrics;
+mod par;
 #[allow(clippy::module_inception)]
 mod sim;
 mod time;
 
 pub use latency::{sample_exponential, LatencyModel};
 pub use metrics::{Metrics, OpStats, OpSummary};
+pub use par::{default_threads, par_map, run_batch};
 pub use sim::{run, ContactPolicy, SimConfig, Simulation};
 pub use time::SimTime;

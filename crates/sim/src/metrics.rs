@@ -84,7 +84,7 @@ impl OpStats {
 }
 
 /// Serializable summary of an [`OpStats`].
-#[derive(Clone, Copy, Debug, Default, Serialize)]
+#[derive(Clone, Copy, Debug, Default)]
 pub struct OpSummary {
     /// Operations attempted.
     pub attempts: u64,
@@ -102,6 +102,23 @@ pub struct OpSummary {
     pub p99_ms: f64,
     /// Mean messages per attempted operation.
     pub messages_per_op: f64,
+}
+
+impl Serialize for OpSummary {
+    fn serialize_json(&self, out: &mut String) {
+        out.push_str(
+            &serde_json::JsonObject::new()
+                .field("attempts", &self.attempts)
+                .field("successes", &self.successes)
+                .field("availability", &self.availability)
+                .field("mean_ms", &self.mean_ms)
+                .field("p50_ms", &self.p50_ms)
+                .field("p95_ms", &self.p95_ms)
+                .field("p99_ms", &self.p99_ms)
+                .field("messages_per_op", &self.messages_per_op)
+                .build(),
+        );
+    }
 }
 
 /// Metrics for a whole simulation run.

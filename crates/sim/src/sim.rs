@@ -16,10 +16,10 @@
 //! transition; failures mid-operation are modelled by the timeout).
 
 use std::cmp::Reverse;
-use std::collections::{BinaryHeap, BTreeSet};
+use std::collections::BinaryHeap;
 use std::sync::Arc;
 
-use quorum::QuorumSpec;
+use quorum::{QuorumSpec, ReplicaSet};
 use rand::Rng;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
@@ -40,6 +40,7 @@ pub enum ContactPolicy {
 }
 
 /// Configuration of one simulation run.
+#[derive(Clone)]
 pub struct SimConfig {
     /// The quorum system (over replicas `0..n`).
     pub quorum: Arc<dyn QuorumSpec + Send + Sync>,
@@ -207,7 +208,7 @@ impl Simulation {
         self.metrics
     }
 
-    fn live_set(&self) -> BTreeSet<usize> {
+    fn live_set(&self) -> ReplicaSet {
         (0..self.up.len()).filter(|&s| self.up[s]).collect()
     }
 
@@ -218,12 +219,12 @@ impl Simulation {
     /// the earliest time the responder set satisfies `is_quorum`.
     fn phase(
         &mut self,
-        targets: &BTreeSet<usize>,
-        is_quorum: &dyn Fn(&BTreeSet<usize>) -> bool,
+        targets: ReplicaSet,
+        is_quorum: &dyn Fn(ReplicaSet) -> bool,
     ) -> PhaseOutcome {
         let mut responses: Vec<(SimTime, usize)> = Vec::new();
         let mut messages = 0u64;
-        for &s in targets {
+        for s in targets {
             messages += 1; // request
             if self.up[s] {
                 let rtt = self.config.latency.sample(&mut self.rng)
@@ -233,15 +234,15 @@ impl Simulation {
             }
         }
         responses.sort();
-        let mut have: BTreeSet<usize> = BTreeSet::new();
-        for (t, s) in &responses {
-            if *t > self.config.timeout {
+        let mut have = ReplicaSet::new();
+        for &(t, s) in &responses {
+            if t > self.config.timeout {
                 break;
             }
-            have.insert(*s);
-            if is_quorum(&have) {
+            have.insert(s);
+            if is_quorum(have) {
                 return PhaseOutcome {
-                    elapsed: *t,
+                    elapsed: t,
                     messages,
                     ok: true,
                 };
@@ -254,19 +255,21 @@ impl Simulation {
         }
     }
 
-    fn read_targets(&mut self) -> Option<BTreeSet<usize>> {
+    fn read_targets(&mut self) -> Option<ReplicaSet> {
         let live = self.live_set();
         match self.config.contact {
-            ContactPolicy::AllLive => Some((0..self.up.len()).collect()),
-            ContactPolicy::MinimalQuorum => self.config.quorum.find_read_quorum(&live),
+            // Contacting a site known to be down buys nothing: it cannot
+            // respond, so it can never help assemble the quorum.
+            ContactPolicy::AllLive => Some(live),
+            ContactPolicy::MinimalQuorum => self.config.quorum.find_read_quorum_bits(live),
         }
     }
 
-    fn write_targets(&mut self) -> Option<BTreeSet<usize>> {
+    fn write_targets(&mut self) -> Option<ReplicaSet> {
         let live = self.live_set();
         match self.config.contact {
-            ContactPolicy::AllLive => Some((0..self.up.len()).collect()),
-            ContactPolicy::MinimalQuorum => self.config.quorum.find_write_quorum(&live),
+            ContactPolicy::AllLive => Some(live),
+            ContactPolicy::MinimalQuorum => self.config.quorum.find_write_quorum_bits(live),
         }
     }
 
@@ -278,7 +281,7 @@ impl Simulation {
         let (mut elapsed, mut messages, mut ok) = match self.read_targets() {
             Some(targets) => {
                 let q = Arc::clone(&quorum);
-                let out = self.phase(&targets, &move |s| q.is_read_quorum(s));
+                let out = self.phase(targets, &move |s| q.is_read_quorum_bits(s));
                 (out.elapsed, out.messages, out.ok)
             }
             None => (self.config.timeout, 0, false),
@@ -289,7 +292,7 @@ impl Simulation {
             match self.write_targets() {
                 Some(targets) => {
                     let q = Arc::clone(&quorum);
-                    let out = self.phase(&targets, &move |s| q.is_write_quorum(s));
+                    let out = self.phase(targets, &move |s| q.is_write_quorum_bits(s));
                     elapsed += out.elapsed;
                     messages += out.messages;
                     ok = out.ok;
@@ -406,6 +409,20 @@ mod tests {
         let m = run(min);
         // MinimalQuorum read: 3 + 3 = 6 per op.
         assert!((m.reads.messages_per_op() - 6.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn all_live_skips_down_sites() {
+        let mut sim = Simulation::new(base(Arc::new(Majority::new(5))));
+        sim.up[0] = false;
+        sim.up[3] = false;
+        let targets = sim.read_targets().unwrap();
+        assert_eq!(targets.iter().collect::<Vec<_>>(), vec![1, 2, 4]);
+        // 3 requests + 3 responses — no messages wasted on dead sites.
+        let q = Arc::clone(&sim.config.quorum);
+        let out = sim.phase(targets, &move |s| q.is_read_quorum_bits(s));
+        assert!(out.ok);
+        assert_eq!(out.messages, 6);
     }
 
     #[test]

@@ -225,6 +225,10 @@ impl Component<TxnOp> for ReadWriteObject {
     fn as_any(&self) -> &dyn Any {
         self
     }
+
+    fn clone_boxed(&self) -> Box<dyn Component<TxnOp>> {
+        Box::new(self.clone())
+    }
 }
 
 #[cfg(test)]

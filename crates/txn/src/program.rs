@@ -103,6 +103,10 @@ pub trait TransactionProgram: fmt::Debug {
 
     /// Return to the initial state.
     fn reset(&mut self);
+
+    /// A boxed deep copy of this program in its current state, so the
+    /// enclosing [`TransactionNode`] can be snapshotted by the explorer.
+    fn clone_boxed(&self) -> Box<dyn TransactionProgram>;
 }
 
 /// An I/O automaton for a non-access transaction, combining a program with
@@ -120,6 +124,24 @@ pub struct TransactionNode {
     returns: BTreeMap<Tid, Outcome>,
     child_limit: u32,
     halted: bool,
+}
+
+impl Clone for TransactionNode {
+    fn clone(&self) -> Self {
+        TransactionNode {
+            tid: self.tid.clone(),
+            label: self.label.clone(),
+            program: self.program.clone_boxed(),
+            created: self.created,
+            requested: self.requested.clone(),
+            commit_performed: self.commit_performed,
+            pending_requests: self.pending_requests.clone(),
+            pending_commit: self.pending_commit.clone(),
+            returns: self.returns.clone(),
+            child_limit: self.child_limit,
+            halted: self.halted,
+        }
+    }
 }
 
 impl TransactionNode {
@@ -299,6 +321,10 @@ impl Component<TxnOp> for TransactionNode {
     fn as_any(&self) -> &dyn Any {
         self
     }
+
+    fn clone_boxed(&self) -> Box<dyn Component<TxnOp>> {
+        Box::new(self.clone())
+    }
 }
 
 /// One step of a [`ScriptProgram`].
@@ -317,7 +343,7 @@ pub enum ScriptStep {
 /// The root transaction `T0` (the external environment) is modelled as a
 /// `ScriptProgram` with no `Commit` step, since `T0` may neither commit nor
 /// abort.
-#[derive(Debug)]
+#[derive(Clone, Debug)]
 pub struct ScriptProgram {
     steps: Vec<ScriptStep>,
     pos: usize,
@@ -381,6 +407,10 @@ impl TransactionProgram for ScriptProgram {
         self.pos = 0;
         self.outstanding = 0;
     }
+
+    fn clone_boxed(&self) -> Box<dyn TransactionProgram> {
+        Box::new(self.clone())
+    }
 }
 
 /// A program that immediately commits with a fixed value and spawns nothing.
@@ -404,6 +434,10 @@ impl TransactionProgram for LeafProgram {
     fn on_return(&mut self, _child: &Tid, _outcome: &Outcome, _eff: &mut Effects) {}
 
     fn reset(&mut self) {}
+
+    fn clone_boxed(&self) -> Box<dyn TransactionProgram> {
+        Box::new(self.clone())
+    }
 }
 
 #[cfg(test)]

@@ -204,6 +204,10 @@ impl Component<TxnOp> for SerialScheduler {
     fn as_any(&self) -> &dyn Any {
         self
     }
+
+    fn clone_boxed(&self) -> Box<dyn Component<TxnOp>> {
+        Box::new(self.clone())
+    }
 }
 
 #[cfg(test)]

@@ -129,7 +129,7 @@ fn final_object_state_is_last_writer() {
             TxnOp::Commit { tid, .. } if tid.depth() == 1 => Some(tid.clone()),
             _ => None,
         })
-        .last()
+        .next_back()
         .unwrap();
     let expected = if last_commit == Tid::root().child(0) { 10 } else { 20 };
     let x: &ReadWriteObject = sys.component_as("x").unwrap();

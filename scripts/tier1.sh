@@ -1,0 +1,16 @@
+#!/usr/bin/env bash
+# Tier-1 gate: everything that must stay green on every change.
+# Usage: scripts/tier1.sh  (from the repo root)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo build --release"
+cargo build --release --workspace
+
+echo "==> cargo test"
+cargo test -q --workspace
+
+echo "==> cargo clippy -D warnings"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "tier1: OK"

@@ -1,0 +1,251 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Implements the API surface the workspace's benches use — [`Criterion`],
+//! benchmark groups, [`BenchmarkId`], `Bencher::iter`, the
+//! [`criterion_group!`]/[`criterion_main!`] macros and [`black_box`] — over
+//! a small but honest measurement loop: each benchmark is warmed up, then
+//! sampled in batches sized to the measured per-iteration cost, and the
+//! median per-iteration time is reported on stdout as
+//! `bench: <group>/<name> ... <time>` lines. Good enough to compare two
+//! implementations on the same machine, which is what the workspace's
+//! before/after perf gates need; it makes no claim to criterion's
+//! statistical machinery.
+
+#![forbid(unsafe_code)]
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Identifier for a parameterized benchmark. Mirrors `criterion::BenchmarkId`.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    function: String,
+    parameter: String,
+}
+
+impl BenchmarkId {
+    /// A benchmark id `function/parameter`.
+    pub fn new(function: impl fmt::Display, parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            function: function.to_string(),
+            parameter: parameter.to_string(),
+        }
+    }
+
+    /// Name for reporting.
+    fn render(&self) -> String {
+        format!("{}/{}", self.function, self.parameter)
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId {
+            function: s.to_string(),
+            parameter: String::new(),
+        }
+    }
+}
+
+/// Passed to benchmark closures; `iter` runs and times the routine.
+pub struct Bencher {
+    /// Median per-iteration time of the last `iter` call, in nanoseconds.
+    result_ns: f64,
+}
+
+impl Bencher {
+    /// Measure `routine`: warm up, then time batches and keep the median
+    /// batch's per-iteration cost.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up and calibration: find an iteration count that fills ~2 ms.
+        let mut iters_per_batch = 1u64;
+        loop {
+            let start = Instant::now();
+            for _ in 0..iters_per_batch {
+                black_box(routine());
+            }
+            let elapsed = start.elapsed();
+            if elapsed >= Duration::from_millis(2) || iters_per_batch >= 1 << 24 {
+                break;
+            }
+            iters_per_batch *= 2;
+        }
+        // Sample batches and take the median.
+        const BATCHES: usize = 11;
+        let mut samples = [0f64; BATCHES];
+        for s in &mut samples {
+            let start = Instant::now();
+            for _ in 0..iters_per_batch {
+                black_box(routine());
+            }
+            *s = start.elapsed().as_nanos() as f64 / iters_per_batch as f64;
+        }
+        samples.sort_by(|a, b| a.total_cmp(b));
+        self.result_ns = samples[BATCHES / 2];
+    }
+}
+
+fn format_time(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.1} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1_000.0)
+    } else {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    }
+}
+
+fn report(group: &str, name: &str, ns: f64) {
+    let full = if group.is_empty() {
+        name.to_string()
+    } else {
+        format!("{group}/{name}")
+    };
+    println!("bench: {full:<48} {:>12}   ({ns:.1} ns/iter)", format_time(ns));
+}
+
+/// A named group of benchmarks. Mirrors `criterion::BenchmarkGroup`.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Criterion-compatible no-op knob (sampling here is time-based).
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Criterion-compatible no-op knob.
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Run a benchmark in this group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        mut f: F,
+    ) -> &mut Self {
+        let id = id.into();
+        let mut b = Bencher { result_ns: 0.0 };
+        f(&mut b);
+        let name = id.render();
+        let name = name.trim_end_matches('/');
+        report(&self.name, name, b.result_ns);
+        self.criterion.record(format!("{}/{}", self.name, name), b.result_ns);
+        self
+    }
+
+    /// Run a benchmark parameterized by `input`.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        let mut b = Bencher { result_ns: 0.0 };
+        f(&mut b, input);
+        report(&self.name, &id.render(), b.result_ns);
+        self.criterion
+            .record(format!("{}/{}", self.name, id.render()), b.result_ns);
+        self
+    }
+
+    /// End the group (reporting is incremental; this is for API parity).
+    pub fn finish(&mut self) {}
+}
+
+/// The benchmark driver. Mirrors `criterion::Criterion`.
+#[derive(Default)]
+pub struct Criterion {
+    /// `(name, median ns/iter)` for everything measured so far.
+    results: Vec<(String, f64)>,
+}
+
+impl Criterion {
+    /// Start a named group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            criterion: self,
+        }
+    }
+
+    /// Run an ungrouped benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher { result_ns: 0.0 };
+        f(&mut b);
+        report("", name, b.result_ns);
+        self.record(name.to_string(), b.result_ns);
+        self
+    }
+
+    /// API-parity knob; measurement is time-based here.
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    fn record(&mut self, name: String, ns: f64) {
+        self.results.push((name, ns));
+    }
+
+    /// All recorded `(name, ns/iter)` results.
+    pub fn results(&self) -> &[(String, f64)] {
+        &self.results
+    }
+
+    /// Print a closing summary line.
+    pub fn final_summary(&self) {
+        println!("bench: {} benchmarks measured", self.results.len());
+    }
+}
+
+/// Group benchmark functions under one runner, as in criterion.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name(c: &mut $crate::Criterion) {
+            $($target(c);)+
+        }
+    };
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        $crate::criterion_group!($name, $($target),+);
+    };
+}
+
+/// Emit `main` running the given groups, as in criterion.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let mut c = $crate::Criterion::default();
+            $($group(&mut c);)+
+            c.final_summary();
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_bench(c: &mut Criterion) {
+        let mut g = c.benchmark_group("g");
+        g.bench_function("add", |b| b.iter(|| black_box(2u64) + black_box(3u64)));
+        g.bench_with_input(BenchmarkId::new("sum", 100), &100u64, |b, &n| {
+            b.iter(|| (0..n).sum::<u64>())
+        });
+        g.finish();
+    }
+
+    #[test]
+    fn measures_something() {
+        let mut c = Criterion::default();
+        sample_bench(&mut c);
+        assert_eq!(c.results().len(), 2);
+        assert!(c.results().iter().all(|(_, ns)| *ns > 0.0));
+    }
+}

@@ -1,0 +1,349 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! The build environment for this workspace has no network access and no
+//! crates-io mirror, so the external `rand` crate cannot be fetched. This
+//! crate implements, from scratch, exactly the subset of the `rand` 0.8 API
+//! the workspace uses — [`RngCore`], [`SeedableRng`], and the [`Rng`]
+//! extension trait with `gen_range`/`gen_bool`/`gen` — with the same trait
+//! shapes (blanket `Rng` impl over `RngCore + ?Sized`, object-safe
+//! `&mut dyn RngCore`). It is wired in via `[patch.crates-io]`; swapping the
+//! real crate back in requires no source changes.
+//!
+//! Statistical quality: integer ranges use Lemire-style widening-multiply
+//! sampling with rejection (unbiased); floats use the 53-bit mantissa
+//! construction. Streams are deterministic functions of the seed, which is
+//! all the workspace's seed-stable experiments require.
+
+#![forbid(unsafe_code)]
+
+use std::ops::{Range, RangeInclusive};
+
+/// A source of random bits. Mirrors `rand_core::RngCore`.
+pub trait RngCore {
+    /// Next 32 random bits.
+    fn next_u32(&mut self) -> u32;
+    /// Next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+    /// Fill `dest` with random bytes.
+    fn fill_bytes(&mut self, dest: &mut [u8]);
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u32(&mut self) -> u32 {
+        (**self).next_u32()
+    }
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        (**self).fill_bytes(dest)
+    }
+}
+
+impl RngCore for Box<dyn RngCore> {
+    fn next_u32(&mut self) -> u32 {
+        (**self).next_u32()
+    }
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        (**self).fill_bytes(dest)
+    }
+}
+
+/// An RNG constructible from a seed. Mirrors `rand_core::SeedableRng`.
+pub trait SeedableRng: Sized {
+    /// The seed array type.
+    type Seed: Default + AsMut<[u8]>;
+
+    /// Build from a full-entropy seed.
+    fn from_seed(seed: Self::Seed) -> Self;
+
+    /// Build from a `u64`, expanded through SplitMix64 (the same expansion
+    /// the real crate uses, so seeds produce well-separated states).
+    fn seed_from_u64(state: u64) -> Self {
+        let mut seed = Self::Seed::default();
+        let mut sm = state;
+        for chunk in seed.as_mut().chunks_mut(8) {
+            // SplitMix64 step.
+            sm = sm.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = sm;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^= z >> 31;
+            for (b, out) in z.to_le_bytes().iter().zip(chunk.iter_mut()) {
+                *out = *b;
+            }
+        }
+        Self::from_seed(seed)
+    }
+}
+
+/// Types that can be sampled uniformly from a range by an RNG.
+pub trait SampleUniform: Sized {
+    /// Sample uniformly from `[lo, hi)`.
+    fn sample_half_open<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self;
+    /// Sample uniformly from `[lo, hi]`.
+    fn sample_inclusive<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self;
+}
+
+macro_rules! impl_sample_uniform_int {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_half_open<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self {
+                assert!(lo < hi, "gen_range: empty range");
+                let span = (hi as i128 - lo as i128) as u128;
+                lo.wrapping_add(uniform_u128(rng, span) as $t)
+            }
+            fn sample_inclusive<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self {
+                assert!(lo <= hi, "gen_range: empty range");
+                let span = (hi as i128 - lo as i128) as u128;
+                if span == u128::MAX {
+                    // Only reachable for the full u128 domain, which the
+                    // workspace never uses; fall back to raw bits.
+                    return rng.next_u64() as $t;
+                }
+                lo.wrapping_add(uniform_u128(rng, span + 1) as $t)
+            }
+        }
+    )*};
+}
+
+impl_sample_uniform_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// Unbiased uniform sample from `[0, span)` (`span > 0`) via widening
+/// multiply with rejection (Lemire's method on 64-bit words; spans above
+/// 2^64 take a slow path that the workspace never exercises).
+fn uniform_u128<R: RngCore + ?Sized>(rng: &mut R, span: u128) -> u128 {
+    debug_assert!(span > 0);
+    if span <= u64::MAX as u128 {
+        let s = span as u64;
+        if s == 0 {
+            return rng.next_u64() as u128; // span == 2^64
+        }
+        // Lemire: m = x * s; accept unless low word falls in the biased zone.
+        let zone = s.wrapping_neg() % s; // 2^64 mod s
+        loop {
+            let x = rng.next_u64();
+            let m = (x as u128) * (s as u128);
+            if (m as u64) >= zone {
+                return m >> 64;
+            }
+        }
+    } else {
+        // Rejection sample full 128-bit words.
+        loop {
+            let x = ((rng.next_u64() as u128) << 64) | rng.next_u64() as u128;
+            if x < u128::MAX - (u128::MAX % span) {
+                return x % span;
+            }
+        }
+    }
+}
+
+macro_rules! impl_sample_uniform_float {
+    ($($t:ty, $unit:ident);*) => {$(
+        impl SampleUniform for $t {
+            fn sample_half_open<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self {
+                assert!(lo < hi, "gen_range: empty range");
+                let u = $unit(rng);
+                let v = lo + (hi - lo) * u;
+                // Guard against rounding up to the open bound.
+                if v >= hi { lo } else { v }
+            }
+            fn sample_inclusive<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self {
+                assert!(lo <= hi, "gen_range: empty range");
+                lo + (hi - lo) * $unit(rng)
+            }
+        }
+    )*};
+}
+
+/// Uniform `f64` in `[0, 1)` from 53 random mantissa bits.
+fn unit_f64<R: RngCore + ?Sized>(rng: &mut R) -> f64 {
+    (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+/// Uniform `f32` in `[0, 1)` from 24 random mantissa bits.
+fn unit_f32<R: RngCore + ?Sized>(rng: &mut R) -> f32 {
+    (rng.next_u32() >> 8) as f32 * (1.0 / (1u32 << 24) as f32)
+}
+
+impl_sample_uniform_float!(f64, unit_f64; f32, unit_f32);
+
+/// A range argument to [`Rng::gen_range`]. Mirrors
+/// `rand::distributions::uniform::SampleRange`.
+pub trait SampleRange<T> {
+    /// Sample a value from the range.
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+impl<T: SampleUniform> SampleRange<T> for Range<T> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        T::sample_half_open(rng, self.start, self.end)
+    }
+}
+
+impl<T: SampleUniform + Copy> SampleRange<T> for RangeInclusive<T> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        T::sample_inclusive(rng, *self.start(), *self.end())
+    }
+}
+
+/// Types producible by [`Rng::gen`].
+pub trait Standard: Sized {
+    /// Sample one value with the standard distribution.
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+macro_rules! impl_standard {
+    ($($t:ty => $e:expr),*) => {$(
+        impl Standard for $t {
+            fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+                let f: fn(&mut R) -> $t = $e;
+                f(rng)
+            }
+        }
+    )*};
+}
+
+impl_standard!(
+    u8 => |r| r.next_u32() as u8,
+    u16 => |r| r.next_u32() as u16,
+    u32 => |r| r.next_u32(),
+    u64 => |r| r.next_u64(),
+    usize => |r| r.next_u64() as usize,
+    i32 => |r| r.next_u32() as i32,
+    i64 => |r| r.next_u64() as i64,
+    bool => |r| r.next_u32() & 1 == 1,
+    f64 => unit_f64,
+    f32 => unit_f32
+);
+
+/// Convenience extension methods over any [`RngCore`]. Mirrors `rand::Rng`.
+pub trait Rng: RngCore {
+    /// Uniform sample from `range`.
+    fn gen_range<T, Rge>(&mut self, range: Rge) -> T
+    where
+        T: SampleUniform,
+        Rge: SampleRange<T>,
+    {
+        range.sample_single(self)
+    }
+
+    /// Bernoulli sample: `true` with probability `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is not in `[0, 1]`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "gen_bool: p out of range");
+        unit_f64(self) < p
+    }
+
+    /// Sample a value with the standard distribution for its type.
+    fn gen<T: Standard>(&mut self) -> T {
+        T::sample_standard(self)
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// The `rand::rngs` module namespace (present for path compatibility).
+pub mod rngs {
+    pub use crate::StdRng;
+}
+
+/// A deterministic default RNG (SplitMix64-seeded xoshiro-style mix; not
+/// cryptographic, matches the role — not the stream — of `rand::StdRng`).
+#[derive(Clone, Debug)]
+pub struct StdRng {
+    state: [u64; 2],
+}
+
+impl RngCore for StdRng {
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        // xoroshiro128++.
+        let [s0, mut s1] = self.state;
+        let result = s0.wrapping_add(s1).rotate_left(17).wrapping_add(s0);
+        s1 ^= s0;
+        self.state[0] = s0.rotate_left(49) ^ s1 ^ (s1 << 21);
+        self.state[1] = s1.rotate_left(28);
+        result
+    }
+
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        fill_bytes_via_u64(self, dest)
+    }
+}
+
+impl SeedableRng for StdRng {
+    type Seed = [u8; 16];
+
+    fn from_seed(seed: Self::Seed) -> Self {
+        let mut a = [0u8; 8];
+        let mut b = [0u8; 8];
+        a.copy_from_slice(&seed[..8]);
+        b.copy_from_slice(&seed[8..]);
+        let mut state = [u64::from_le_bytes(a), u64::from_le_bytes(b)];
+        if state == [0, 0] {
+            state = [0x9E37_79B9_7F4A_7C15, 0xBF58_476D_1CE4_E5B9];
+        }
+        StdRng { state }
+    }
+}
+
+/// Fill a byte slice by drawing 64-bit words.
+pub fn fill_bytes_via_u64<R: RngCore + ?Sized>(rng: &mut R, dest: &mut [u8]) {
+    for chunk in dest.chunks_mut(8) {
+        let w = rng.next_u64().to_le_bytes();
+        chunk.copy_from_slice(&w[..chunk.len()]);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seed_determinism() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        assert_eq!(a.next_u64(), b.next_u64());
+        let mut c = StdRng::seed_from_u64(8);
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn gen_range_bounds() {
+        let mut r = StdRng::seed_from_u64(1);
+        for _ in 0..10_000 {
+            let x: u64 = r.gen_range(10..20);
+            assert!((10..20).contains(&x));
+            let y: i64 = r.gen_range(-5..=5);
+            assert!((-5..=5).contains(&y));
+            let f: f64 = r.gen_range(0.25..0.75);
+            assert!((0.25..0.75).contains(&f));
+        }
+    }
+
+    #[test]
+    fn gen_bool_frequency() {
+        let mut r = StdRng::seed_from_u64(2);
+        let hits = (0..100_000).filter(|_| r.gen_bool(0.3)).count();
+        assert!((28_000..32_000).contains(&hits), "hits {hits}");
+    }
+
+    #[test]
+    fn dyn_object_safety() {
+        let mut r = StdRng::seed_from_u64(3);
+        let dynr: &mut dyn RngCore = &mut r;
+        let x = dynr.gen_range(0..100u32);
+        assert!(x < 100);
+    }
+}

@@ -1,0 +1,115 @@
+//! Offline stand-in for `serde_json`: serialization entry points over the
+//! workspace's [`serde`] stub, plus a tiny object/array builder for report
+//! files.
+
+#![forbid(unsafe_code)]
+
+use std::fmt;
+
+pub use serde::Serialize;
+
+/// Serialization error (the stub cannot actually fail; the type exists for
+/// API compatibility).
+#[derive(Debug)]
+pub struct Error(());
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "serde_json stub error")
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Serialize `value` to a JSON string.
+///
+/// # Errors
+///
+/// Never fails in this stub; `Result` matches the real API.
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    Ok(value.to_json())
+}
+
+/// Serialize `value` to an indented JSON string. The stub emits compact
+/// JSON; pretty-printing would add no information to machine consumers.
+///
+/// # Errors
+///
+/// Never fails in this stub.
+pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    to_string(value)
+}
+
+/// Incremental builder for a JSON object, for report writers that want
+/// readable output without a data model.
+#[derive(Default)]
+pub struct JsonObject {
+    body: String,
+}
+
+impl JsonObject {
+    /// Start an empty object.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add a key/value pair; `value` is any [`Serialize`].
+    pub fn field<T: Serialize + ?Sized>(mut self, key: &str, value: &T) -> Self {
+        if !self.body.is_empty() {
+            self.body.push(',');
+        }
+        serde::escape_json_string(key, &mut self.body);
+        self.body.push(':');
+        value.serialize_json(&mut self.body);
+        self
+    }
+
+    /// Add a key whose value is a pre-rendered JSON fragment.
+    pub fn field_raw(mut self, key: &str, json: &str) -> Self {
+        if !self.body.is_empty() {
+            self.body.push(',');
+        }
+        serde::escape_json_string(key, &mut self.body);
+        self.body.push(':');
+        self.body.push_str(json);
+        self
+    }
+
+    /// Finish: the complete JSON object text.
+    pub fn build(self) -> String {
+        format!("{{{}}}", self.body)
+    }
+}
+
+/// Render an iterator of JSON fragments as a JSON array.
+pub fn array_raw<I: IntoIterator<Item = String>>(items: I) -> String {
+    let mut out = String::from("[");
+    for (i, item) in items.into_iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&item);
+    }
+    out.push(']');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn object_builder() {
+        let j = JsonObject::new()
+            .field("a", &1u32)
+            .field("b", "x")
+            .field_raw("c", "[1,2]")
+            .build();
+        assert_eq!(j, r#"{"a":1,"b":"x","c":[1,2]}"#);
+    }
+
+    #[test]
+    fn to_string_works() {
+        assert_eq!(to_string(&vec![1u8, 2]).unwrap(), "[1,2]");
+    }
+}
