@@ -7,13 +7,18 @@
 
 use std::sync::Arc;
 
-use qc_bench::{row, rule};
-use qc_sim::{default_threads, run_batch, ContactPolicy, SimConfig, SimTime};
+use qc_bench::{faults_flag, flag_value, row, rule};
+use qc_sim::{default_threads, run_batch, ContactPolicy, FaultPlan, SimConfig, SimTime};
 use quorum::{analysis, Majority, QuorumSpec, Rowa};
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 
-fn sim_config(q: &Arc<dyn QuorumSpec + Send + Sync>, p_down: f64) -> SimConfig {
+fn sim_config(
+    q: &Arc<dyn QuorumSpec + Send + Sync>,
+    p_down: f64,
+    faults: &FaultPlan,
+    seed: u64,
+) -> SimConfig {
     // Choose mttf/mttr so the stationary down-probability is p_down.
     let cycle = SimTime::from_secs(20);
     let mttr = SimTime((cycle.as_micros() as f64 * p_down) as u64 + 1);
@@ -30,12 +35,25 @@ fn sim_config(q: &Arc<dyn QuorumSpec + Send + Sync>, p_down: f64) -> SimConfig {
     // closed-loop clients would otherwise oversample up-periods, where
     // operations finish faster.
     c.think_time = SimTime::from_millis(500);
-    c.seed = 17;
+    c.seed = seed;
+    c.faults = faults.clone();
     c
 }
 
 fn main() {
+    // `--faults "<plan>"` layers a deterministic fault plan on top of the
+    // stochastic failures in every simulator cell (the analytic columns
+    // know nothing about the plan, so expect the sim columns to drop below
+    // them); `--seed N` re-seeds the simulator cells.
+    let faults = faults_flag().unwrap_or_default();
+    let seed: u64 = flag_value("--seed")
+        .map(|s| s.parse().expect("--seed takes an integer"))
+        .unwrap_or(17);
+
     println!("Q2 — availability vs per-site failure probability p (n = 5)\n");
+    if !faults.is_empty() {
+        println!("injected fault plan: {faults}\n");
+    }
     let widths = [14, 6, 10, 10, 10, 10, 10, 10];
     row(
         &[
@@ -62,7 +80,7 @@ fn main() {
     // table is identical at any thread count.
     let grid: Vec<SimConfig> = systems
         .iter()
-        .flat_map(|q| ps.iter().map(|&p| sim_config(q, p)))
+        .flat_map(|q| ps.iter().map(|&p| sim_config(q, p, &faults, seed)))
         .collect();
     let sims = run_batch(grid, default_threads());
     let mut sims = sims.iter();

@@ -21,18 +21,20 @@ use std::time::Instant;
 
 use ioa::{ExploreLimits, ReplayStrategy};
 use nested_txn::Value;
-use qc_bench::{contention_spec, row, rule};
+use qc_bench::{contention_spec, faults_flag, flag_value, row, rule};
 use qc_cc::{check_theorem11, CcRunOptions};
 use qc_replication::{
     verify_exhaustive_with, ConfigChoice, ItemSpec, SystemSpec, UserSpec, UserStep,
 };
-use qc_sim::{default_threads, par_map, run_batch, ContactPolicy, SimConfig, SimTime};
+use qc_sim::{
+    default_threads, par_map, run_batch, ContactPolicy, FaultPlan, SimConfig, SimTime,
+};
 use quorum::{Majority, QuorumSpec, Rowa};
 use serde_json::JsonObject;
 
 const SIM_SECS: u64 = 20;
 
-fn sim_grid() -> Vec<(String, f64, SimConfig)> {
+fn sim_grid(faults: &FaultPlan, seed: u64) -> Vec<(String, f64, SimConfig)> {
     let systems: Vec<Arc<dyn QuorumSpec + Send + Sync>> =
         vec![Arc::new(Rowa::new(5)), Arc::new(Majority::new(5))];
     let mut grid = Vec::new();
@@ -44,7 +46,8 @@ fn sim_grid() -> Vec<(String, f64, SimConfig)> {
             c.contact = ContactPolicy::MinimalQuorum;
             c.think_time = SimTime::from_millis(0);
             c.duration = SimTime::from_secs(SIM_SECS);
-            c.seed = 23;
+            c.seed = seed;
+            c.faults = faults.clone();
             grid.push((q.label(), rf, c));
         }
     }
@@ -71,11 +74,21 @@ fn explorer_scope() -> SystemSpec {
 }
 
 fn main() {
+    // `--faults "<plan>"` injects a deterministic fault plan into every
+    // simulator cell (throughput then reflects the outage windows);
+    // `--seed N` re-seeds the cells.
+    let faults = faults_flag().unwrap_or_default();
+    let seed: u64 = flag_value("--seed")
+        .map(|s| s.parse().expect("--seed takes an integer"))
+        .unwrap_or(23);
     let threads = default_threads();
     println!(
         "Q3a — simulated throughput vs read fraction (n = 5, 8 clients, LAN, \
          {threads}-thread sweep)\n"
     );
+    if !faults.is_empty() {
+        println!("injected fault plan: {faults}\n");
+    }
     let widths = [14, 8, 14, 12, 12];
     row(
         &[
@@ -89,7 +102,7 @@ fn main() {
     );
     rule(&widths);
 
-    let grid = sim_grid();
+    let grid = sim_grid(&faults, seed);
     let configs: Vec<SimConfig> = grid.iter().map(|(_, _, c)| c.clone()).collect();
     let metrics = run_batch(configs, threads);
     let mut sim_rows = Vec::new();

@@ -7,6 +7,30 @@
 use nested_txn::Value;
 use qc_replication::{ConfigChoice, ItemSpec, SystemSpec, UserSpec, UserStep};
 
+/// The value following `flag` in this process's argument list, if present
+/// (`--flag value` form). The experiment binaries use this for the fault
+/// and seed overrides; anything fancier would not earn its keep here.
+pub fn flag_value(flag: &str) -> Option<String> {
+    let args: Vec<String> = std::env::args().collect();
+    args.windows(2)
+        .find(|w| w[0] == flag)
+        .map(|w| w[1].clone())
+}
+
+/// Parse a `--faults "<plan text>"` argument into a [`qc_sim::FaultPlan`];
+/// `None` when the flag is absent. Exits with a message on a malformed
+/// plan, since silently running a different experiment than the user asked
+/// for would be worse than stopping.
+pub fn faults_flag() -> Option<qc_sim::FaultPlan> {
+    flag_value("--faults").map(|spec| match qc_sim::FaultPlan::parse(&spec) {
+        Ok(plan) => plan,
+        Err(e) => {
+            eprintln!("invalid --faults plan: {e}");
+            std::process::exit(2);
+        }
+    })
+}
+
 /// Print a fixed-width table row.
 pub fn row(cells: &[String], widths: &[usize]) {
     let line: Vec<String> = cells

@@ -4,14 +4,256 @@
 //! §3.1) are implemented directly over schedules; [`LemmaMonitor`] checks
 //! Lemma 7 and Lemma 8 incrementally after every step of a running
 //! replicated system **B**.
+//!
+//! The lemma *statements* themselves — "the maximum version number among
+//! the DMs equals `current-vn`" (Lemma 7), "some write-quorum holds the
+//! current version, every holder of the current version holds the logical
+//! state, and read-TMs return the logical state" (Lemma 8) — are factored
+//! into the runtime-agnostic [`LemmaChecker`], shared between
+//! [`LemmaMonitor`] (the I/O-automaton executor) and the discrete-event
+//! simulator's `InvariantProbe` (`qc_sim`), so both runtimes assert the
+//! same predicates against their own replica states.
 
 use std::collections::BTreeMap;
+use std::fmt;
 
 use ioa::{Monitor, Schedule, System};
 use nested_txn::{AccessKind, ObjectId, ReadWriteObject, Tid, TxnOp, Value};
+use quorum::ReplicaSet;
 
 use crate::item::ItemId;
 use crate::spec::{Layout, TmRole};
+
+/// A violation of Lemma 7 or Lemma 8, detected by a [`LemmaChecker`].
+///
+/// Values are rendered to strings at detection time so the violation type
+/// stays independent of the checker's value type.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum LemmaViolation {
+    /// Lemma 7: the maximum version number among the replicas differs from
+    /// `current-vn`.
+    Lemma7 {
+        /// Maximum version number found across replica states.
+        max_replica_vn: u64,
+        /// `current-vn` implied by the committed writes.
+        current_vn: u64,
+    },
+    /// Lemma 8(1a): no write-quorum's replicas all hold `current-vn`.
+    Lemma8a {
+        /// The current version number no write-quorum covers.
+        current_vn: u64,
+    },
+    /// Lemma 8(1b): a replica at `current-vn` holds a value other than the
+    /// logical state.
+    Lemma8b {
+        /// Index of the offending replica.
+        replica: usize,
+        /// The version number it holds (equal to `current-vn`).
+        vn: u64,
+        /// The value it holds, rendered with `Debug`.
+        value: String,
+        /// The logical state, rendered with `Debug`.
+        logical: String,
+    },
+    /// Lemma 8(2): a committed read returned a value other than the
+    /// logical state.
+    Lemma8Read {
+        /// The value the read returned, rendered with `Debug`.
+        value: String,
+        /// The logical state, rendered with `Debug`.
+        logical: String,
+    },
+    /// A committed write's version number did not advance `current-vn` by
+    /// exactly one — its read-quorum discovery missed the latest version.
+    WriteVn {
+        /// The version number the write committed.
+        committed_vn: u64,
+        /// `current-vn` at the time of the commit.
+        current_vn: u64,
+    },
+}
+
+impl fmt::Display for LemmaViolation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LemmaViolation::Lemma7 {
+                max_replica_vn,
+                current_vn,
+            } => write!(
+                f,
+                "Lemma 7 violated: max replica vn {max_replica_vn} ≠ current-vn {current_vn}"
+            ),
+            LemmaViolation::Lemma8a { current_vn } => write!(
+                f,
+                "Lemma 8(1a) violated: no write-quorum holds vn {current_vn}"
+            ),
+            LemmaViolation::Lemma8b {
+                replica,
+                vn,
+                value,
+                logical,
+            } => write!(
+                f,
+                "Lemma 8(1b) violated: replica {replica} holds ({vn}, {value}) but \
+                 logical-state is {logical}"
+            ),
+            LemmaViolation::Lemma8Read { value, logical } => write!(
+                f,
+                "Lemma 8(2) violated: read returned {value}, logical-state is {logical}"
+            ),
+            LemmaViolation::WriteVn {
+                committed_vn,
+                current_vn,
+            } => write!(
+                f,
+                "write committed vn {committed_vn} but current-vn is {current_vn} \
+                 (read-quorum discovery missed the latest version)"
+            ),
+        }
+    }
+}
+
+/// Runtime-agnostic incremental checker for Lemma 7 and Lemma 8 over one
+/// logical item's versioned replica states.
+///
+/// The checker tracks the two quantities the lemmas are stated against —
+/// `current-vn(x, β)` and `logical-state(x, β)` — as committed writes are
+/// fed to [`commit_write`](Self::commit_write), and asserts the lemma
+/// predicates against whatever replica states the hosting runtime can
+/// observe. [`LemmaMonitor`] instantiates it per step over the I/O-automaton
+/// system's DM components; the simulator's `InvariantProbe` (`qc_sim`)
+/// instantiates it over the simulated per-site stores. Generic over the
+/// value type so both `Value`-based and plain-integer runtimes share the
+/// exact predicate code.
+#[derive(Clone, Debug)]
+pub struct LemmaChecker<V> {
+    current_vn: u64,
+    logical: V,
+}
+
+impl<V: Clone + PartialEq + fmt::Debug> LemmaChecker<V> {
+    /// A checker in the initial state: `current-vn = 0`, logical state
+    /// `initial` (the paper's `i_x`).
+    pub fn new(initial: V) -> Self {
+        LemmaChecker {
+            current_vn: 0,
+            logical: initial,
+        }
+    }
+
+    /// A checker at an arbitrary known state (used by [`LemmaMonitor`],
+    /// which tracks `current-vn` and `logical-state` itself).
+    pub fn from_state(current_vn: u64, logical: V) -> Self {
+        LemmaChecker {
+            current_vn,
+            logical,
+        }
+    }
+
+    /// `current-vn(x, β)` for the committed history fed so far.
+    pub fn current_vn(&self) -> u64 {
+        self.current_vn
+    }
+
+    /// `logical-state(x, β)` for the committed history fed so far.
+    pub fn logical_state(&self) -> &V {
+        &self.logical
+    }
+
+    /// Digest a committed logical write that installed `vn` with `value`.
+    ///
+    /// # Errors
+    ///
+    /// A committed write must have discovered the latest version at its
+    /// read-quorum, so its `vn` must be exactly `current-vn + 1`; anything
+    /// else is reported as [`LemmaViolation::WriteVn`] (and the checker
+    /// state is left unchanged).
+    pub fn commit_write(&mut self, vn: u64, value: V) -> Result<(), LemmaViolation> {
+        if vn != self.current_vn + 1 {
+            return Err(LemmaViolation::WriteVn {
+                committed_vn: vn,
+                current_vn: self.current_vn,
+            });
+        }
+        self.current_vn = vn;
+        self.logical = value;
+        Ok(())
+    }
+
+    /// Digest a committed logical read that returned `value` — Lemma 8(2).
+    ///
+    /// # Errors
+    ///
+    /// [`LemmaViolation::Lemma8Read`] when `value` differs from the logical
+    /// state.
+    pub fn check_read(&self, value: &V) -> Result<(), LemmaViolation> {
+        if *value != self.logical {
+            return Err(LemmaViolation::Lemma8Read {
+                value: format!("{value:?}"),
+                logical: format!("{:?}", self.logical),
+            });
+        }
+        Ok(())
+    }
+
+    /// Assert Lemma 7 — and, when `even_point` is true (the paper's
+    /// "access(x, β) has even length": no access in progress), Lemma 8(1a)
+    /// and 8(1b) — against the observed replica states.
+    ///
+    /// `states` yields `(replica index, version number, value)` for every
+    /// replica of the item; `is_write_quorum` answers whether a set of
+    /// replica indices covers a write-quorum.
+    ///
+    /// # Errors
+    ///
+    /// The first violated lemma, as a [`LemmaViolation`].
+    pub fn check_states<'a, I, Q>(
+        &self,
+        states: I,
+        even_point: bool,
+        is_write_quorum: Q,
+    ) -> Result<(), LemmaViolation>
+    where
+        V: 'a,
+        I: IntoIterator<Item = (usize, u64, &'a V)>,
+        Q: FnOnce(ReplicaSet) -> bool,
+    {
+        let states: Vec<(usize, u64, &V)> = states.into_iter().collect();
+        // Lemma 7.
+        let max_replica_vn = states.iter().map(|&(_, vn, _)| vn).max().unwrap_or(0);
+        if max_replica_vn != self.current_vn {
+            return Err(LemmaViolation::Lemma7 {
+                max_replica_vn,
+                current_vn: self.current_vn,
+            });
+        }
+        if even_point {
+            // Lemma 8(1a).
+            let holders: ReplicaSet = states
+                .iter()
+                .filter(|&&(_, vn, _)| vn == self.current_vn)
+                .map(|&(r, _, _)| r)
+                .collect();
+            if !is_write_quorum(holders) {
+                return Err(LemmaViolation::Lemma8a {
+                    current_vn: self.current_vn,
+                });
+            }
+            // Lemma 8(1b).
+            for &(r, vn, v) in &states {
+                if vn == self.current_vn && *v != self.logical {
+                    return Err(LemmaViolation::Lemma8b {
+                        replica: r,
+                        vn,
+                        value: format!("{v:?}"),
+                        logical: format!("{:?}", self.logical),
+                    });
+                }
+            }
+        }
+        Ok(())
+    }
+}
 
 /// `access(x, β)`: the subsequence of `β` containing the `CREATE` and
 /// `REQUEST-COMMIT` operations for the members of `tm(x)`.
@@ -219,43 +461,27 @@ impl LemmaMonitor {
             .copied()
             .max()
             .unwrap_or(0);
-        // Lemma 7.
-        let max_state = states.iter().map(|(_, vn, _)| *vn).max().unwrap_or(0);
-        if max_state != current {
-            return Err(format!(
-                "Lemma 7 violated for {item}: max DM vn {max_state} ≠ current-vn {current}"
-            ));
-        }
-        // Lemma 8 (1a, 1b): only when access(x, β) has even length.
-        if track.open_tms == 0 {
-            let holders: std::collections::BTreeSet<ObjectId> = states
-                .iter()
-                .filter(|(_, vn, _)| *vn == current)
-                .map(|(o, _, _)| *o)
-                .collect();
-            if !il.config.covers_write_quorum(&holders) {
-                return Err(format!(
-                    "Lemma 8(1a) violated for {item}: no write-quorum holds vn {current}"
-                ));
-            }
-            for (o, vn, v) in &states {
-                if *vn == current && *v != track.logical_state {
-                    return Err(format!(
-                        "Lemma 8(1b) violated for {item}: DM {o} holds ({vn}, {v}) but \
-                         logical-state is {}",
-                        track.logical_state
-                    ));
-                }
-            }
-        }
+        // Lemmas 7, 8(1a), 8(1b): shared predicate code with the simulator's
+        // InvariantProbe, via LemmaChecker. Replica indices map to DM
+        // objects positionally; 8(1a)/8(1b) apply only when access(x, β) has
+        // even length (no TM in progress).
+        let checker = LemmaChecker::from_state(current, track.logical_state.clone());
+        checker
+            .check_states(
+                states.iter().map(|(_, vn, v)| (*vn, v)).enumerate().map(
+                    |(r, (vn, v))| (r, vn, v),
+                ),
+                track.open_tms == 0,
+                |holders: quorum::ReplicaSet| {
+                    let objs: std::collections::BTreeSet<ObjectId> =
+                        holders.iter().map(|r| il.dm_objects[r]).collect();
+                    il.config.covers_write_quorum(&objs)
+                },
+            )
+            .map_err(|e| format!("{item}: {e}"))?;
         // Lemma 8 (2).
         if let Some(v) = read_commit {
-            if *v != track.logical_state {
-                return Err(format!(
-                    "Lemma 8(2) violated for {item}: read-TM returned {v}, logical-state is {}",
-                    track.logical_state
-                ));
-            }
+            checker.check_read(v).map_err(|e| format!("{item}: {e}"))?;
         }
         Ok(())
     }
@@ -308,6 +534,70 @@ mod tests {
             ])],
             strategy: TmStrategy::Eager,
         }
+    }
+
+    fn maj3(holders: quorum::ReplicaSet) -> bool {
+        holders.len() >= 2
+    }
+
+    #[test]
+    fn lemma_checker_green_on_faithful_history() {
+        let mut c = LemmaChecker::new(0u64);
+        assert_eq!(c.current_vn(), 0);
+        // All replicas at the initial version satisfy everything.
+        let states = [(0usize, 0u64, 0u64), (1, 0, 0), (2, 0, 0)];
+        c.check_states(states.iter().map(|&(r, vn, ref v)| (r, vn, v)), true, maj3)
+            .unwrap();
+        // Install vn 1 = 7 at a majority {0, 2}.
+        c.commit_write(1, 7).unwrap();
+        let states = [(0usize, 1u64, 7u64), (1, 0, 0), (2, 1, 7)];
+        c.check_states(states.iter().map(|&(r, vn, ref v)| (r, vn, v)), true, maj3)
+            .unwrap();
+        c.check_read(&7).unwrap();
+        assert_eq!(*c.logical_state(), 7);
+    }
+
+    #[test]
+    fn lemma_checker_fires_on_corrupted_replica() {
+        let mut c = LemmaChecker::new(0u64);
+        c.commit_write(1, 7).unwrap();
+        // A replica scribbled with a version beyond current-vn → Lemma 7.
+        let states = [(0usize, 1u64, 7u64), (1, 9, 3), (2, 1, 7)];
+        let err = c
+            .check_states(states.iter().map(|&(r, vn, ref v)| (r, vn, v)), true, maj3)
+            .unwrap_err();
+        assert!(matches!(err, LemmaViolation::Lemma7 { max_replica_vn: 9, current_vn: 1 }));
+        // A replica at current-vn with the wrong value → Lemma 8(1b).
+        let states = [(0usize, 1u64, 7u64), (1, 1, 3), (2, 1, 7)];
+        let err = c
+            .check_states(states.iter().map(|&(r, vn, ref v)| (r, vn, v)), true, maj3)
+            .unwrap_err();
+        assert!(matches!(err, LemmaViolation::Lemma8b { replica: 1, .. }));
+        // Too few replicas at current-vn → Lemma 8(1a).
+        let states = [(0usize, 1u64, 7u64), (1, 0, 0), (2, 0, 0)];
+        let err = c
+            .check_states(states.iter().map(|&(r, vn, ref v)| (r, vn, v)), true, maj3)
+            .unwrap_err();
+        assert!(matches!(err, LemmaViolation::Lemma8a { current_vn: 1 }));
+        // ... but 8(1a)/8(1b) are not asserted at odd points.
+        c.check_states(states.iter().map(|&(r, vn, ref v)| (r, vn, v)), false, maj3)
+            .unwrap();
+        // A read returning anything but the logical state → Lemma 8(2).
+        let err = c.check_read(&3).unwrap_err();
+        assert!(matches!(err, LemmaViolation::Lemma8Read { .. }));
+    }
+
+    #[test]
+    fn lemma_checker_rejects_stale_write_vn() {
+        let mut c = LemmaChecker::new(0u64);
+        c.commit_write(1, 7).unwrap();
+        // A second write at the same vn means its discovery missed vn 1.
+        let err = c.commit_write(1, 8).unwrap_err();
+        assert!(matches!(err, LemmaViolation::WriteVn { committed_vn: 1, current_vn: 1 }));
+        // State unchanged by the rejected write.
+        assert_eq!(c.current_vn(), 1);
+        assert_eq!(*c.logical_state(), 7);
+        assert!(format!("{err}").contains("missed the latest version"));
     }
 
     #[test]

@@ -60,7 +60,9 @@ mod tm;
 
 pub use exhaustive::{verify_exhaustive, verify_exhaustive_with, ExhaustiveReport};
 pub use genspec::{random_spec, GenParams};
-pub use invariants::{access_sequence, current_vn, logical_state, LemmaMonitor};
+pub use invariants::{
+    access_sequence, current_vn, logical_state, LemmaChecker, LemmaMonitor, LemmaViolation,
+};
 pub use item::{ItemId, LogicalItem};
 pub use spec::{
     build_replicated_parts, build_system_a, build_system_b, wf_monitor_for_a, BuiltSystem,

@@ -11,6 +11,38 @@ use std::collections::BTreeSet;
 use crate::config::Configuration;
 use crate::replica_set::{ReplicaSet, MAX_REPLICAS};
 
+/// What a quorum system can still do given a set of live replicas.
+///
+/// Computed by [`QuorumSpec::quorum_health`]; coordinators use it to fail
+/// fast ("quorum unavailable") instead of timing out against a site set
+/// that can never assemble the required quorum.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum QuorumHealth {
+    /// Both a read-quorum and a write-quorum are available.
+    ReadWrite,
+    /// Only a read-quorum is available.
+    ReadOnly,
+    /// Only a write-quorum is available (possible under asymmetric
+    /// thresholds where read-quorums are larger than write-quorums).
+    WriteOnly,
+    /// Neither quorum is available.
+    Unavailable,
+}
+
+impl QuorumHealth {
+    /// Whether a read-quorum can be assembled.
+    #[must_use]
+    pub fn can_read(self) -> bool {
+        matches!(self, QuorumHealth::ReadWrite | QuorumHealth::ReadOnly)
+    }
+
+    /// Whether a write-quorum can be assembled.
+    #[must_use]
+    pub fn can_write(self) -> bool {
+        matches!(self, QuorumHealth::ReadWrite | QuorumHealth::WriteOnly)
+    }
+}
+
 /// A quorum system over replicas `0..n`, in predicate form.
 ///
 /// The required predicates operate on [`ReplicaSet`] bitsets — the form the
@@ -67,6 +99,25 @@ pub trait QuorumSpec: std::fmt::Debug {
     /// A (small) write-quorum contained in `available`, if any.
     fn find_write_quorum(&self, available: &BTreeSet<usize>) -> Option<BTreeSet<usize>> {
         self.find_write_quorum_bits(to_bits(available)).map(Into::into)
+    }
+
+    /// Quorum-loss detection: what this system can still do when only
+    /// `live` replicas are reachable.
+    ///
+    /// The answer depends only on quorum membership over indices, so it is
+    /// exact (not a heuristic): [`QuorumHealth::Unavailable`] means *no*
+    /// subset of `live` is a quorum, and the operation is doomed before a
+    /// single message is sent.
+    fn quorum_health(&self, live: ReplicaSet) -> QuorumHealth {
+        match (
+            self.is_read_quorum_bits(live),
+            self.is_write_quorum_bits(live),
+        ) {
+            (true, true) => QuorumHealth::ReadWrite,
+            (true, false) => QuorumHealth::ReadOnly,
+            (false, true) => QuorumHealth::WriteOnly,
+            (false, false) => QuorumHealth::Unavailable,
+        }
     }
 
     /// A short human-readable label ("rowa", "majority", …) for reports.
@@ -545,6 +596,58 @@ mod tests {
     fn find_quorum_none_when_unavailable() {
         let q = Majority::new(5);
         assert!(q.find_read_quorum(&set(&[0, 1])).is_none());
+    }
+
+    #[test]
+    fn quorum_health_tracks_live_set() {
+        let q = Majority::new(5);
+        assert_eq!(q.quorum_health(ReplicaSet::full(5)), QuorumHealth::ReadWrite);
+        let three: ReplicaSet = [0usize, 2, 4].into_iter().collect();
+        assert_eq!(q.quorum_health(three), QuorumHealth::ReadWrite);
+        let two: ReplicaSet = [1usize, 3].into_iter().collect();
+        assert_eq!(q.quorum_health(two), QuorumHealth::Unavailable);
+        assert!(!q.quorum_health(two).can_read());
+        assert!(!q.quorum_health(two).can_write());
+    }
+
+    #[test]
+    fn quorum_health_rowa_degrades_to_read_only() {
+        let q = Rowa::new(3);
+        assert_eq!(q.quorum_health(ReplicaSet::full(3)), QuorumHealth::ReadWrite);
+        let partial: ReplicaSet = [0usize, 2].into_iter().collect();
+        assert_eq!(q.quorum_health(partial), QuorumHealth::ReadOnly);
+        assert!(q.quorum_health(partial).can_read());
+        assert!(!q.quorum_health(partial).can_write());
+        assert_eq!(q.quorum_health(ReplicaSet::EMPTY), QuorumHealth::Unavailable);
+    }
+
+    #[test]
+    fn quorum_health_write_only_under_asymmetric_thresholds() {
+        // Read-quorums larger than write-quorums: r=4, w=2 over n=5.
+        let q = Majority::with_sizes(5, 4, 2);
+        let three: ReplicaSet = [0usize, 1, 2].into_iter().collect();
+        assert_eq!(q.quorum_health(three), QuorumHealth::WriteOnly);
+        assert!(q.quorum_health(three).can_write());
+        assert!(!q.quorum_health(three).can_read());
+    }
+
+    #[test]
+    fn quorum_health_agrees_with_predicates_exhaustively() {
+        let specs: Vec<Box<dyn QuorumSpec>> = vec![
+            Box::new(Rowa::new(5)),
+            Box::new(Majority::new(5)),
+            Box::new(Weighted::new(vec![2, 1, 1, 1], 3, 3)),
+            Box::new(Grid::new(2, 3)),
+            Box::new(TreeQuorum::new(9)),
+        ];
+        for s in &specs {
+            for mask in 0u32..(1 << s.n()) {
+                let live = ReplicaSet::from_bits(mask as u128);
+                let h = s.quorum_health(live);
+                assert_eq!(h.can_read(), s.is_read_quorum_bits(live), "{}", s.label());
+                assert_eq!(h.can_write(), s.is_write_quorum_bits(live), "{}", s.label());
+            }
+        }
     }
 
     #[test]

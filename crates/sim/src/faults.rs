@@ -1,0 +1,622 @@
+//! Deterministic fault injection: seed-driven, serializable schedules of
+//! site crashes, recoveries, message drops/delays, forced aborts and
+//! replica-store corruption, plus the coordinator's retry/backoff policy.
+//!
+//! A [`FaultPlan`] pins fault events to exact [`SimTime`] points, so every
+//! run under the same `(config, seed, plan)` triple is bit-identical —
+//! unlike the exponential crash/repair process (`SimConfig::mttf`), which
+//! models background failure *rates*, a plan reproduces a specific failure
+//! *scenario* (the paper's abort/failure model made concrete; see
+//! `DESIGN.md`). Plans round-trip through a compact text form
+//! ([`FaultPlan::parse`] / `Display`) for experiment CLI flags, and
+//! serialize to JSON for result files.
+//!
+//! Per-message randomness (drop decisions) is derived from a hash of the
+//! message's coordinates `(seed, client, op, attempt, phase, site,
+//! direction)` rather than from the simulator's main RNG stream. This keeps
+//! the main stream identical across [`ContactPolicy`] variants — the
+//! policies send different message sets, and drawing per-message coins from
+//! a shared stream would make every later sample diverge.
+//!
+//! [`ContactPolicy`]: crate::ContactPolicy
+
+use std::fmt;
+
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use serde::Serialize;
+
+use crate::time::SimTime;
+
+/// One scheduled fault.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FaultEvent {
+    /// Site `site` crashes (fail-stop: it stops responding; its store
+    /// survives and is served again after recovery).
+    Crash {
+        /// The crashing site.
+        site: usize,
+    },
+    /// Site `site` recovers with its store intact.
+    Recover {
+        /// The recovering site.
+        site: usize,
+    },
+    /// The next operation (or in-flight retry sequence) of `client` is
+    /// forcibly aborted — the paper's transaction-abort model: the TM
+    /// stops without a `REQUEST-COMMIT` and none of its effects become
+    /// visible.
+    AbortClient {
+        /// The client whose operation aborts.
+        client: usize,
+    },
+    /// Scribble `(vn, value)` into site `site`'s replica store. This is
+    /// *outside* the paper's fail-stop model — it is the negative control
+    /// proving the runtime lemma monitor actually fires.
+    Corrupt {
+        /// The corrupted site.
+        site: usize,
+        /// The bogus version number installed.
+        vn: u64,
+        /// The bogus value installed.
+        value: u64,
+    },
+    /// For `duration` from the event time, every message is independently
+    /// dropped with probability `permille`/1000.
+    DropWindow {
+        /// Window length.
+        duration: SimTime,
+        /// Drop probability in thousandths (0..=1000).
+        permille: u32,
+    },
+    /// For `duration` from the event time, every one-way message latency
+    /// gains `extra`.
+    DelayWindow {
+        /// Window length.
+        duration: SimTime,
+        /// Added one-way latency.
+        extra: SimTime,
+    },
+}
+
+/// A deterministic, serializable schedule of [`FaultEvent`]s.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct FaultPlan {
+    events: Vec<(SimTime, FaultEvent)>,
+}
+
+impl FaultPlan {
+    /// The empty plan (no injected faults).
+    #[must_use]
+    pub fn new() -> Self {
+        FaultPlan::default()
+    }
+
+    /// Whether the plan schedules no events.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Number of scheduled events.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// The events, sorted by time (stable for equal times).
+    #[must_use]
+    pub fn events(&self) -> &[(SimTime, FaultEvent)] {
+        &self.events
+    }
+
+    fn push(mut self, at: SimTime, e: FaultEvent) -> Self {
+        self.events.push((at, e));
+        self.events.sort_by_key(|&(t, _)| t);
+        self
+    }
+
+    /// Schedule a site crash.
+    #[must_use]
+    pub fn crash_at(self, at: SimTime, site: usize) -> Self {
+        self.push(at, FaultEvent::Crash { site })
+    }
+
+    /// Schedule a site recovery.
+    #[must_use]
+    pub fn recover_at(self, at: SimTime, site: usize) -> Self {
+        self.push(at, FaultEvent::Recover { site })
+    }
+
+    /// Schedule a forced abort of `client`'s next operation.
+    #[must_use]
+    pub fn abort_at(self, at: SimTime, client: usize) -> Self {
+        self.push(at, FaultEvent::AbortClient { client })
+    }
+
+    /// Schedule a store corruption (monitor negative control).
+    #[must_use]
+    pub fn corrupt_at(self, at: SimTime, site: usize, vn: u64, value: u64) -> Self {
+        self.push(at, FaultEvent::Corrupt { site, vn, value })
+    }
+
+    /// Schedule a message-drop window.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `permille > 1000`.
+    #[must_use]
+    pub fn drop_window(self, at: SimTime, duration: SimTime, permille: u32) -> Self {
+        assert!(permille <= 1000, "drop probability is in thousandths");
+        self.push(at, FaultEvent::DropWindow { duration, permille })
+    }
+
+    /// Schedule a message-delay window.
+    #[must_use]
+    pub fn delay_window(self, at: SimTime, duration: SimTime, extra: SimTime) -> Self {
+        self.push(at, FaultEvent::DelayWindow { duration, extra })
+    }
+
+    /// The strongest drop probability (thousandths) of any window active at
+    /// `t`.
+    #[must_use]
+    pub fn drop_permille_at(&self, t: SimTime) -> u32 {
+        self.events
+            .iter()
+            .filter_map(|&(at, e)| match e {
+                FaultEvent::DropWindow { duration, permille }
+                    if at <= t && t < at + duration =>
+                {
+                    Some(permille)
+                }
+                _ => None,
+            })
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// The largest extra one-way latency of any delay window active at `t`.
+    #[must_use]
+    pub fn delay_extra_at(&self, t: SimTime) -> SimTime {
+        self.events
+            .iter()
+            .filter_map(|&(at, e)| match e {
+                FaultEvent::DelayWindow { duration, extra } if at <= t && t < at + duration => {
+                    Some(extra)
+                }
+                _ => None,
+            })
+            .max()
+            .unwrap_or(SimTime::ZERO)
+    }
+
+    /// The scheduled crash times of `site`, ascending (used by the
+    /// simulator to detect operations that straddle a crash).
+    pub fn crash_times_for(&self, site: usize) -> impl Iterator<Item = SimTime> + '_ {
+        self.events.iter().filter_map(move |&(at, e)| match e {
+            FaultEvent::Crash { site: s } if s == site => Some(at),
+            _ => None,
+        })
+    }
+
+    /// Check every event references sites `< sites` and clients
+    /// `< clients`.
+    ///
+    /// # Errors
+    ///
+    /// A description of the first out-of-range event.
+    pub fn validate(&self, sites: usize, clients: usize) -> Result<(), String> {
+        for &(at, e) in &self.events {
+            match e {
+                FaultEvent::Crash { site }
+                | FaultEvent::Recover { site }
+                | FaultEvent::Corrupt { site, .. } => {
+                    if site >= sites {
+                        return Err(format!(
+                            "fault at {at} references site {site}, but there are {sites} sites"
+                        ));
+                    }
+                }
+                FaultEvent::AbortClient { client } => {
+                    if client >= clients {
+                        return Err(format!(
+                            "fault at {at} references client {client}, but there are \
+                             {clients} clients"
+                        ));
+                    }
+                }
+                FaultEvent::DropWindow { .. } | FaultEvent::DelayWindow { .. } => {}
+            }
+        }
+        Ok(())
+    }
+
+    /// A deterministic seed-driven plan: `pairs` crash/recovery pairs over
+    /// random sites, `aborts` forced client aborts, all within
+    /// `[duration/10, 9·duration/10]`.
+    #[must_use]
+    pub fn random(seed: u64, sites: usize, clients: usize, duration: SimTime, pairs: usize, aborts: usize) -> Self {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed ^ 0xFA17_FA17_FA17_FA17);
+        let span = duration.as_micros();
+        let (lo, hi) = (span / 10, span * 9 / 10);
+        let mut plan = FaultPlan::new();
+        for _ in 0..pairs {
+            let site = rng.gen_range(0..sites);
+            let down = rng.gen_range(lo..hi);
+            let up = rng.gen_range(down..=hi);
+            plan = plan
+                .crash_at(SimTime(down), site)
+                .recover_at(SimTime(up), site);
+        }
+        for _ in 0..aborts {
+            let client = rng.gen_range(0..clients);
+            let at = rng.gen_range(lo..hi);
+            plan = plan.abort_at(SimTime(at), client);
+        }
+        plan
+    }
+
+    /// Parse the compact text form emitted by `Display`.
+    ///
+    /// Events are separated by `;`. Times are integer milliseconds:
+    ///
+    /// ```text
+    /// crash@1500:2       site 2 crashes at t = 1500 ms
+    /// recover@3000:2     site 2 recovers at t = 3000 ms
+    /// abort@2000:0       client 0's next operation aborts at t = 2000 ms
+    /// corrupt@4000:1,99,7  site 1's store becomes (vn 99, value 7)
+    /// drop@1000:500,300  for 500 ms from t = 1000 ms, drop 30.0% of messages
+    /// delay@1000:500,2   for 500 ms from t = 1000 ms, +2 ms one-way latency
+    /// ```
+    ///
+    /// # Errors
+    ///
+    /// A description of the first malformed event.
+    pub fn parse(spec: &str) -> Result<Self, String> {
+        let mut plan = FaultPlan::new();
+        for raw in spec.split(';') {
+            let ev = raw.trim();
+            if ev.is_empty() {
+                continue;
+            }
+            let (head, args) = ev
+                .split_once(':')
+                .ok_or_else(|| format!("missing ':' in fault event {ev:?}"))?;
+            let (kind, at_ms) = head
+                .split_once('@')
+                .ok_or_else(|| format!("missing '@' in fault event {ev:?}"))?;
+            let at = SimTime::from_millis(
+                at_ms
+                    .trim()
+                    .parse::<u64>()
+                    .map_err(|_| format!("bad time {at_ms:?} in {ev:?}"))?,
+            );
+            let nums: Vec<u64> = args
+                .split(',')
+                .map(|a| {
+                    a.trim()
+                        .parse::<u64>()
+                        .map_err(|_| format!("bad argument {a:?} in {ev:?}"))
+                })
+                .collect::<Result<_, _>>()?;
+            let arity = |n: usize| {
+                if nums.len() == n {
+                    Ok(())
+                } else {
+                    Err(format!("{ev:?}: expected {n} argument(s), got {}", nums.len()))
+                }
+            };
+            plan = match kind.trim() {
+                "crash" => {
+                    arity(1)?;
+                    plan.crash_at(at, nums[0] as usize)
+                }
+                "recover" => {
+                    arity(1)?;
+                    plan.recover_at(at, nums[0] as usize)
+                }
+                "abort" => {
+                    arity(1)?;
+                    plan.abort_at(at, nums[0] as usize)
+                }
+                "corrupt" => {
+                    arity(3)?;
+                    plan.corrupt_at(at, nums[0] as usize, nums[1], nums[2])
+                }
+                "drop" => {
+                    arity(2)?;
+                    if nums[1] > 1000 {
+                        return Err(format!("{ev:?}: drop permille must be ≤ 1000"));
+                    }
+                    plan.drop_window(at, SimTime::from_millis(nums[0]), nums[1] as u32)
+                }
+                "delay" => {
+                    arity(2)?;
+                    plan.delay_window(at, SimTime::from_millis(nums[0]), SimTime::from_millis(nums[1]))
+                }
+                other => return Err(format!("unknown fault kind {other:?} in {ev:?}")),
+            };
+        }
+        Ok(plan)
+    }
+}
+
+impl fmt::Display for FaultPlan {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, &(at, e)) in self.events.iter().enumerate() {
+            if i > 0 {
+                write!(f, "; ")?;
+            }
+            let ms = at.as_micros() / 1_000;
+            match e {
+                FaultEvent::Crash { site } => write!(f, "crash@{ms}:{site}")?,
+                FaultEvent::Recover { site } => write!(f, "recover@{ms}:{site}")?,
+                FaultEvent::AbortClient { client } => write!(f, "abort@{ms}:{client}")?,
+                FaultEvent::Corrupt { site, vn, value } => {
+                    write!(f, "corrupt@{ms}:{site},{vn},{value}")?;
+                }
+                FaultEvent::DropWindow { duration, permille } => {
+                    write!(f, "drop@{ms}:{},{permille}", duration.as_micros() / 1_000)?;
+                }
+                FaultEvent::DelayWindow { duration, extra } => {
+                    write!(
+                        f,
+                        "delay@{ms}:{},{}",
+                        duration.as_micros() / 1_000,
+                        extra.as_micros() / 1_000
+                    )?;
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+impl Serialize for FaultPlan {
+    fn serialize_json(&self, out: &mut String) {
+        let items: Vec<String> = self
+            .events
+            .iter()
+            .map(|&(at, e)| {
+                let o = serde_json::JsonObject::new().field("at_us", &at.as_micros());
+                match e {
+                    FaultEvent::Crash { site } => {
+                        o.field("kind", "crash").field("site", &site)
+                    }
+                    FaultEvent::Recover { site } => {
+                        o.field("kind", "recover").field("site", &site)
+                    }
+                    FaultEvent::AbortClient { client } => {
+                        o.field("kind", "abort").field("client", &client)
+                    }
+                    FaultEvent::Corrupt { site, vn, value } => o
+                        .field("kind", "corrupt")
+                        .field("site", &site)
+                        .field("vn", &vn)
+                        .field("value", &value),
+                    FaultEvent::DropWindow { duration, permille } => o
+                        .field("kind", "drop")
+                        .field("duration_us", &duration.as_micros())
+                        .field("permille", &permille),
+                    FaultEvent::DelayWindow { duration, extra } => o
+                        .field("kind", "delay")
+                        .field("duration_us", &duration.as_micros())
+                        .field("extra_us", &extra.as_micros()),
+                }
+                .build()
+            })
+            .collect();
+        out.push_str(&serde_json::array_raw(items));
+    }
+}
+
+/// Coordinator retry policy: how many attempts an operation gets and how
+/// long the coordinator backs off between them.
+///
+/// The default is a single attempt (no retries), matching the pre-fault
+/// simulator. With retries, a failed attempt (timeout or quorum loss)
+/// re-samples the site state after an exponentially growing backoff, so an
+/// operation that loses its quorum mid-flight degrades into a delayed
+/// success once sites recover, instead of a hard failure.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Total attempts per operation (≥ 1; 1 means no retries).
+    pub attempts: u32,
+    /// Backoff before the second attempt.
+    pub backoff: SimTime,
+    /// Multiplier applied to the backoff for each further attempt.
+    pub multiplier: u32,
+    /// Upper bound on any single backoff.
+    pub max_backoff: SimTime,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            attempts: 1,
+            backoff: SimTime::from_millis(1),
+            multiplier: 2,
+            max_backoff: SimTime::from_secs(1),
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// `attempts` attempts with exponential backoff starting at `backoff`
+    /// (doubling, capped at 1 s).
+    #[must_use]
+    pub fn retries(attempts: u32, backoff: SimTime) -> Self {
+        assert!(attempts >= 1, "an operation gets at least one attempt");
+        RetryPolicy {
+            attempts,
+            backoff,
+            ..RetryPolicy::default()
+        }
+    }
+
+    /// The backoff to wait before attempt number `attempt` (2-based: the
+    /// first retry is attempt 2).
+    #[must_use]
+    pub fn backoff_before(&self, attempt: u32) -> SimTime {
+        let exp = attempt.saturating_sub(2);
+        let factor = self.multiplier.saturating_pow(exp.min(20));
+        let raw = self.backoff.as_micros().saturating_mul(u64::from(factor));
+        SimTime(raw.min(self.max_backoff.as_micros()))
+    }
+}
+
+/// SplitMix64 finalizer: the per-message hash underlying drop decisions.
+fn mix(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// Deterministic per-message drop coin, independent of the main RNG stream
+/// (see the module docs for why). The arguments are exactly the coordinates
+/// that identify one message.
+#[must_use]
+#[allow(clippy::too_many_arguments)]
+pub fn message_dropped(
+    seed: u64,
+    client: usize,
+    op_index: u64,
+    attempt: u32,
+    phase: u8,
+    site: usize,
+    response: bool,
+    permille: u32,
+) -> bool {
+    if permille == 0 {
+        return false;
+    }
+    let mut h = mix(seed ^ 0xD809_D809_D809_D809);
+    h = mix(h ^ client as u64);
+    h = mix(h ^ op_index);
+    h = mix(h ^ u64::from(attempt));
+    h = mix(h ^ u64::from(phase));
+    h = mix(h ^ site as u64);
+    h = mix(h ^ u64::from(response));
+    (h % 1000) < u64::from(permille)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plan_round_trips_through_text() {
+        let plan = FaultPlan::new()
+            .crash_at(SimTime::from_millis(1500), 2)
+            .recover_at(SimTime::from_millis(3000), 2)
+            .abort_at(SimTime::from_millis(2000), 0)
+            .corrupt_at(SimTime::from_millis(4000), 1, 99, 7)
+            .drop_window(SimTime::from_millis(1000), SimTime::from_millis(500), 300)
+            .delay_window(
+                SimTime::from_millis(1000),
+                SimTime::from_millis(500),
+                SimTime::from_millis(2),
+            );
+        let text = plan.to_string();
+        let back = FaultPlan::parse(&text).unwrap();
+        assert_eq!(plan, back);
+        assert_eq!(back.len(), 6);
+    }
+
+    #[test]
+    fn plan_events_stay_sorted() {
+        let plan = FaultPlan::new()
+            .crash_at(SimTime::from_millis(900), 1)
+            .crash_at(SimTime::from_millis(100), 0);
+        let times: Vec<u64> = plan.events().iter().map(|&(t, _)| t.as_micros()).collect();
+        assert_eq!(times, vec![100_000, 900_000]);
+    }
+
+    #[test]
+    fn parse_rejects_malformed_events() {
+        assert!(FaultPlan::parse("crash@100").is_err()); // no args
+        assert!(FaultPlan::parse("crash:1").is_err()); // no time
+        assert!(FaultPlan::parse("crash@abc:1").is_err()); // bad time
+        assert!(FaultPlan::parse("explode@100:1").is_err()); // unknown kind
+        assert!(FaultPlan::parse("corrupt@100:1,2").is_err()); // arity
+        assert!(FaultPlan::parse("drop@100:10,2000").is_err()); // permille cap
+        assert!(FaultPlan::parse("").unwrap().is_empty());
+        assert!(FaultPlan::parse(" ; ; ").unwrap().is_empty());
+    }
+
+    #[test]
+    fn windows_answer_point_queries() {
+        let plan = FaultPlan::new()
+            .drop_window(SimTime::from_millis(10), SimTime::from_millis(5), 250)
+            .drop_window(SimTime::from_millis(12), SimTime::from_millis(1), 900)
+            .delay_window(
+                SimTime::from_millis(20),
+                SimTime::from_millis(10),
+                SimTime::from_millis(3),
+            );
+        assert_eq!(plan.drop_permille_at(SimTime::from_millis(9)), 0);
+        assert_eq!(plan.drop_permille_at(SimTime::from_millis(10)), 250);
+        assert_eq!(plan.drop_permille_at(SimTime::from_millis(12)), 900); // max wins
+        assert_eq!(plan.drop_permille_at(SimTime::from_millis(15)), 0); // end exclusive
+        assert_eq!(plan.delay_extra_at(SimTime::from_millis(25)), SimTime::from_millis(3));
+        assert_eq!(plan.delay_extra_at(SimTime::from_millis(30)), SimTime::ZERO);
+    }
+
+    #[test]
+    fn validate_catches_out_of_range_references() {
+        let plan = FaultPlan::new().crash_at(SimTime::from_millis(1), 7);
+        assert!(plan.validate(5, 4).is_err());
+        assert!(plan.validate(8, 4).is_ok());
+        let plan = FaultPlan::new().abort_at(SimTime::from_millis(1), 4);
+        assert!(plan.validate(5, 4).is_err());
+        assert!(plan.validate(5, 5).is_ok());
+    }
+
+    #[test]
+    fn random_plans_are_deterministic_and_valid() {
+        let d = SimTime::from_secs(10);
+        let a = FaultPlan::random(42, 5, 4, d, 3, 2);
+        let b = FaultPlan::random(42, 5, 4, d, 3, 2);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 3 * 2 + 2);
+        a.validate(5, 4).unwrap();
+        let c = FaultPlan::random(43, 5, 4, d, 3, 2);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn backoff_grows_exponentially_and_caps() {
+        let r = RetryPolicy::retries(5, SimTime::from_millis(2));
+        assert_eq!(r.backoff_before(2), SimTime::from_millis(2));
+        assert_eq!(r.backoff_before(3), SimTime::from_millis(4));
+        assert_eq!(r.backoff_before(4), SimTime::from_millis(8));
+        let huge = RetryPolicy {
+            attempts: 64,
+            backoff: SimTime::from_millis(100),
+            multiplier: 10,
+            max_backoff: SimTime::from_secs(1),
+        };
+        assert_eq!(huge.backoff_before(40), SimTime::from_secs(1));
+    }
+
+    #[test]
+    fn drop_coin_is_deterministic_and_roughly_calibrated() {
+        assert!(!message_dropped(1, 0, 0, 1, 0, 0, false, 0));
+        let a = message_dropped(1, 2, 3, 1, 0, 4, true, 500);
+        let b = message_dropped(1, 2, 3, 1, 0, 4, true, 500);
+        assert_eq!(a, b);
+        let hits = (0..10_000)
+            .filter(|&i| message_dropped(7, 1, i, 1, 0, 2, false, 300))
+            .count();
+        // 30% ± 3% over 10k coordinates.
+        assert!((2_700..=3_300).contains(&hits), "hits {hits}");
+    }
+
+    #[test]
+    fn plan_serializes_to_json_array() {
+        let plan = FaultPlan::new().crash_at(SimTime::from_millis(5), 1);
+        let json = serde_json::to_string(&plan).unwrap();
+        assert_eq!(json, r#"[{"at_us":5000,"kind":"crash","site":1}]"#);
+    }
+}

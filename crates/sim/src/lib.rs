@@ -26,15 +26,19 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod faults;
 mod latency;
 mod metrics;
 mod par;
+mod probe;
 #[allow(clippy::module_inception)]
 mod sim;
 mod time;
 
+pub use faults::{message_dropped, FaultEvent, FaultPlan, RetryPolicy};
 pub use latency::{sample_exponential, LatencyModel};
-pub use metrics::{Metrics, OpStats, OpSummary};
+pub use metrics::{CommitRecord, Metrics, OpStats, OpSummary, MAX_RECORDED_VIOLATIONS};
 pub use par::{default_threads, par_map, run_batch};
+pub use probe::InvariantProbe;
 pub use sim::{run, ContactPolicy, SimConfig, Simulation};
 pub use time::SimTime;

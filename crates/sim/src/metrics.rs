@@ -13,6 +13,16 @@ pub struct OpStats {
     pub successes: u64,
     /// Messages sent (requests + responses).
     pub messages: u64,
+    /// Extra attempts after a failed first attempt (not counted in
+    /// `attempts`; an operation that retries twice and then commits is one
+    /// attempt, one success, two retries).
+    pub retries: u64,
+    /// Operations whose final attempt timed out assembling a quorum.
+    pub timeouts: u64,
+    /// Operations that failed fast because the live sites held no quorum.
+    pub unavailable: u64,
+    /// Operations forcibly aborted by an injected fault.
+    pub aborted: u64,
     latencies_us: Vec<u64>,
 }
 
@@ -25,10 +35,29 @@ impl OpStats {
         self.latencies_us.push(latency.as_micros());
     }
 
-    /// Record a failed operation.
+    /// Record a failed operation (final attempt timed out).
     pub fn record_failure(&mut self, messages: u64) {
         self.attempts += 1;
         self.messages += messages;
+        self.timeouts += 1;
+    }
+
+    /// Record an operation rejected fast for lack of a live quorum.
+    pub fn record_unavailable(&mut self, messages: u64) {
+        self.attempts += 1;
+        self.messages += messages;
+        self.unavailable += 1;
+    }
+
+    /// Record a forced abort.
+    pub fn record_abort(&mut self) {
+        self.attempts += 1;
+        self.aborted += 1;
+    }
+
+    /// Record a retry (an additional attempt after a failed one).
+    pub fn record_retry(&mut self) {
+        self.retries += 1;
     }
 
     /// Fraction of attempts that succeeded (1.0 when nothing attempted).
@@ -79,6 +108,10 @@ impl OpStats {
             p95_ms: self.percentile_ms(95.0),
             p99_ms: self.percentile_ms(99.0),
             messages_per_op: self.messages_per_op(),
+            retries: self.retries,
+            timeouts: self.timeouts,
+            unavailable: self.unavailable,
+            aborted: self.aborted,
         }
     }
 }
@@ -102,6 +135,14 @@ pub struct OpSummary {
     pub p99_ms: f64,
     /// Mean messages per attempted operation.
     pub messages_per_op: f64,
+    /// Extra attempts after failures.
+    pub retries: u64,
+    /// Final-attempt quorum-assembly timeouts.
+    pub timeouts: u64,
+    /// Fast quorum-unavailable rejections.
+    pub unavailable: u64,
+    /// Forced aborts.
+    pub aborted: u64,
 }
 
 impl Serialize for OpSummary {
@@ -116,10 +157,34 @@ impl Serialize for OpSummary {
                 .field("p95_ms", &self.p95_ms)
                 .field("p99_ms", &self.p99_ms)
                 .field("messages_per_op", &self.messages_per_op)
+                .field("retries", &self.retries)
+                .field("timeouts", &self.timeouts)
+                .field("unavailable", &self.unavailable)
+                .field("aborted", &self.aborted)
                 .build(),
         );
     }
 }
+
+/// One committed logical operation, in commit order.
+///
+/// Recorded only when `SimConfig::record_history` is set; the cross-policy
+/// equivalence tests compare these histories byte for byte.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CommitRecord {
+    /// The client that issued the operation.
+    pub client: usize,
+    /// Whether it was a logical read (else a write).
+    pub read: bool,
+    /// The version number read or installed.
+    pub vn: u64,
+    /// The value returned or written.
+    pub value: u64,
+}
+
+/// Number of lemma-violation descriptions retained verbatim in
+/// [`Metrics::violations`]; further violations only bump the counter.
+pub const MAX_RECORDED_VIOLATIONS: usize = 8;
 
 /// Metrics for a whole simulation run.
 #[derive(Clone, Debug, Default)]
@@ -130,9 +195,31 @@ pub struct Metrics {
     pub writes: OpStats,
     /// Site-down events observed.
     pub site_failures: u64,
+    /// Messages lost to injected drop windows.
+    pub dropped_messages: u64,
+    /// Operations killed by injected `AbortClient` faults.
+    pub forced_aborts: u64,
+    /// Fault-plan events that fired.
+    pub injected_faults: u64,
+    /// Runtime lemma violations detected by the invariant probe.
+    pub lemma_violations: u64,
+    /// The first few violation descriptions (capped at
+    /// [`MAX_RECORDED_VIOLATIONS`]).
+    pub violations: Vec<String>,
+    /// Committed operations in commit order (only when
+    /// `SimConfig::record_history` is set).
+    pub history: Vec<CommitRecord>,
 }
 
 impl Metrics {
+    /// Record a lemma violation, keeping the first few descriptions.
+    pub fn record_violation(&mut self, description: String) {
+        self.lemma_violations += 1;
+        if self.violations.len() < MAX_RECORDED_VIOLATIONS {
+            self.violations.push(description);
+        }
+    }
+
     /// Combined throughput in operations per simulated second.
     pub fn throughput_ops_per_sec(&self, duration: SimTime) -> f64 {
         let ops = self.reads.successes + self.writes.successes;
@@ -177,6 +264,36 @@ mod tests {
         assert_eq!(s.availability(), 1.0);
         assert_eq!(s.mean_latency_ms(), 0.0);
         assert_eq!(s.percentile_ms(99.0), 0.0);
+    }
+
+    #[test]
+    fn failure_kinds_are_tallied_separately() {
+        let mut s = OpStats::default();
+        s.record_failure(4);
+        s.record_unavailable(0);
+        s.record_abort();
+        s.record_retry();
+        assert_eq!(s.attempts, 3);
+        assert_eq!(s.timeouts, 1);
+        assert_eq!(s.unavailable, 1);
+        assert_eq!(s.aborted, 1);
+        assert_eq!(s.retries, 1);
+        let sum = s.summary();
+        assert_eq!(
+            (sum.retries, sum.timeouts, sum.unavailable, sum.aborted),
+            (1, 1, 1, 1)
+        );
+    }
+
+    #[test]
+    fn violation_descriptions_are_capped() {
+        let mut m = Metrics::default();
+        for i in 0..20 {
+            m.record_violation(format!("violation {i}"));
+        }
+        assert_eq!(m.lemma_violations, 20);
+        assert_eq!(m.violations.len(), MAX_RECORDED_VIOLATIONS);
+        assert_eq!(m.violations[0], "violation 0");
     }
 
     #[test]

@@ -121,6 +121,29 @@ mod tests {
     }
 
     #[test]
+    fn faulted_batch_matches_serial_bit_for_bit() {
+        // A fault plan (crashes + aborts + retries) must not disturb the
+        // batch runner's determinism guarantee.
+        let faulted = || -> Vec<SimConfig> {
+            grid()
+                .into_iter()
+                .map(|mut c| {
+                    c.faults = crate::FaultPlan::random(c.seed, 5, c.clients, c.duration, 2, 2);
+                    c.retry = crate::RetryPolicy::retries(3, SimTime::from_millis(5));
+                    c.record_history = true;
+                    c
+                })
+                .collect()
+        };
+        let serial: Vec<Metrics> = faulted().into_iter().map(run).collect();
+        let parallel = run_batch(faulted(), 4);
+        for (p, s) in parallel.iter().zip(&serial) {
+            assert_eq!(format!("{p:?}"), format!("{s:?}"));
+            assert_eq!(p.lemma_violations, 0, "violations: {:?}", p.violations);
+        }
+    }
+
+    #[test]
     fn batch_matches_serial_bit_for_bit() {
         let serial: Vec<Metrics> = grid().into_iter().map(run).collect();
         for threads in [1, 3, 8] {

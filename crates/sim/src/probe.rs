@@ -1,0 +1,144 @@
+//! Runtime invariant monitoring: the adapter that feeds every committed
+//! simulated read/write into the paper's lemma checks.
+//!
+//! [`InvariantProbe`] wraps the runtime-agnostic
+//! [`qc_replication::LemmaChecker`] — the same predicate code the
+//! I/O-automaton executor's `LemmaMonitor` asserts step by step — and
+//! instantiates it over the simulator's per-site `(version, value)`
+//! stores. After every committed operation the probe asserts:
+//!
+//! * **Lemma 7** — the maximum version number across the replica stores
+//!   equals `current-vn` of the committed history;
+//! * **Lemma 8(1a)** — some write-quorum's sites all hold `current-vn`;
+//! * **Lemma 8(1b)** — every site at `current-vn` holds the logical state;
+//! * **Lemma 8(2)** — a committed read returned the logical state;
+//! * a committed write's version number advanced `current-vn` by exactly
+//!   one (its read-quorum discovery saw the latest version).
+//!
+//! The simulator commits operations atomically at their start instant (see
+//! `sim.rs`), so every committed point is an "even point" of the access
+//! sequence in the paper's sense and the full Lemma 8 clause applies.
+
+use qc_replication::{LemmaChecker, LemmaViolation};
+use quorum::QuorumSpec;
+
+/// Feeds committed simulated operations into the Lemma 7/8 checks.
+#[derive(Clone, Debug)]
+pub struct InvariantProbe {
+    checker: LemmaChecker<u64>,
+}
+
+impl Default for InvariantProbe {
+    fn default() -> Self {
+        InvariantProbe::new()
+    }
+}
+
+impl InvariantProbe {
+    /// A probe over the initial store state (version 0, value 0 at every
+    /// site).
+    #[must_use]
+    pub fn new() -> Self {
+        InvariantProbe {
+            checker: LemmaChecker::new(0),
+        }
+    }
+
+    /// `current-vn` of the committed history so far.
+    #[must_use]
+    pub fn current_vn(&self) -> u64 {
+        self.checker.current_vn()
+    }
+
+    /// `logical-state` of the committed history so far.
+    #[must_use]
+    pub fn logical_state(&self) -> u64 {
+        *self.checker.logical_state()
+    }
+
+    /// Assert Lemmas 7 and 8(1a)/8(1b) against the current stores.
+    ///
+    /// # Errors
+    ///
+    /// The first violated lemma.
+    pub fn check_stores(
+        &self,
+        stores: &[(u64, u64)],
+        quorum: &dyn QuorumSpec,
+    ) -> Result<(), LemmaViolation> {
+        self.checker.check_states(
+            stores.iter().enumerate().map(|(r, (vn, v))| (r, *vn, v)),
+            true,
+            |holders| quorum.is_write_quorum_bits(holders),
+        )
+    }
+
+    /// Digest a committed write that installed `vn = value` and re-check
+    /// the stores.
+    ///
+    /// # Errors
+    ///
+    /// The first violated lemma (including a non-monotonic write version).
+    pub fn on_write_commit(
+        &mut self,
+        vn: u64,
+        value: u64,
+        stores: &[(u64, u64)],
+        quorum: &dyn QuorumSpec,
+    ) -> Result<(), LemmaViolation> {
+        self.checker.commit_write(vn, value)?;
+        self.check_stores(stores, quorum)
+    }
+
+    /// Digest a committed read that returned `value` and re-check the
+    /// stores.
+    ///
+    /// # Errors
+    ///
+    /// The first violated lemma.
+    pub fn on_read_commit(
+        &self,
+        value: u64,
+        stores: &[(u64, u64)],
+        quorum: &dyn QuorumSpec,
+    ) -> Result<(), LemmaViolation> {
+        self.checker.check_read(&value)?;
+        self.check_stores(stores, quorum)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use quorum::Majority;
+
+    #[test]
+    fn probe_follows_a_faithful_run() {
+        let q = Majority::new(3);
+        let mut probe = InvariantProbe::new();
+        let mut stores = vec![(0u64, 0u64); 3];
+        probe.check_stores(&stores, &q).unwrap();
+        // Write 7 at quorum {0, 1}.
+        stores[0] = (1, 7);
+        stores[1] = (1, 7);
+        probe.on_write_commit(1, 7, &stores, &q).unwrap();
+        probe.on_read_commit(7, &stores, &q).unwrap();
+        assert_eq!(probe.current_vn(), 1);
+        assert_eq!(probe.logical_state(), 7);
+    }
+
+    #[test]
+    fn probe_fires_on_corruption_and_wrong_reads() {
+        let q = Majority::new(3);
+        let mut probe = InvariantProbe::new();
+        let mut stores = vec![(0u64, 0u64); 3];
+        stores[0] = (1, 7);
+        stores[1] = (1, 7);
+        probe.on_write_commit(1, 7, &stores, &q).unwrap();
+        // Wrong read value.
+        assert!(probe.on_read_commit(9, &stores, &q).is_err());
+        // Corrupted store: version beyond current-vn.
+        stores[2] = (99, 3);
+        assert!(probe.check_stores(&stores, &q).is_err());
+    }
+}

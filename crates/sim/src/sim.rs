@@ -3,17 +3,47 @@
 //! The paper is a theory paper; this simulator is the evaluation substrate
 //! for the quantitative claims its introduction motivates — replication
 //! "to improve availability, reliability and performance". Sites host one
-//! replica each and crash/recover under an exponential failure process;
-//! closed-loop clients issue logical reads and writes through the Gifford
-//! protocol (version-number discovery against a read-quorum, then, for
-//! writes, installation at a write-quorum); message costs and latencies are
-//! accounted per operation.
+//! replica each (a versioned `(vn, value)` store, Gifford's DM state) and
+//! crash/recover under an exponential failure process and/or a
+//! deterministic [`FaultPlan`]; closed-loop clients issue logical reads and
+//! writes through the Gifford protocol (version-number discovery against a
+//! read-quorum, then, for writes, installation at a write-quorum); message
+//! costs and latencies are accounted per operation, and every committed
+//! operation is fed through the runtime lemma monitor
+//! ([`InvariantProbe`]).
 //!
-//! Protocol fidelity notes: quorum membership is decided by a
-//! [`QuorumSpec`] predicate, so all the quorum systems in the `quorum`
-//! crate plug in directly. Site state is sampled at operation start (an
-//! operation shorter than a repair interval almost never straddles a
-//! transition; failures mid-operation are modelled by the timeout).
+//! # Protocol fidelity
+//!
+//! Quorum membership is decided by a [`QuorumSpec`] predicate, so all the
+//! quorum systems in the `quorum` crate plug in directly.
+//!
+//! **Crash visibility.** An earlier version of this simulator sampled site
+//! state once, at operation start, so a site that crashed mid-operation
+//! still "responded". That approximation is unsound once operations can
+//! retry across repair intervals: an attempt must observe a crash that
+//! lands between its request and the would-be response. The phase
+//! simulation now checks, per contacted site, whether the site's next
+//! scheduled crash (stochastic or planned) lands before the response would
+//! complete; if so the response is lost and the quorum must be assembled
+//! from the surviving sites or the attempt times out.
+//!
+//! **Atomic commit rounds.** A phase either assembles its quorum — and,
+//! for writes, installs the new version at exactly the responding quorum —
+//! or installs nothing. A timed-out write therefore leaves no partial
+//! version behind. This is the simulation analogue of the paper's
+//! transaction-abort semantics: an aborted (failed) operation has no
+//! visible effect, so every committed point of the run is an "even point"
+//! of the access sequence and Lemmas 7 and 8 must hold there (which the
+//! probe asserts).
+//!
+//! **Failure classification.** An attempt that cannot possibly succeed —
+//! the live sites contain no read (for reads) or no read+write quorum (for
+//! writes) — fails fast as *unavailable* without sending messages. An
+//! attempt whose quorum exists but does not assemble within the timeout
+//! fails as a *timeout*. With a [`RetryPolicy`] of more than one attempt,
+//! failed attempts back off exponentially and re-sample the site state, so
+//! an operation that loses its quorum mid-flight degrades into a delayed
+//! success once sites recover.
 
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
@@ -24,8 +54,10 @@ use rand::Rng;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 
+use crate::faults::{message_dropped, FaultEvent, FaultPlan, RetryPolicy};
 use crate::latency::{sample_exponential, LatencyModel};
-use crate::metrics::Metrics;
+use crate::metrics::{CommitRecord, Metrics};
+use crate::probe::InvariantProbe;
 use crate::time::SimTime;
 
 /// Which replicas the coordinator contacts in each phase.
@@ -54,7 +86,7 @@ pub struct SimConfig {
     pub read_fraction: f64,
     /// Client think time between operations.
     pub think_time: SimTime,
-    /// Per-phase timeout: an operation fails if a phase's quorum is not
+    /// Per-phase timeout: an attempt fails if a phase's quorum is not
     /// assembled in this time.
     pub timeout: SimTime,
     /// Mean time to failure per site (`None` disables failures).
@@ -65,6 +97,14 @@ pub struct SimConfig {
     pub duration: SimTime,
     /// RNG seed.
     pub seed: u64,
+    /// Deterministic injected faults (empty by default).
+    pub faults: FaultPlan,
+    /// Coordinator retry/backoff policy (one attempt by default).
+    pub retry: RetryPolicy,
+    /// Assert Lemmas 7 and 8 after every committed operation.
+    pub monitor: bool,
+    /// Record every committed operation in `Metrics::history`.
+    pub record_history: bool,
 }
 
 impl std::fmt::Debug for SimConfig {
@@ -79,7 +119,8 @@ impl std::fmt::Debug for SimConfig {
 
 impl SimConfig {
     /// A reasonable default over the given quorum system: 4 clients, 90%
-    /// reads, LAN latencies, no failures, 10 simulated seconds.
+    /// reads, LAN latencies, no failures or injected faults, no retries,
+    /// monitoring on, 10 simulated seconds.
     pub fn new(quorum: Arc<dyn QuorumSpec + Send + Sync>) -> Self {
         SimConfig {
             quorum,
@@ -93,6 +134,10 @@ impl SimConfig {
             mttr: SimTime::from_secs(2),
             duration: SimTime::from_secs(10),
             seed: 0,
+            faults: FaultPlan::new(),
+            retry: RetryPolicy::default(),
+            monitor: true,
+            record_history: false,
         }
     }
 }
@@ -102,17 +147,8 @@ enum Event {
     OpStart { client: usize },
     SiteDown { site: usize },
     SiteUp { site: usize },
-}
-
-/// The simulator state.
-pub struct Simulation {
-    config: SimConfig,
-    rng: ChaCha8Rng,
-    now: SimTime,
-    queue: BinaryHeap<Reverse<(SimTime, u64, EventBox)>>,
-    seq: u64,
-    up: Vec<bool>,
-    metrics: Metrics,
+    PlanFault { idx: usize },
+    Retry { client: usize },
 }
 
 // BinaryHeap needs Ord; wrap the event.
@@ -125,6 +161,8 @@ impl EventBox {
             Event::OpStart { client } => EventBox(0, client),
             Event::SiteDown { site } => EventBox(1, site),
             Event::SiteUp { site } => EventBox(2, site),
+            Event::PlanFault { idx } => EventBox(3, idx),
+            Event::Retry { client } => EventBox(4, client),
         }
     }
 
@@ -132,30 +170,89 @@ impl EventBox {
         match self.0 {
             0 => Event::OpStart { client: self.1 },
             1 => Event::SiteDown { site: self.1 },
-            _ => Event::SiteUp { site: self.1 },
+            2 => Event::SiteUp { site: self.1 },
+            3 => Event::PlanFault { idx: self.1 },
+            _ => Event::Retry { client: self.1 },
         }
     }
 }
 
-/// The outcome of one simulated phase: completion time offset and message
-/// count, or a timeout.
+/// A logical operation in flight for one client (possibly across retries).
+#[derive(Clone, Copy, Debug)]
+struct PendingOp {
+    read: bool,
+    /// The value a write installs (unique per operation).
+    value: u64,
+    /// Client-local operation number (coordinate for drop coins).
+    op_index: u64,
+    /// 1-based attempt number.
+    attempt: u32,
+    /// When the operation (attempt 1) started.
+    started: SimTime,
+    /// Messages accumulated by earlier failed attempts.
+    messages: u64,
+}
+
+/// The outcome of one simulated phase: completion time offset, message
+/// count, and the responding quorum (empty on timeout).
 struct PhaseOutcome {
     elapsed: SimTime,
     messages: u64,
+    responders: ReplicaSet,
     ok: bool,
+}
+
+/// The simulator state.
+pub struct Simulation {
+    config: SimConfig,
+    rng: ChaCha8Rng,
+    now: SimTime,
+    queue: BinaryHeap<Reverse<(SimTime, u64, EventBox)>>,
+    seq: u64,
+    up: Vec<bool>,
+    /// Per-site replica store: `(version number, value)` — the DM state.
+    stores: Vec<(u64, u64)>,
+    /// Next scheduled stochastic crash per site (for straddle detection).
+    stoch_next_down: Vec<Option<SimTime>>,
+    /// Planned crash times per site, ascending (for straddle detection).
+    plan_crashes: Vec<Vec<SimTime>>,
+    /// A pending forced abort per client.
+    abort_flag: Vec<bool>,
+    pending: Vec<Option<PendingOp>>,
+    op_counter: Vec<u64>,
+    probe: InvariantProbe,
+    metrics: Metrics,
 }
 
 impl Simulation {
     /// Create a simulation from a configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the fault plan references sites or clients out of range.
     pub fn new(config: SimConfig) -> Self {
         let n = config.quorum.n();
+        config
+            .faults
+            .validate(n, config.clients)
+            .expect("fault plan out of range");
         let rng = ChaCha8Rng::seed_from_u64(config.seed);
+        let plan_crashes = (0..n)
+            .map(|s| config.faults.crash_times_for(s).collect())
+            .collect();
         let mut sim = Simulation {
             rng,
             now: SimTime::ZERO,
             queue: BinaryHeap::new(),
             seq: 0,
             up: vec![true; n],
+            stores: vec![(0, 0); n],
+            stoch_next_down: vec![None; n],
+            plan_crashes,
+            abort_flag: vec![false; config.clients],
+            pending: vec![None; config.clients],
+            op_counter: vec![0; config.clients],
+            probe: InvariantProbe::new(),
             metrics: Metrics::default(),
             config,
         };
@@ -167,8 +264,13 @@ impl Simulation {
         if let Some(mttf) = sim.config.mttf {
             for s in 0..n {
                 let t = sample_exponential(mttf, &mut sim.rng);
+                sim.stoch_next_down[s] = Some(t);
                 sim.schedule(t, Event::SiteDown { site: s });
             }
+        }
+        for idx in 0..sim.config.faults.len() {
+            let at = sim.config.faults.events()[idx].0;
+            sim.schedule(at, Event::PlanFault { idx });
         }
         sim
     }
@@ -188,7 +290,10 @@ impl Simulation {
             self.now = t;
             match e.unpack() {
                 Event::OpStart { client } => self.handle_op(client),
+                Event::Retry { client } => self.attempt_op(client),
+                Event::PlanFault { idx } => self.handle_plan_fault(idx),
                 Event::SiteDown { site } => {
+                    self.stoch_next_down[site] = None;
                     if self.up[site] {
                         self.up[site] = false;
                         self.metrics.site_failures += 1;
@@ -200,38 +305,122 @@ impl Simulation {
                     self.up[site] = true;
                     if let Some(mttf) = self.config.mttf {
                         let fail = sample_exponential(mttf, &mut self.rng);
+                        self.stoch_next_down[site] = Some(self.now + fail);
                         self.schedule(fail, Event::SiteDown { site });
                     }
                 }
             }
         }
+        // The stores must satisfy the lemmas at quiescence too (this is
+        // what catches a Corrupt injection that no later read observed).
+        if self.config.monitor {
+            if let Err(v) = self.probe.check_stores(&self.stores, &*self.config.quorum) {
+                self.metrics.record_violation(format!("end-of-run: {v}"));
+            }
+        }
         self.metrics
+    }
+
+    fn handle_plan_fault(&mut self, idx: usize) {
+        self.metrics.injected_faults += 1;
+        match self.config.faults.events()[idx].1 {
+            FaultEvent::Crash { site } => {
+                if self.up[site] {
+                    self.up[site] = false;
+                    self.metrics.site_failures += 1;
+                }
+            }
+            FaultEvent::Recover { site } => {
+                self.up[site] = true;
+            }
+            FaultEvent::AbortClient { client } => {
+                self.abort_flag[client] = true;
+            }
+            FaultEvent::Corrupt { site, vn, value } => {
+                self.stores[site] = (vn, value);
+                // Sweep immediately: a later write's install can overwrite
+                // the corrupted entry before any committed operation (or
+                // the end-of-run sweep) would look at it, so detection at
+                // injection time is the only seed-independent guarantee.
+                if self.config.monitor {
+                    if let Err(v) = self.probe.check_stores(&self.stores, &*self.config.quorum)
+                    {
+                        self.metrics
+                            .record_violation(format!("t={} corrupt injection: {v}", self.now));
+                    }
+                }
+            }
+            // Windows act at message time via drop_permille_at /
+            // delay_extra_at; nothing to do when they open.
+            FaultEvent::DropWindow { .. } | FaultEvent::DelayWindow { .. } => {}
+        }
     }
 
     fn live_set(&self) -> ReplicaSet {
         (0..self.up.len()).filter(|&s| self.up[s]).collect()
     }
 
+    /// Whether `site` (up now) crashes at or before `t` — the straddle
+    /// check: a response arriving at `t` is lost if the site's next
+    /// stochastic or planned crash lands first.
+    fn site_crashes_by(&self, site: usize, t: SimTime) -> bool {
+        if let Some(down) = self.stoch_next_down[site] {
+            if down <= t {
+                return true;
+            }
+        }
+        let planned = &self.plan_crashes[site];
+        let i = planned.partition_point(|&c| c <= self.now);
+        i < planned.len() && planned[i] <= t
+    }
+
     /// Simulate one quorum-gathering phase from the current site state.
     ///
     /// `targets` are contacted (one request + one response each if live;
     /// requests to dead sites are sent and lost); the phase completes at
-    /// the earliest time the responder set satisfies `is_quorum`.
+    /// the earliest time the responder set satisfies `is_quorum`. Messages
+    /// may be dropped by an active drop window, delayed by an active delay
+    /// window, and responses are lost when the site crashes before the
+    /// response would arrive.
     fn phase(
         &mut self,
         targets: ReplicaSet,
+        client: usize,
+        op_index: u64,
+        attempt: u32,
+        phase_no: u8,
         is_quorum: &dyn Fn(ReplicaSet) -> bool,
     ) -> PhaseOutcome {
+        let drop_permille = self.config.faults.drop_permille_at(self.now);
+        let delay_extra = self.config.faults.delay_extra_at(self.now);
+        let seed = self.config.seed;
         let mut responses: Vec<(SimTime, usize)> = Vec::new();
         let mut messages = 0u64;
         for s in targets {
             messages += 1; // request
-            if self.up[s] {
-                let rtt = self.config.latency.sample(&mut self.rng)
-                    + self.config.latency.sample(&mut self.rng);
-                messages += 1; // response
-                responses.push((rtt, s));
+            if !self.up[s] {
+                continue;
             }
+            if message_dropped(seed, client, op_index, attempt, phase_no, s, false, drop_permille)
+            {
+                self.metrics.dropped_messages += 1;
+                continue;
+            }
+            let rtt = self.config.latency.sample(&mut self.rng)
+                + self.config.latency.sample(&mut self.rng)
+                + delay_extra
+                + delay_extra;
+            if self.site_crashes_by(s, self.now + rtt) {
+                // The site dies before its response completes.
+                continue;
+            }
+            messages += 1; // response
+            if message_dropped(seed, client, op_index, attempt, phase_no, s, true, drop_permille)
+            {
+                self.metrics.dropped_messages += 1;
+                continue;
+            }
+            responses.push((rtt, s));
         }
         responses.sort();
         let mut have = ReplicaSet::new();
@@ -244,6 +433,7 @@ impl Simulation {
                 return PhaseOutcome {
                     elapsed: t,
                     messages,
+                    responders: have,
                     ok: true,
                 };
             }
@@ -251,6 +441,7 @@ impl Simulation {
         PhaseOutcome {
             elapsed: self.config.timeout,
             messages,
+            responders: ReplicaSet::new(),
             ok: false,
         }
     }
@@ -273,48 +464,211 @@ impl Simulation {
         }
     }
 
+    /// Start a fresh logical operation for `client`.
     fn handle_op(&mut self, client: usize) {
         let is_read = self.rng.gen_bool(self.config.read_fraction);
+        let op_index = self.op_counter[client];
+        self.op_counter[client] += 1;
+        // A value unique across the run, so histories identify writes.
+        let value = client as u64 * 1_000_000 + op_index + 1;
+        self.pending[client] = Some(PendingOp {
+            read: is_read,
+            value,
+            op_index,
+            attempt: 1,
+            started: self.now,
+            messages: 0,
+        });
+        self.attempt_op(client);
+    }
+
+    /// Run one attempt of `client`'s pending operation.
+    fn attempt_op(&mut self, client: usize) {
+        let op = match self.pending[client].take() {
+            Some(op) => op,
+            None => return,
+        };
+
+        // A forced abort (the paper's transaction-abort model): the
+        // operation stops with no visible effect.
+        if self.abort_flag[client] {
+            self.abort_flag[client] = false;
+            self.metrics.forced_aborts += 1;
+            let stats = if op.read {
+                &mut self.metrics.reads
+            } else {
+                &mut self.metrics.writes
+            };
+            stats.record_abort();
+            self.schedule(self.config.think_time, Event::OpStart { client });
+            return;
+        }
+
+        // Fail fast when the live sites cannot possibly hold the quorums
+        // this operation needs (writes also need a read quorum for
+        // version discovery).
+        let health = self.config.quorum.quorum_health(self.live_set());
+        let feasible = if op.read {
+            health.can_read()
+        } else {
+            health.can_read() && health.can_write()
+        };
+        if !feasible {
+            self.finish_failed_attempt(client, op, SimTime::ZERO, 0, true);
+            return;
+        }
+
         let quorum = Arc::clone(&self.config.quorum);
 
         // Phase 1 (both kinds): version-number discovery at a read-quorum.
-        let (mut elapsed, mut messages, mut ok) = match self.read_targets() {
+        let out1 = match self.read_targets() {
             Some(targets) => {
                 let q = Arc::clone(&quorum);
-                let out = self.phase(targets, &move |s| q.is_read_quorum_bits(s));
-                (out.elapsed, out.messages, out.ok)
+                self.phase(targets, client, op.op_index, op.attempt, 1, &move |s| {
+                    q.is_read_quorum_bits(s)
+                })
             }
-            None => (self.config.timeout, 0, false),
+            None => {
+                self.finish_failed_attempt(client, op, SimTime::ZERO, 0, true);
+                return;
+            }
         };
+        if !out1.ok {
+            self.finish_failed_attempt(client, op, out1.elapsed, out1.messages, false);
+            return;
+        }
+        let (dvn, dval) = out1
+            .responders
+            .iter()
+            .map(|s| self.stores[s])
+            .max_by_key(|&(vn, _)| vn)
+            .unwrap_or((0, 0));
 
-        // Phase 2 (writes): install at a write-quorum.
-        if ok && !is_read {
-            match self.write_targets() {
-                Some(targets) => {
-                    let q = Arc::clone(&quorum);
-                    let out = self.phase(targets, &move |s| q.is_write_quorum_bits(s));
-                    elapsed += out.elapsed;
-                    messages += out.messages;
-                    ok = out.ok;
-                }
-                None => {
-                    ok = false;
-                }
-            }
+        if op.read {
+            self.commit_op(client, op, out1.elapsed, out1.messages, dvn, dval);
+            return;
         }
 
-        let stats = if is_read {
+        // Phase 2 (writes): install at a write-quorum. A failed phase
+        // installs nothing (atomic commit round).
+        let out2 = match self.write_targets() {
+            Some(targets) => {
+                let q = Arc::clone(&quorum);
+                self.phase(targets, client, op.op_index, op.attempt, 2, &move |s| {
+                    q.is_write_quorum_bits(s)
+                })
+            }
+            None => {
+                self.finish_failed_attempt(client, op, out1.elapsed, out1.messages, true);
+                return;
+            }
+        };
+        let elapsed = out1.elapsed + out2.elapsed;
+        let messages = out1.messages + out2.messages;
+        if !out2.ok {
+            self.finish_failed_attempt(client, op, elapsed, messages, false);
+            return;
+        }
+        let new_vn = dvn + 1;
+        for s in out2.responders {
+            self.stores[s] = (new_vn, op.value);
+        }
+        self.commit_op(client, op, elapsed, messages, new_vn, op.value);
+    }
+
+    /// Commit the pending operation: record metrics/history, assert the
+    /// lemmas, schedule the client's next operation.
+    fn commit_op(
+        &mut self,
+        client: usize,
+        op: PendingOp,
+        attempt_elapsed: SimTime,
+        attempt_messages: u64,
+        vn: u64,
+        value: u64,
+    ) {
+        let total = (self.now - op.started) + attempt_elapsed;
+        let messages = op.messages + attempt_messages;
+        let stats = if op.read {
             &mut self.metrics.reads
         } else {
             &mut self.metrics.writes
         };
-        if ok {
-            stats.record_success(elapsed, messages);
-        } else {
-            stats.record_failure(messages);
+        stats.record_success(total, messages);
+        if self.config.record_history {
+            self.metrics.history.push(CommitRecord {
+                client,
+                read: op.read,
+                vn,
+                value,
+            });
         }
-        let next = elapsed + self.config.think_time;
-        self.schedule(next, Event::OpStart { client });
+        if self.config.monitor {
+            let check = if op.read {
+                self.probe
+                    .on_read_commit(value, &self.stores, &*self.config.quorum)
+            } else {
+                self.probe
+                    .on_write_commit(vn, value, &self.stores, &*self.config.quorum)
+            };
+            if let Err(v) = check {
+                let kind = if op.read { "read" } else { "write" };
+                self.metrics.record_violation(format!(
+                    "t={} client={client} {kind}: {v}",
+                    self.now
+                ));
+            }
+        }
+        self.schedule(
+            attempt_elapsed + self.config.think_time,
+            Event::OpStart { client },
+        );
+    }
+
+    /// A failed attempt: retry with backoff if the policy allows, else
+    /// record the failure and move the client on.
+    fn finish_failed_attempt(
+        &mut self,
+        client: usize,
+        mut op: PendingOp,
+        attempt_elapsed: SimTime,
+        attempt_messages: u64,
+        unavailable: bool,
+    ) {
+        op.messages += attempt_messages;
+        if op.attempt < self.config.retry.attempts {
+            op.attempt += 1;
+            let stats = if op.read {
+                &mut self.metrics.reads
+            } else {
+                &mut self.metrics.writes
+            };
+            stats.record_retry();
+            // Never reschedule at the current instant: a fail-fast
+            // unavailable attempt takes zero sim time, and with a zero
+            // backoff/think time the client would spin forever at one
+            // timestamp against the same dead sites.
+            let delay = (attempt_elapsed + self.config.retry.backoff_before(op.attempt))
+                .max(SimTime(1));
+            self.pending[client] = Some(op);
+            self.schedule(delay, Event::Retry { client });
+            return;
+        }
+        let stats = if op.read {
+            &mut self.metrics.reads
+        } else {
+            &mut self.metrics.writes
+        };
+        if unavailable {
+            stats.record_unavailable(op.messages);
+        } else {
+            stats.record_failure(op.messages);
+        }
+        // Same zero-time guard as the retry path above.
+        self.schedule(
+            (attempt_elapsed + self.config.think_time).max(SimTime(1)),
+            Event::OpStart { client },
+        );
     }
 }
 
@@ -341,6 +695,7 @@ mod tests {
         assert_eq!(m.reads.availability(), 1.0);
         assert_eq!(m.writes.availability(), 1.0);
         assert_eq!(m.site_failures, 0);
+        assert_eq!(m.lemma_violations, 0);
     }
 
     #[test]
@@ -374,6 +729,7 @@ mod tests {
         // reads almost always succeed.
         assert!(m.writes.availability() < 0.9, "writes {}", m.writes.availability());
         assert!(m.reads.availability() > m.writes.availability());
+        assert_eq!(m.lemma_violations, 0);
     }
 
     #[test]
@@ -387,6 +743,7 @@ mod tests {
         // 5 sites, short repairs: a majority is almost always up.
         assert!(m.reads.availability() > 0.97, "reads {}", m.reads.availability());
         assert!(m.writes.availability() > 0.95, "writes {}", m.writes.availability());
+        assert_eq!(m.lemma_violations, 0);
     }
 
     #[test]
@@ -420,9 +777,10 @@ mod tests {
         assert_eq!(targets.iter().collect::<Vec<_>>(), vec![1, 2, 4]);
         // 3 requests + 3 responses — no messages wasted on dead sites.
         let q = Arc::clone(&sim.config.quorum);
-        let out = sim.phase(targets, &move |s| q.is_read_quorum_bits(s));
+        let out = sim.phase(targets, 0, 0, 1, 1, &move |s| q.is_read_quorum_bits(s));
         assert!(out.ok);
         assert_eq!(out.messages, 6);
+        assert_eq!(out.responders.len(), 3);
     }
 
     #[test]
@@ -434,5 +792,110 @@ mod tests {
         // Write: read-quorum (2+2) + write-quorum (2+2) = 8 messages.
         assert!((m.writes.messages_per_op() - 8.0).abs() < 1e-9);
         assert!(m.writes.mean_latency_ms() > m.reads.mean_latency_ms());
+    }
+
+    #[test]
+    fn history_versions_are_contiguous() {
+        let mut c = base(Arc::new(Majority::new(3)));
+        c.read_fraction = 0.5;
+        c.record_history = true;
+        c.duration = SimTime::from_secs(2);
+        let m = run(c);
+        assert_eq!(m.lemma_violations, 0, "violations: {:?}", m.violations);
+        let mut vn = 0;
+        for rec in &m.history {
+            if rec.read {
+                assert_eq!(rec.vn, vn, "read saw a non-current version");
+            } else {
+                assert_eq!(rec.vn, vn + 1, "write skipped a version");
+                vn = rec.vn;
+            }
+        }
+        assert!(vn > 0, "no writes committed");
+    }
+
+    #[test]
+    fn forced_aborts_have_no_visible_effect() {
+        let mut c = base(Arc::new(Majority::new(3)));
+        c.read_fraction = 0.0;
+        c.record_history = true;
+        c.faults = FaultPlan::new()
+            .abort_at(SimTime::from_millis(100), 0)
+            .abort_at(SimTime::from_millis(200), 1);
+        let m = run(c);
+        assert_eq!(m.forced_aborts, 2);
+        assert_eq!(m.writes.aborted, 2);
+        assert_eq!(m.lemma_violations, 0, "violations: {:?}", m.violations);
+        // Committed versions still advance one at a time.
+        for w in m.history.windows(2) {
+            assert_eq!(w[1].vn, w[0].vn + 1);
+        }
+    }
+
+    #[test]
+    fn total_quorum_loss_fails_fast_and_retries_recover() {
+        // All 3 sites down from 1 s to 2 s: no quorum exists.
+        let plan = FaultPlan::new()
+            .crash_at(SimTime::from_secs(1), 0)
+            .crash_at(SimTime::from_secs(1), 1)
+            .crash_at(SimTime::from_secs(1), 2)
+            .recover_at(SimTime::from_secs(2), 0)
+            .recover_at(SimTime::from_secs(2), 1)
+            .recover_at(SimTime::from_secs(2), 2);
+        let mut no_retry = base(Arc::new(Majority::new(3)));
+        no_retry.faults = plan.clone();
+        no_retry.duration = SimTime::from_secs(4);
+        let m1 = run(no_retry);
+        assert!(m1.reads.unavailable + m1.writes.unavailable > 0);
+        assert_eq!(m1.lemma_violations, 0, "violations: {:?}", m1.violations);
+
+        // With generous retries the outage degrades into delayed successes.
+        let mut with_retry = base(Arc::new(Majority::new(3)));
+        with_retry.faults = plan;
+        with_retry.duration = SimTime::from_secs(4);
+        with_retry.retry = RetryPolicy::retries(12, SimTime::from_millis(200));
+        let m2 = run(with_retry);
+        assert!(m2.reads.retries + m2.writes.retries > 0);
+        assert!(
+            m2.reads.availability() > m1.reads.availability(),
+            "retry {} vs no-retry {}",
+            m2.reads.availability(),
+            m1.reads.availability()
+        );
+        assert_eq!(m2.lemma_violations, 0, "violations: {:?}", m2.violations);
+    }
+
+    #[test]
+    fn corrupt_injection_trips_the_monitor() {
+        let mut c = base(Arc::new(Majority::new(3)));
+        c.faults = FaultPlan::new().corrupt_at(SimTime::from_secs(1), 0, 999, 123);
+        let m = run(c);
+        assert!(m.lemma_violations > 0, "monitor failed to fire");
+        assert!(!m.violations.is_empty());
+    }
+
+    #[test]
+    fn straddled_crash_loses_the_response() {
+        // Site 2 crashes at t = 100 µs. A phase started just before, whose
+        // responses land after the crash, must not count site 2.
+        let mut c = base(Arc::new(Majority::new(3)));
+        c.latency = LatencyModel::Fixed(SimTime(300));
+        c.faults = FaultPlan::new().crash_at(SimTime(100), 2);
+        let mut sim = Simulation::new(c);
+        sim.now = SimTime(50);
+        let q = Arc::clone(&sim.config.quorum);
+        let out = sim.phase(
+            ReplicaSet::full(3),
+            0,
+            0,
+            1,
+            1,
+            &move |s| q.is_read_quorum_bits(s),
+        );
+        // Sites 0 and 1 respond (quorum); site 2's response is lost.
+        assert!(out.ok);
+        assert!(!out.responders.contains(2));
+        // 3 requests + 2 responses.
+        assert_eq!(out.messages, 5);
     }
 }

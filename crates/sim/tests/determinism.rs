@@ -1,0 +1,118 @@
+//! Deterministic regression tests: for fixed seeds, the simulator's
+//! [`Metrics`] are pinned byte for byte (via a digest of the full `Debug`
+//! rendering, which includes every latency sample) under both
+//! [`ContactPolicy`] variants, with and without an injected fault plan.
+//!
+//! If an intentional simulator change shifts these values, re-pin them from
+//! the assertion failure output — but first convince yourself the shift is
+//! intended: these digests are the contract that seeds reproduce runs
+//! exactly across refactors.
+
+use std::sync::Arc;
+
+use qc_sim::{
+    run, ContactPolicy, FaultPlan, Metrics, RetryPolicy, SimConfig, SimTime,
+};
+use quorum::Majority;
+
+/// FNV-1a over the complete `Debug` rendering of the metrics.
+fn digest(m: &Metrics) -> u64 {
+    let s = format!("{m:?}");
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in s.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x1000_0000_01b3);
+    }
+    h
+}
+
+/// The readable core of a run, pinned alongside the digest so failures
+/// show *what* moved, not just that something did.
+fn fingerprint(m: &Metrics) -> (u64, u64, u64, u64, u64, u64, u64, u64) {
+    (
+        m.reads.attempts,
+        m.reads.successes,
+        m.reads.messages,
+        m.writes.attempts,
+        m.writes.successes,
+        m.writes.messages,
+        m.site_failures,
+        m.lemma_violations,
+    )
+}
+
+fn healthy(policy: ContactPolicy) -> SimConfig {
+    let mut c = SimConfig::new(Arc::new(Majority::new(5)));
+    c.contact = policy;
+    c.duration = SimTime::from_secs(2);
+    c.seed = 7;
+    c
+}
+
+fn faulted(policy: ContactPolicy) -> SimConfig {
+    let mut c = healthy(policy);
+    c.faults = FaultPlan::new()
+        .crash_at(SimTime::from_millis(300), 1)
+        .crash_at(SimTime::from_millis(400), 3)
+        .recover_at(SimTime::from_millis(900), 1)
+        .recover_at(SimTime::from_millis(1100), 3)
+        .abort_at(SimTime::from_millis(500), 0)
+        .abort_at(SimTime::from_millis(600), 2)
+        .drop_window(SimTime::from_millis(1200), SimTime::from_millis(200), 300)
+        .delay_window(
+            SimTime::from_millis(1500),
+            SimTime::from_millis(200),
+            SimTime::from_millis(2),
+        );
+    c.retry = RetryPolicy::retries(3, SimTime::from_millis(5));
+    c.record_history = true;
+    c
+}
+
+#[test]
+fn identical_seeds_are_bit_identical() {
+    for policy in [ContactPolicy::AllLive, ContactPolicy::MinimalQuorum] {
+        let a = run(healthy(policy));
+        let b = run(healthy(policy));
+        assert_eq!(format!("{a:?}"), format!("{b:?}"));
+        let fa = run(faulted(policy));
+        let fb = run(faulted(policy));
+        assert_eq!(format!("{fa:?}"), format!("{fb:?}"));
+    }
+}
+
+#[test]
+fn healthy_all_live_metrics_are_pinned() {
+    let m = run(healthy(ContactPolicy::AllLive));
+    assert_eq!(fingerprint(&m), (3828, 3828, 38280, 424, 424, 8480, 0, 0));
+    assert_eq!(digest(&m), 8826849334175127438);
+}
+
+#[test]
+fn healthy_minimal_quorum_metrics_are_pinned() {
+    let m = run(healthy(ContactPolicy::MinimalQuorum));
+    assert_eq!(fingerprint(&m), (3552, 3552, 21312, 386, 386, 4632, 0, 0));
+    assert_eq!(digest(&m), 3152914646422644638);
+}
+
+#[test]
+fn faulted_all_live_metrics_are_pinned() {
+    let m = run(faulted(ContactPolicy::AllLive));
+    assert_eq!(m.lemma_violations, 0, "violations: {:?}", m.violations);
+    assert_eq!(m.forced_aborts, 2);
+    assert_eq!(m.site_failures, 2);
+    assert!(m.dropped_messages > 0);
+    assert_eq!(fingerprint(&m), (3045, 3042, 25870, 340, 339, 5764, 2, 0));
+    assert_eq!(digest(&m), 13455246465738977740);
+}
+
+#[test]
+fn faulted_minimal_quorum_metrics_are_pinned() {
+    let m = run(faulted(ContactPolicy::MinimalQuorum));
+    assert_eq!(m.lemma_violations, 0, "violations: {:?}", m.violations);
+    assert_eq!(m.forced_aborts, 2);
+    assert_eq!(m.site_failures, 2);
+    assert!(m.dropped_messages > 0);
+    assert_eq!(fingerprint(&m), (2862, 2857, 17213, 317, 316, 3814, 2, 0));
+    assert_eq!(digest(&m), 5187342928796073338);
+}

@@ -4,11 +4,18 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
+# Fixed property-test budget so the gate's cost and coverage are
+# reproducible (the vendored proptest reads this; default is 256).
+export PROPTEST_CASES="${PROPTEST_CASES:-256}"
+
 echo "==> cargo build --release"
 cargo build --release --workspace
 
-echo "==> cargo test"
+echo "==> cargo test (PROPTEST_CASES=$PROPTEST_CASES)"
 cargo test -q --workspace
+
+echo "==> simulator fault/determinism suites"
+cargo test -q -p qc-sim --test determinism --test faults --test fault_props
 
 echo "==> cargo clippy -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings

@@ -7,7 +7,8 @@
 //!   tuples;
 //! * `prop::collection::{vec, btree_set}`;
 //! * the [`proptest!`] macro (including `#![proptest_config(..)]`), running
-//!   each test over a deterministic seeded case stream;
+//!   each test over a deterministic seeded case stream, with the default
+//!   case count overridable via the `PROPTEST_CASES` environment variable;
 //! * [`prop_assert!`], [`prop_assert_eq!`], [`prop_assert_ne!`] and
 //!   [`prop_assume!`].
 //!
@@ -231,12 +232,24 @@ pub struct ProptestConfig {
 }
 
 impl Default for ProptestConfig {
+    /// Like real proptest, the default case count honours the
+    /// `PROPTEST_CASES` environment variable (positive integer), falling
+    /// back to 256. An explicit `cases:` field in a
+    /// `#![proptest_config(..)]` attribute still wins, since it bypasses
+    /// this constructor.
     fn default() -> Self {
         ProptestConfig {
-            cases: 256,
+            cases: parse_cases(std::env::var("PROPTEST_CASES").ok().as_deref()),
             max_global_rejects: 65_536,
         }
     }
+}
+
+/// Parse a `PROPTEST_CASES` value; invalid, zero or absent → 256.
+fn parse_cases(raw: Option<&str>) -> u32 {
+    raw.and_then(|s| s.trim().parse::<u32>().ok())
+        .filter(|&c| c > 0)
+        .unwrap_or(256)
 }
 
 /// Drive one property test: generate inputs, run the case, report the first
@@ -506,6 +519,15 @@ macro_rules! __proptest_fns {
 #[cfg(test)]
 mod tests {
     use crate::prelude::*;
+
+    #[test]
+    fn cases_env_parsing() {
+        assert_eq!(crate::parse_cases(None), 256);
+        assert_eq!(crate::parse_cases(Some("64")), 64);
+        assert_eq!(crate::parse_cases(Some(" 12 ")), 12);
+        assert_eq!(crate::parse_cases(Some("0")), 256);
+        assert_eq!(crate::parse_cases(Some("lots")), 256);
+    }
 
     proptest! {
         #[test]
