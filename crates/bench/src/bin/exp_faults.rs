@@ -11,7 +11,11 @@
 //! cells are a real check, not a vacuous one.
 //!
 //! Flags: `--faults "<plan>"` overrides the scenario plan (grammar in
-//! `EXPERIMENTS.md`), `--seed N` overrides the default seed (42).
+//! `EXPERIMENTS.md`), `--seed N` overrides the default seed (42),
+//! `--secs N` rescales the run (the scenario's event times scale with it),
+//! and `--trace-dir DIR` runs each cell traced, dumps one JSON schedule
+//! trace per cell, and replays every trace through the Theorem 10
+//! conformance checker (the negative control must *fail* it).
 //!
 //! Reproduce with:
 //!   cargo run --release -p qc-bench --bin exp_faults > results/exp_faults.txt
@@ -19,29 +23,45 @@
 
 use std::sync::Arc;
 
-use qc_bench::{faults_flag, flag_value, row, rule};
+use qc_bench::{dump_trace, faults_flag, flag_value, row, rule, trace_dir_flag, trace_file_stem};
 use qc_sim::{
-    default_threads, run, run_batch, ContactPolicy, FaultPlan, RetryPolicy, SimConfig,
-    SimTime,
+    check_trace, default_threads, run, run_batch, run_traced, ContactPolicy, FaultPlan,
+    Metrics, RetryPolicy, SimConfig, SimTime,
 };
 use quorum::{Majority, QuorumSpec, Rowa};
 use serde_json::JsonObject;
 
 const DURATION_SECS: u64 = 30;
 
-/// The default scenario, in the text grammar so the run is reproducible by
-/// pasting the printed plan back through `--faults`.
-const SCENARIO: &str = "crash@4000:1; recover@9000:1; \
-     crash@12000:3; recover@18000:3; \
-     abort@6000:0; abort@20000:2; \
-     drop@22000:2000,250; delay@26000:2000,2";
+/// The default scenario. Event times are fractions of the run length so
+/// `--secs` rescales the whole plan; at the default 30 s this reproduces
+/// the documented plan `crash@4000:1; recover@9000:1; ...` exactly, and
+/// the printed plan can always be pasted back through `--faults`.
+fn scenario(secs: u64) -> FaultPlan {
+    let t = |s30: u64| SimTime(secs * s30 * 1_000_000 / 30);
+    FaultPlan::new()
+        .crash_at(t(4), 1)
+        .recover_at(t(9), 1)
+        .crash_at(t(12), 3)
+        .recover_at(t(18), 3)
+        .abort_at(t(6), 0)
+        .abort_at(t(20), 2)
+        .drop_window(t(22), t(2), 250)
+        .delay_window(t(26), t(2), SimTime::from_millis(2))
+}
 
-fn cell(q: &Arc<dyn QuorumSpec + Send + Sync>, plan: &FaultPlan, seed: u64, attempts: u32) -> SimConfig {
+fn cell(
+    q: &Arc<dyn QuorumSpec + Send + Sync>,
+    plan: &FaultPlan,
+    seed: u64,
+    attempts: u32,
+    secs: u64,
+) -> SimConfig {
     let mut c = SimConfig::new(Arc::clone(q));
     c.contact = ContactPolicy::AllLive;
     c.clients = 6;
     c.read_fraction = 0.7;
-    c.duration = SimTime::from_secs(DURATION_SECS);
+    c.duration = SimTime::from_secs(secs);
     c.think_time = SimTime::from_millis(5);
     c.seed = seed;
     c.faults = plan.clone();
@@ -53,21 +73,61 @@ fn main() {
     let seed: u64 = flag_value("--seed")
         .map(|s| s.parse().expect("--seed takes an integer"))
         .unwrap_or(42);
-    let plan = faults_flag()
-        .unwrap_or_else(|| FaultPlan::parse(SCENARIO).expect("built-in scenario parses"));
+    let secs: u64 = flag_value("--secs")
+        .map(|s| s.parse().expect("--secs takes an integer"))
+        .unwrap_or(DURATION_SECS);
+    let plan = faults_flag().unwrap_or_else(|| scenario(secs));
+    let trace_dir = trace_dir_flag();
 
-    println!("Q6 — fault injection under a seeded plan (n = 5, seed {seed})\n");
+    println!("Q6 — fault injection under a seeded plan (n = 5, seed {seed}, {secs} s)\n");
     println!("plan: {plan}\n");
 
     let systems: Vec<Arc<dyn QuorumSpec + Send + Sync>> =
         vec![Arc::new(Rowa::new(5)), Arc::new(Majority::new(5))];
     let budgets = [1u32, 4];
 
-    let grid: Vec<SimConfig> = systems
+    let cells: Vec<(Arc<dyn QuorumSpec + Send + Sync>, u32)> = systems
         .iter()
-        .flat_map(|q| budgets.iter().map(|&a| cell(q, &plan, seed, a)))
+        .flat_map(|q| budgets.iter().map(|&a| (Arc::clone(q), a)))
         .collect();
-    let metrics = run_batch(grid, default_threads());
+    let metrics: Vec<Metrics> = match &trace_dir {
+        Some(dir) => {
+            // Traced runs are serial, but the recorded metrics are
+            // bit-identical to the parallel sweep's; every trace must
+            // replay through the Theorem 10 conformance checker.
+            std::fs::create_dir_all(dir).expect("create --trace-dir");
+            cells
+                .iter()
+                .map(|(q, attempts)| {
+                    let (m, trace) = run_traced(cell(q, &plan, seed, *attempts, secs));
+                    let name =
+                        format!("faults_{}_a{attempts}.json", trace_file_stem(&q.label()));
+                    let path = dump_trace(dir, &name, &trace);
+                    let report = check_trace(&trace, q.as_ref()).unwrap_or_else(|d| {
+                        panic!("{name}: trace failed conformance: {d}")
+                    });
+                    println!(
+                        "trace {}: {} events ({} faulted), {} committed, conformant",
+                        path.display(),
+                        report.events,
+                        report.faulted_events,
+                        report.committed
+                    );
+                    m
+                })
+                .collect()
+        }
+        None => {
+            let grid: Vec<SimConfig> = cells
+                .iter()
+                .map(|(q, a)| cell(q, &plan, seed, *a, secs))
+                .collect();
+            run_batch(grid, default_threads())
+        }
+    };
+    if trace_dir.is_some() {
+        println!();
+    }
 
     let widths = [14, 9, 10, 10, 8, 8, 8, 8, 8, 6];
     row(
@@ -137,15 +197,29 @@ fn main() {
 
     // Negative control: corrupt one replica's store mid-run. The monitor
     // MUST fire — this is the proof that the zero-violation cells above
-    // actually checked something.
-    let corrupt = FaultPlan::parse("corrupt@15000:2,999999,77").expect("control plan parses");
-    let m = run(cell(&systems[1], &corrupt, seed, 1));
+    // actually checked something. Under `--trace-dir` the recorded trace
+    // must likewise FAIL conformance, proving the checker is not vacuous.
+    let corrupt =
+        FaultPlan::new().corrupt_at(SimTime(secs * 1_000_000 / 2), 2, 999_999, 77);
+    let m = if let Some(dir) = &trace_dir {
+        let (m, trace) = run_traced(cell(&systems[1], &corrupt, seed, 1, secs));
+        let path = dump_trace(dir, "faults_negative_control.json", &trace);
+        let d = check_trace(&trace, systems[1].as_ref())
+            .expect_err("negative control failed: corrupted trace passed conformance");
+        println!(
+            "trace {}: rejected as required — {d}",
+            path.display()
+        );
+        m
+    } else {
+        run(cell(&systems[1], &corrupt, seed, 1, secs))
+    };
     assert!(
         m.lemma_violations > 0,
         "negative control failed: corrupted store went undetected"
     );
     println!(
-        "\nnegative control: corrupt@15000:2,999999,77 on {} -> {} violation(s), first: {}",
+        "\nnegative control: {corrupt} on {} -> {} violation(s), first: {}",
         systems[1].label(),
         m.lemma_violations,
         m.violations.first().map(String::as_str).unwrap_or("<none>")
@@ -153,14 +227,14 @@ fn main() {
 
     let json = JsonObject::new()
         .field("seed", &seed)
-        .field("duration_secs", &DURATION_SECS)
+        .field("duration_secs", &secs)
         .field("plan_text", plan.to_string().as_str())
         .field_raw("plan", &serde_json::to_string(&plan).expect("plan serializes"))
         .field_raw("cells", &serde_json::array_raw(cells_json))
         .field_raw(
             "negative_control",
             &JsonObject::new()
-                .field("plan_text", "corrupt@15000:2,999999,77")
+                .field("plan_text", corrupt.to_string().as_str())
                 .field("lemma_violations", &m.lemma_violations)
                 .build(),
         )

@@ -21,20 +21,24 @@ use std::time::Instant;
 
 use ioa::{ExploreLimits, ReplayStrategy};
 use nested_txn::Value;
-use qc_bench::{contention_spec, faults_flag, flag_value, row, rule};
+use qc_bench::{
+    contention_spec, dump_trace, faults_flag, flag_value, row, rule, trace_dir_flag,
+    trace_file_stem,
+};
 use qc_cc::{check_theorem11, CcRunOptions};
 use qc_replication::{
     verify_exhaustive_with, ConfigChoice, ItemSpec, SystemSpec, UserSpec, UserStep,
 };
 use qc_sim::{
-    default_threads, par_map, run_batch, ContactPolicy, FaultPlan, SimConfig, SimTime,
+    check_trace, default_threads, par_map, run_batch, run_traced, ContactPolicy, FaultPlan,
+    Metrics, SimConfig, SimTime,
 };
 use quorum::{Majority, QuorumSpec, Rowa};
 use serde_json::JsonObject;
 
 const SIM_SECS: u64 = 20;
 
-fn sim_grid(faults: &FaultPlan, seed: u64) -> Vec<(String, f64, SimConfig)> {
+fn sim_grid(faults: &FaultPlan, seed: u64, secs: u64) -> Vec<(String, f64, SimConfig)> {
     let systems: Vec<Arc<dyn QuorumSpec + Send + Sync>> =
         vec![Arc::new(Rowa::new(5)), Arc::new(Majority::new(5))];
     let mut grid = Vec::new();
@@ -45,7 +49,7 @@ fn sim_grid(faults: &FaultPlan, seed: u64) -> Vec<(String, f64, SimConfig)> {
             c.read_fraction = rf;
             c.contact = ContactPolicy::MinimalQuorum;
             c.think_time = SimTime::from_millis(0);
-            c.duration = SimTime::from_secs(SIM_SECS);
+            c.duration = SimTime::from_secs(secs);
             c.seed = seed;
             c.faults = faults.clone();
             grid.push((q.label(), rf, c));
@@ -76,11 +80,15 @@ fn explorer_scope() -> SystemSpec {
 fn main() {
     // `--faults "<plan>"` injects a deterministic fault plan into every
     // simulator cell (throughput then reflects the outage windows);
-    // `--seed N` re-seeds the cells.
+    // `--seed N` re-seeds the cells; `--secs N` rescales the simulated
+    // duration; `--trace-dir DIR` records and conformance-checks each cell.
     let faults = faults_flag().unwrap_or_default();
     let seed: u64 = flag_value("--seed")
         .map(|s| s.parse().expect("--seed takes an integer"))
         .unwrap_or(23);
+    let secs: u64 = flag_value("--secs")
+        .map(|s| s.parse().expect("--secs takes an integer"))
+        .unwrap_or(SIM_SECS);
     let threads = default_threads();
     println!(
         "Q3a — simulated throughput vs read fraction (n = 5, 8 clients, LAN, \
@@ -102,9 +110,39 @@ fn main() {
     );
     rule(&widths);
 
-    let grid = sim_grid(&faults, seed);
-    let configs: Vec<SimConfig> = grid.iter().map(|(_, _, c)| c.clone()).collect();
-    let metrics = run_batch(configs, threads);
+    let grid = sim_grid(&faults, seed, secs);
+    let metrics: Vec<Metrics> = match trace_dir_flag() {
+        Some(dir) => {
+            // Traced cells run serially (identical metrics); each trace is
+            // dumped as JSON and must pass the Theorem 10 conformance check.
+            std::fs::create_dir_all(&dir).expect("create --trace-dir");
+            grid.iter()
+                .map(|(label, rf, c)| {
+                    let (m, trace) = run_traced(c.clone());
+                    let name = format!(
+                        "throughput_{}_rf{}.json",
+                        trace_file_stem(label),
+                        (rf * 100.0) as u32
+                    );
+                    let path = dump_trace(&dir, &name, &trace);
+                    let report = check_trace(&trace, c.quorum.as_ref()).unwrap_or_else(|d| {
+                        panic!("{name}: trace failed conformance: {d}")
+                    });
+                    println!(
+                        "trace {}: {} events, {} committed, conformant",
+                        path.display(),
+                        report.events,
+                        report.committed
+                    );
+                    m
+                })
+                .collect()
+        }
+        None => {
+            let configs: Vec<SimConfig> = grid.iter().map(|(_, _, c)| c.clone()).collect();
+            run_batch(configs, threads)
+        }
+    };
     let mut sim_rows = Vec::new();
     let mut prev_label = None;
     for ((label, rf, _), m) in grid.iter().zip(&metrics) {
@@ -112,7 +150,7 @@ fn main() {
             rule(&widths);
         }
         prev_label = Some(label);
-        let ops = m.throughput_ops_per_sec(SimTime::from_secs(SIM_SECS));
+        let ops = m.throughput_ops_per_sec(SimTime::from_secs(secs));
         row(
             &[
                 label.clone(),
@@ -184,7 +222,7 @@ fn main() {
 
     let json = JsonObject::new()
         .field("cores", &threads)
-        .field("sim_duration_secs", &SIM_SECS)
+        .field("sim_duration_secs", &secs)
         .field_raw("simulator", &serde_json::array_raw(sim_rows))
         .field_raw("thread_scaling", &serde_json::array_raw(scaling_rows))
         .field_raw("explorer", &serde_json::array_raw(explorer_rows))

@@ -31,6 +31,34 @@ pub fn faults_flag() -> Option<qc_sim::FaultPlan> {
     })
 }
 
+/// Parse a `--trace-dir DIR` argument: the directory into which an
+/// experiment binary dumps one JSON schedule trace per simulator cell and
+/// replays each through the Theorem 10 conformance checker. `None` (the
+/// flag absent) keeps the default parallel, untraced sweep.
+pub fn trace_dir_flag() -> Option<std::path::PathBuf> {
+    flag_value("--trace-dir").map(std::path::PathBuf::from)
+}
+
+/// Reduce a quorum label (or any cell tag) to a filename fragment: quorum
+/// labels contain `(`, `/` and spaces that have no business in file names.
+pub fn trace_file_stem(label: &str) -> String {
+    label
+        .chars()
+        .map(|c| if c.is_ascii_alphanumeric() { c } else { '_' })
+        .collect()
+}
+
+/// Write a recorded trace as `<dir>/<name>` and return its path.
+pub fn dump_trace(
+    dir: &std::path::Path,
+    name: &str,
+    trace: &qc_sim::ScheduleTrace,
+) -> std::path::PathBuf {
+    let path = dir.join(name);
+    std::fs::write(&path, qc_sim::trace_to_json(trace)).expect("write trace file");
+    path
+}
+
 /// Print a fixed-width table row.
 pub fn row(cells: &[String], widths: &[usize]) {
     let line: Vec<String> = cells

@@ -1,0 +1,143 @@
+//! Cross-validation of the schedule-trace conformance oracle against the
+//! concurrency-control pipeline.
+//!
+//! Theorem 11's hypothesis produces, for each concurrent run γ of system
+//! **C**, a serial witness σ that is a schedule of system **B**.  That σ is
+//! exactly the kind of schedule the trace adapter
+//! [`qc_replication::trace_from_schedule`] consumes, so every serialized
+//! concurrent run must also pass the Theorem 10 conformance checker the
+//! simulator traces are replayed through.
+
+use std::collections::BTreeMap;
+
+use nested_txn::Value;
+use qc_cc::{final_dm_values, run_concurrent, serialize_return_order, CcRunOptions};
+use qc_replication::{
+    check_trace, trace_from_schedule, ConfigChoice, ItemId, ItemSpec, SystemSpec, UserSpec,
+    UserStep,
+};
+
+fn two_user_spec() -> SystemSpec {
+    SystemSpec {
+        items: vec![ItemSpec {
+            name: "x".into(),
+            init: Value::Int(0),
+            replicas: 3,
+            config: ConfigChoice::Majority,
+        }],
+        plain: vec![],
+        users: vec![
+            UserSpec::new(vec![UserStep::Write(0, Value::Int(5)), UserStep::Read(0)]),
+            UserSpec::new(vec![UserStep::Read(0), UserStep::Write(0, Value::Int(6))]),
+        ],
+        strategy: Default::default(),
+    }
+}
+
+/// Serialize each concurrent run and replay its trace through the checker.
+#[test]
+fn serialized_concurrent_runs_conform() {
+    let spec = two_user_spec();
+    let mut committed = 0usize;
+    for seed in 0..12u64 {
+        let opts = CcRunOptions {
+            seed,
+            ..CcRunOptions::default()
+        };
+        let (gamma, layout, _conflicts, _quiescent) =
+            run_concurrent(&spec, opts).expect("system C runs");
+        let sigma = serialize_return_order(&gamma).expect("serial witness exists");
+        let trace =
+            trace_from_schedule(&layout, ItemId(0), &sigma).expect("sigma adapts to a trace");
+        let il = &layout.items[&ItemId(0)];
+        let site_of: BTreeMap<_, _> = il
+            .dm_objects
+            .iter()
+            .enumerate()
+            .map(|(s, o)| (*o, s))
+            .collect();
+        let config = il.config.map(|o| site_of[o]);
+        let report = check_trace(&trace, &config)
+            .unwrap_or_else(|d| panic!("seed {seed}: sigma trace diverged: {d}"));
+        committed += report.committed;
+    }
+    assert!(committed > 0, "no TM ever committed across the seeds");
+}
+
+/// Aborting recovery victims must not break conformance: aborted attempts
+/// appear in sigma as never-created transactions, and the projection erases
+/// them down to bare REQUEST-CREATE / ABORT pairs.
+#[test]
+fn aborted_victims_still_conform() {
+    let spec = two_user_spec();
+    let mut aborted = 0usize;
+    for seed in 0..12u64 {
+        let opts = CcRunOptions {
+            seed,
+            abort_weight: 25,
+            ..CcRunOptions::default()
+        };
+        let (gamma, layout, _conflicts, _quiescent) =
+            run_concurrent(&spec, opts).expect("system C runs");
+        let sigma = serialize_return_order(&gamma).expect("serial witness exists");
+        let trace =
+            trace_from_schedule(&layout, ItemId(0), &sigma).expect("sigma adapts to a trace");
+        let il = &layout.items[&ItemId(0)];
+        let site_of: BTreeMap<_, _> = il
+            .dm_objects
+            .iter()
+            .enumerate()
+            .map(|(s, o)| (*o, s))
+            .collect();
+        let config = il.config.map(|o| site_of[o]);
+        let report = check_trace(&trace, &config)
+            .unwrap_or_else(|d| panic!("seed {seed}: sigma trace diverged: {d}"));
+        aborted += report.aborted;
+    }
+    assert!(aborted > 0, "abort_weight 25 never aborted a TM");
+}
+
+/// The checker's reconstructed version-number ceiling agrees with the copies
+/// the concurrent run left behind: Lemma 7 across the module boundary.
+#[test]
+fn checker_max_vn_matches_final_dm_state() {
+    let spec = two_user_spec();
+    for seed in [0u64, 3, 9] {
+        let opts = CcRunOptions {
+            seed,
+            ..CcRunOptions::default()
+        };
+        let (gamma, layout, _conflicts, quiescent) =
+            run_concurrent(&spec, opts).expect("system C runs");
+        if !quiescent {
+            continue;
+        }
+        let sigma = serialize_return_order(&gamma).expect("serial witness exists");
+        let trace =
+            trace_from_schedule(&layout, ItemId(0), &sigma).expect("sigma adapts to a trace");
+        let il = &layout.items[&ItemId(0)];
+        let site_of: BTreeMap<_, _> = il
+            .dm_objects
+            .iter()
+            .enumerate()
+            .map(|(s, o)| (*o, s))
+            .collect();
+        let config = il.config.map(|o| site_of[o]);
+        let report = check_trace(&trace, &config).expect("sigma trace conforms");
+        let finals = final_dm_values(&spec, &sigma);
+        assert!(!finals.is_empty(), "seed {seed}: sigma must replay in B");
+        let copy_max = finals
+            .iter()
+            .filter(|(name, _)| il.dm_names.contains(name))
+            .filter_map(|(_, v)| match v {
+                Value::Versioned { vn, .. } => Some(*vn),
+                _ => None,
+            })
+            .max()
+            .unwrap_or(0);
+        assert_eq!(
+            report.max_vn, copy_max,
+            "seed {seed}: checker ceiling vs final copy state"
+        );
+    }
+}

@@ -1,0 +1,1373 @@
+//! Schedule traces and the Theorem 10 conformance checker.
+//!
+//! The simulator in `qc-sim` runs the Gifford protocol over versioned
+//! replica stores; the formal machinery in this crate runs I/O automata.
+//! This module is the bridge between the two worlds. A [`ScheduleTrace`]
+//! records a run — simulated or automaton-generated — as an ordered
+//! schedule in the paper's operation vocabulary: `CREATE`,
+//! `REQUEST-COMMIT`, `COMMIT` and `ABORT` for the transaction managers,
+//! plus `READ-DM` / `WRITE-DM` for the replica accesses that Theorem 10
+//! erases. [`check_trace`] replays a trace through three independent
+//! oracles, reporting the **first divergent action** on failure:
+//!
+//! 1. **Protocol structure.** Every committed operation discovered its
+//!    version number at a read quorum; every committed write installed
+//!    `(vn + 1, value)` identically at a write quorum; every recorded
+//!    replica access agrees with the replica-store state reconstructed
+//!    from the trace itself.
+//! 2. **Lemmas 7 and 8.** At every commit point (an "even point" of the
+//!    access sequence — the simulator commits operations atomically) the
+//!    reconstructed stores and the committed history satisfy the paper's
+//!    invariants, via the same [`LemmaChecker`] the runtime monitors use.
+//! 3. **Theorem 10.** Erasing the replica-access operations yields a
+//!    candidate serial schedule α, which is replayed step by step on a
+//!    *real* serial system **A** — a [`SerialScheduler`] over one
+//!    non-replicated [`ReadWriteObject`] — so the trace is accepted only
+//!    if it is literally a schedule of the non-replicated system.
+//!
+//! [`project_trace`] exposes the erasure step on its own, and
+//! [`trace_from_schedule`] adapts an I/O-automaton schedule of system
+//! **B** (serial or concurrency-controlled) into a trace, so the same
+//! checker cross-validates the simulator and the automata.
+
+use std::fmt;
+
+use ioa::{Component, OpClass, Schedule, System};
+use nested_txn::{
+    AccessKind, AccessSpec, ObjectId, ReadWriteObject, SerialScheduler, Tid, TxnOp, Value,
+};
+use quorum::{QuorumSpec, ReplicaSet};
+
+use crate::invariants::{LemmaChecker, LemmaViolation};
+use crate::item::ItemId;
+use crate::spec::{Layout, TmRole};
+
+/// Whether a traced transaction manager performs a logical read or write.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum TmKind {
+    /// A read-TM: discovers the maximum version at a read quorum and
+    /// returns its value.
+    Read,
+    /// A write-TM: discovers the current version at a read quorum, then
+    /// installs `(vn + 1, value)` at a write quorum.
+    Write,
+}
+
+impl fmt::Display for TmKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TmKind::Read => write!(f, "read"),
+            TmKind::Write => write!(f, "write"),
+        }
+    }
+}
+
+/// Why a traced transaction manager aborted.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum AbortReason {
+    /// A forced abort (the paper's transaction-failure model).
+    Forced,
+    /// The live sites could not hold the quorums the operation needs.
+    Unavailable,
+    /// A quorum existed but did not assemble within the timeout.
+    Timeout,
+}
+
+impl fmt::Display for AbortReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AbortReason::Forced => write!(f, "forced"),
+            AbortReason::Unavailable => write!(f, "unavailable"),
+            AbortReason::Timeout => write!(f, "timeout"),
+        }
+    }
+}
+
+/// The name of a traced transaction manager.
+///
+/// Each *attempt* of each logical operation is its own transaction in the
+/// paper's sense (an aborted transaction was never created; a retry is a
+/// fresh transaction), so the name carries the attempt number.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct TraceTid {
+    /// The issuing client.
+    pub client: u32,
+    /// The client-local logical operation number.
+    pub op: u64,
+    /// The 1-based attempt number within the logical operation.
+    pub attempt: u32,
+}
+
+impl fmt::Display for TraceTid {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "c{}.op{}.a{}", self.client, self.op, self.attempt)
+    }
+}
+
+/// One action of a traced schedule.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TraceAction {
+    /// `CREATE(T)`: the transaction manager starts running.
+    Create {
+        /// Read or write TM.
+        kind: TmKind,
+    },
+    /// A performed read access at a replica: the DM returned its store.
+    ReadDm {
+        /// The replica site.
+        site: usize,
+        /// The version number the site held.
+        vn: u64,
+        /// The value the site held.
+        value: u64,
+    },
+    /// A performed write access at a replica: the DM installed a version.
+    WriteDm {
+        /// The replica site.
+        site: usize,
+        /// The installed version number.
+        vn: u64,
+        /// The installed value.
+        value: u64,
+    },
+    /// `REQUEST-COMMIT(T, v)`: the TM announces its result.
+    RequestCommit {
+        /// The version the operation committed at (discovered maximum for
+        /// reads; installed version for writes).
+        vn: u64,
+        /// The operation's value (returned for reads; installed for
+        /// writes).
+        value: u64,
+    },
+    /// `COMMIT(T)`: the scheduler reports success.
+    Commit,
+    /// `ABORT(T)`: the transaction was never created (it has no visible
+    /// effect).
+    Abort {
+        /// Read or write TM.
+        kind: TmKind,
+        /// Why the attempt aborted.
+        reason: AbortReason,
+    },
+}
+
+impl fmt::Display for TraceAction {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TraceAction::Create { kind } => write!(f, "CREATE({kind}-TM)"),
+            TraceAction::ReadDm { site, vn, value } => {
+                write!(f, "READ-DM(site {site}, vn {vn}, value {value})")
+            }
+            TraceAction::WriteDm { site, vn, value } => {
+                write!(f, "WRITE-DM(site {site}, vn {vn}, value {value})")
+            }
+            TraceAction::RequestCommit { vn, value } => {
+                write!(f, "REQUEST-COMMIT(vn {vn}, value {value})")
+            }
+            TraceAction::Commit => write!(f, "COMMIT"),
+            TraceAction::Abort { kind, reason } => write!(f, "ABORT({kind}-TM, {reason})"),
+        }
+    }
+}
+
+/// One event of a [`ScheduleTrace`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Simulated time in microseconds (schedule position for traces built
+    /// from automaton schedules).
+    pub at_us: u64,
+    /// The transaction the action belongs to.
+    pub tid: TraceTid,
+    /// The action.
+    pub action: TraceAction,
+    /// Whether any fault was active when the action happened (a site down,
+    /// a drop or delay window open, or a forced abort).
+    pub faulted: bool,
+}
+
+/// An ordered schedule of one run over a single replicated item.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ScheduleTrace {
+    /// Label of the quorum system the run used (diagnostic only).
+    pub quorum: String,
+    /// Number of replica sites.
+    pub sites: usize,
+    /// The run's RNG seed (diagnostic only).
+    pub seed: u64,
+    /// The item's initial value (version 0 at every site).
+    pub initial: u64,
+    /// The events, in schedule order.
+    pub events: Vec<TraceEvent>,
+}
+
+impl ScheduleTrace {
+    /// An empty trace for a run over `sites` replicas.
+    pub fn new(quorum: impl Into<String>, sites: usize, seed: u64) -> Self {
+        ScheduleTrace {
+            quorum: quorum.into(),
+            sites,
+            seed,
+            initial: 0,
+            events: Vec::new(),
+        }
+    }
+}
+
+/// What a conformance failure looked like.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum DivergenceKind {
+    /// The trace is not even shaped like a serial Gifford run.
+    Malformed(String),
+    /// A committed operation's read accesses do not cover a read quorum.
+    NoReadQuorum,
+    /// A committed write's installs do not cover a write quorum.
+    NoWriteQuorum,
+    /// Lemma 7 or 8 fails at a commit point (or at end of trace).
+    Lemma(LemmaViolation),
+    /// The Theorem 10 projection was refused by serial system **A**.
+    Replay(String),
+}
+
+/// The first divergent action of a non-conforming trace.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Divergence {
+    /// Index into [`ScheduleTrace::events`] of the divergent action
+    /// (`events.len()` for a divergence only visible at end of trace).
+    pub event: usize,
+    /// The divergent action, rendered (`"end of trace"` past the end).
+    pub action: String,
+    /// What went wrong there.
+    pub kind: DivergenceKind,
+}
+
+impl fmt::Display for Divergence {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "event {} [{}]: ", self.event, self.action)?;
+        match &self.kind {
+            DivergenceKind::Malformed(why) => write!(f, "{why}"),
+            DivergenceKind::NoReadQuorum => {
+                write!(f, "read accesses do not cover a read quorum")
+            }
+            DivergenceKind::NoWriteQuorum => {
+                write!(f, "installs do not cover a write quorum")
+            }
+            DivergenceKind::Lemma(v) => write!(f, "{v}"),
+            DivergenceKind::Replay(why) => write!(f, "{why}"),
+        }
+    }
+}
+
+impl std::error::Error for Divergence {}
+
+/// Statistics of a successful conformance check.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ConformanceReport {
+    /// Total trace events checked.
+    pub events: usize,
+    /// Transaction managers that committed.
+    pub committed: usize,
+    /// Transaction managers that aborted.
+    pub aborted: usize,
+    /// Replica-access operations erased by the Theorem 10 projection.
+    pub erased: usize,
+    /// Length of the candidate serial schedule α (including `CREATE(T0)`).
+    pub alpha_len: usize,
+    /// Events tagged as happening under an active fault.
+    pub faulted_events: usize,
+    /// `current-vn` of the committed history at end of trace.
+    pub max_vn: u64,
+}
+
+/// A performed replica access within one TM block.
+#[derive(Clone, Copy, Debug)]
+struct Rep {
+    site: usize,
+    vn: u64,
+    value: u64,
+}
+
+/// An open (not yet returned) TM block during the structural scan.
+#[derive(Debug)]
+struct Block {
+    tid: TraceTid,
+    kind: TmKind,
+    reads: Vec<Rep>,
+    writes: Vec<Rep>,
+    rc: Option<(usize, u64, u64)>,
+}
+
+fn diverge(i: usize, ev: &TraceEvent, kind: DivergenceKind) -> Divergence {
+    Divergence {
+        event: i,
+        action: format!("{}: {}", ev.tid, ev.action),
+        kind,
+    }
+}
+
+fn end_diverge(len: usize, kind: DivergenceKind) -> Divergence {
+    Divergence {
+        event: len,
+        action: "end of trace".into(),
+        kind,
+    }
+}
+
+/// Check a trace against the protocol structure, Lemmas 7/8, and
+/// Theorem 10.
+///
+/// `quorum` must be the quorum system the run used (over sites
+/// `0..trace.sites`).
+///
+/// # Errors
+///
+/// The first divergent action.
+pub fn check_trace(
+    trace: &ScheduleTrace,
+    quorum: &dyn QuorumSpec,
+) -> Result<ConformanceReport, Divergence> {
+    if quorum.n() != trace.sites {
+        return Err(Divergence {
+            event: 0,
+            action: "trace header".into(),
+            kind: DivergenceKind::Malformed(format!(
+                "quorum system covers {} sites but the trace records {}",
+                quorum.n(),
+                trace.sites
+            )),
+        });
+    }
+    let mut stores: Vec<(u64, u64)> = vec![(0, trace.initial); trace.sites];
+    let mut checker: LemmaChecker<u64> = LemmaChecker::new(trace.initial);
+    let check_stores =
+        |checker: &LemmaChecker<u64>, stores: &[(u64, u64)]| -> Result<(), LemmaViolation> {
+            checker.check_states(
+                stores.iter().enumerate().map(|(s, (vn, v))| (s, *vn, v)),
+                true,
+                |holders| quorum.is_write_quorum_bits(holders),
+            )
+        };
+
+    let mut open: Option<Block> = None;
+    let mut committed = 0usize;
+    let mut aborted = 0usize;
+    let mut erased = 0usize;
+    let mut faulted_events = 0usize;
+
+    for (i, ev) in trace.events.iter().enumerate() {
+        if ev.faulted {
+            faulted_events += 1;
+        }
+        match ev.action {
+            TraceAction::Create { kind } => {
+                if let Some(b) = &open {
+                    return Err(diverge(
+                        i,
+                        ev,
+                        DivergenceKind::Malformed(format!(
+                            "CREATE while {} is still running (serial property violated)",
+                            b.tid
+                        )),
+                    ));
+                }
+                open = Some(Block {
+                    tid: ev.tid,
+                    kind,
+                    reads: Vec::new(),
+                    writes: Vec::new(),
+                    rc: None,
+                });
+            }
+            TraceAction::ReadDm { site, vn, value } => {
+                erased += 1;
+                let b = match open.as_mut() {
+                    Some(b) if b.tid == ev.tid && b.rc.is_none() => b,
+                    _ => {
+                        return Err(diverge(
+                            i,
+                            ev,
+                            DivergenceKind::Malformed(
+                                "READ-DM outside its transaction manager's run".into(),
+                            ),
+                        ))
+                    }
+                };
+                if !b.writes.is_empty() {
+                    return Err(diverge(
+                        i,
+                        ev,
+                        DivergenceKind::Malformed("READ-DM after the install phase began".into()),
+                    ));
+                }
+                if site >= trace.sites {
+                    return Err(diverge(
+                        i,
+                        ev,
+                        DivergenceKind::Malformed(format!(
+                            "site {site} out of range (n = {})",
+                            trace.sites
+                        )),
+                    ));
+                }
+                if b.reads.iter().any(|r| r.site == site) {
+                    return Err(diverge(
+                        i,
+                        ev,
+                        DivergenceKind::Malformed(format!("duplicate READ-DM at site {site}")),
+                    ));
+                }
+                if stores[site] != (vn, value) {
+                    return Err(diverge(
+                        i,
+                        ev,
+                        DivergenceKind::Malformed(format!(
+                            "READ-DM recorded (vn {vn}, value {value}) but the replica \
+                             store holds (vn {}, value {})",
+                            stores[site].0, stores[site].1
+                        )),
+                    ));
+                }
+                b.reads.push(Rep { site, vn, value });
+            }
+            TraceAction::WriteDm { site, vn, value } => {
+                erased += 1;
+                let b = match open.as_mut() {
+                    Some(b) if b.tid == ev.tid && b.rc.is_none() => b,
+                    _ => {
+                        return Err(diverge(
+                            i,
+                            ev,
+                            DivergenceKind::Malformed(
+                                "WRITE-DM outside its transaction manager's run".into(),
+                            ),
+                        ))
+                    }
+                };
+                if b.kind != TmKind::Write {
+                    return Err(diverge(
+                        i,
+                        ev,
+                        DivergenceKind::Malformed("WRITE-DM in a read-TM".into()),
+                    ));
+                }
+                if site >= trace.sites {
+                    return Err(diverge(
+                        i,
+                        ev,
+                        DivergenceKind::Malformed(format!(
+                            "site {site} out of range (n = {})",
+                            trace.sites
+                        )),
+                    ));
+                }
+                if b.writes.iter().any(|w| w.site == site) {
+                    return Err(diverge(
+                        i,
+                        ev,
+                        DivergenceKind::Malformed(format!("duplicate WRITE-DM at site {site}")),
+                    ));
+                }
+                if let Some(w) = b.writes.first() {
+                    if (w.vn, w.value) != (vn, value) {
+                        return Err(diverge(
+                            i,
+                            ev,
+                            DivergenceKind::Malformed(format!(
+                                "inconsistent install: (vn {vn}, value {value}) after \
+                                 (vn {}, value {})",
+                                w.vn, w.value
+                            )),
+                        ));
+                    }
+                } else {
+                    let dvn = b.reads.iter().map(|r| r.vn).max().unwrap_or(0);
+                    if vn != dvn + 1 {
+                        return Err(diverge(
+                            i,
+                            ev,
+                            DivergenceKind::Malformed(format!(
+                                "installed vn {vn} but discovery saw maximum vn {dvn}"
+                            )),
+                        ));
+                    }
+                }
+                stores[site] = (vn, value);
+                b.writes.push(Rep { site, vn, value });
+            }
+            TraceAction::RequestCommit { vn, value } => {
+                let b = match open.as_mut() {
+                    Some(b) if b.tid == ev.tid => b,
+                    _ => {
+                        return Err(diverge(
+                            i,
+                            ev,
+                            DivergenceKind::Malformed(
+                                "REQUEST-COMMIT outside its transaction manager's run".into(),
+                            ),
+                        ))
+                    }
+                };
+                if b.rc.is_some() {
+                    return Err(diverge(
+                        i,
+                        ev,
+                        DivergenceKind::Malformed("duplicate REQUEST-COMMIT".into()),
+                    ));
+                }
+                let read_set: ReplicaSet = b.reads.iter().map(|r| r.site).collect();
+                if !quorum.is_read_quorum_bits(read_set) {
+                    return Err(diverge(i, ev, DivergenceKind::NoReadQuorum));
+                }
+                let dvn = b.reads.iter().map(|r| r.vn).max().unwrap_or(0);
+                match b.kind {
+                    TmKind::Read => {
+                        if vn != dvn {
+                            return Err(diverge(
+                                i,
+                                ev,
+                                DivergenceKind::Malformed(format!(
+                                    "read committed vn {vn} but the discovered maximum is {dvn}"
+                                )),
+                            ));
+                        }
+                        if !b.reads.iter().any(|r| r.vn == dvn && r.value == value) {
+                            return Err(diverge(
+                                i,
+                                ev,
+                                DivergenceKind::Malformed(format!(
+                                    "returned value {value} was not read from any \
+                                     maximum-version replica"
+                                )),
+                            ));
+                        }
+                    }
+                    TmKind::Write => {
+                        let write_set: ReplicaSet = b.writes.iter().map(|w| w.site).collect();
+                        if b.writes.is_empty() || !quorum.is_write_quorum_bits(write_set) {
+                            return Err(diverge(i, ev, DivergenceKind::NoWriteQuorum));
+                        }
+                        let w = b.writes[0];
+                        if (vn, value) != (w.vn, w.value) {
+                            return Err(diverge(
+                                i,
+                                ev,
+                                DivergenceKind::Malformed(format!(
+                                    "REQUEST-COMMIT (vn {vn}, value {value}) differs from \
+                                     the install (vn {}, value {})",
+                                    w.vn, w.value
+                                )),
+                            ));
+                        }
+                    }
+                }
+                b.rc = Some((i, vn, value));
+            }
+            TraceAction::Commit => {
+                let matches = open.as_ref().is_some_and(|b| b.tid == ev.tid);
+                let Some(b) = (if matches { open.take() } else { None }) else {
+                    return Err(diverge(
+                        i,
+                        ev,
+                        DivergenceKind::Malformed(
+                            "COMMIT outside its transaction manager's run".into(),
+                        ),
+                    ));
+                };
+                let Some((_, vn, value)) = b.rc else {
+                    return Err(diverge(
+                        i,
+                        ev,
+                        DivergenceKind::Malformed("COMMIT without REQUEST-COMMIT".into()),
+                    ));
+                };
+                match b.kind {
+                    TmKind::Read => checker
+                        .check_read(&value)
+                        .map_err(|v| diverge(i, ev, DivergenceKind::Lemma(v)))?,
+                    TmKind::Write => checker
+                        .commit_write(vn, value)
+                        .map_err(|v| diverge(i, ev, DivergenceKind::Lemma(v)))?,
+                }
+                check_stores(&checker, &stores)
+                    .map_err(|v| diverge(i, ev, DivergenceKind::Lemma(v)))?;
+                committed += 1;
+            }
+            TraceAction::Abort { .. } => {
+                if open.is_some() {
+                    return Err(diverge(
+                        i,
+                        ev,
+                        DivergenceKind::Malformed(
+                            "ABORT while a transaction manager is running (a created \
+                             transaction never aborts in a serial system)"
+                                .into(),
+                        ),
+                    ));
+                }
+                aborted += 1;
+            }
+        }
+    }
+    if let Some(b) = &open {
+        return Err(end_diverge(
+            trace.events.len(),
+            DivergenceKind::Malformed(format!("trace ends inside {}'s run", b.tid)),
+        ));
+    }
+    check_stores(&checker, &stores)
+        .map_err(|v| end_diverge(trace.events.len(), DivergenceKind::Lemma(v)))?;
+
+    // Theorem 10: erase the replica accesses and replay the candidate
+    // serial schedule on a real system A.
+    let (alpha, src) = project_trace(trace);
+    replay_alpha(trace.initial, &alpha, &src, &trace.events)?;
+
+    Ok(ConformanceReport {
+        events: trace.events.len(),
+        committed,
+        aborted,
+        erased,
+        alpha_len: alpha.len(),
+        faulted_events,
+        max_vn: checker.current_vn(),
+    })
+}
+
+/// The non-replicated object of the synthesized serial system **A**.
+const A_OBJECT: ObjectId = ObjectId(0);
+
+/// Erase the replica-access operations (`READ-DM` / `WRITE-DM`) from a
+/// trace and emit the candidate serial schedule α of system **A**, plus,
+/// for each α operation, the index of the trace event it came from.
+///
+/// Each traced transaction manager becomes an access transaction `T0.k` on
+/// the single logical object; aborted managers contribute
+/// `REQUEST-CREATE` / `ABORT` pairs (an aborted transaction was never
+/// created), committed ones a full `REQUEST-CREATE` / `CREATE` /
+/// `REQUEST-COMMIT` / `COMMIT` block. The erasure is lenient: events that
+/// do not form a complete block are dropped (the structural layer of
+/// [`check_trace`] reports them precisely).
+pub fn project_trace(trace: &ScheduleTrace) -> (Schedule<TxnOp>, Vec<usize>) {
+    let mut alpha: Schedule<TxnOp> = Schedule::new();
+    let mut src: Vec<usize> = Vec::new();
+    alpha.push(TxnOp::Create {
+        tid: Tid::root(),
+        access: None,
+        param: None,
+    });
+    src.push(0);
+
+    // An open TM block: (name, kind, CREATE index, REQUEST-COMMIT (value,
+    // index) once seen).
+    type OpenBlock = (TraceTid, TmKind, usize, Option<(u64, usize)>);
+    let mut k: u32 = 0;
+    let mut open: Option<OpenBlock> = None;
+    for (i, ev) in trace.events.iter().enumerate() {
+        match ev.action {
+            TraceAction::Create { kind } => {
+                open = Some((ev.tid, kind, i, None));
+            }
+            TraceAction::RequestCommit { value, .. } => {
+                if let Some(o) = open.as_mut() {
+                    if o.0 == ev.tid {
+                        o.3 = Some((value, i));
+                    }
+                }
+            }
+            TraceAction::Commit => {
+                let done = open
+                    .take_if(|o| o.0 == ev.tid)
+                    .and_then(|(_, kind, ev_create, rc)| rc.map(|rc| (kind, ev_create, rc)));
+                if let Some((kind, ev_create, (value, ev_rc))) = done {
+                    let tid = Tid::root().child(k);
+                    k += 1;
+                    let (spec, result) = match kind {
+                        TmKind::Read => (AccessSpec::read(A_OBJECT), Value::Int(value as i64)),
+                        TmKind::Write => (
+                            AccessSpec::write(A_OBJECT, Value::Int(value as i64)),
+                            Value::Nil,
+                        ),
+                    };
+                    alpha.push(TxnOp::RequestCreate {
+                        tid: tid.clone(),
+                        access: Some(spec.clone()),
+                        param: None,
+                    });
+                    src.push(ev_create);
+                    alpha.push(TxnOp::Create {
+                        tid: tid.clone(),
+                        access: Some(spec),
+                        param: None,
+                    });
+                    src.push(ev_create);
+                    alpha.push(TxnOp::RequestCommit {
+                        tid: tid.clone(),
+                        value: result.clone(),
+                    });
+                    src.push(ev_rc);
+                    alpha.push(TxnOp::Commit { tid, value: result });
+                    src.push(i);
+                }
+            }
+            TraceAction::Abort { kind, .. } => {
+                if open.is_none() {
+                    let tid = Tid::root().child(k);
+                    k += 1;
+                    let spec = match kind {
+                        TmKind::Read => AccessSpec::read(A_OBJECT),
+                        TmKind::Write => AccessSpec::write(A_OBJECT, Value::Nil),
+                    };
+                    alpha.push(TxnOp::RequestCreate {
+                        tid: tid.clone(),
+                        access: Some(spec),
+                        param: None,
+                    });
+                    src.push(i);
+                    alpha.push(TxnOp::Abort { tid });
+                    src.push(i);
+                }
+            }
+            TraceAction::ReadDm { .. } | TraceAction::WriteDm { .. } => {}
+        }
+    }
+    (alpha, src)
+}
+
+/// The root "user program" of the synthesized system **A**: it outputs the
+/// `REQUEST-CREATE`s of the top-level accesses and absorbs their returns.
+/// Its apply is permissive — the serial scheduler and the object carry all
+/// the preconditions the replay is checking.
+#[derive(Clone, Debug)]
+struct TraceRoot;
+
+impl Component<TxnOp> for TraceRoot {
+    fn name(&self) -> String {
+        "trace-root".into()
+    }
+
+    fn classify(&self, op: &TxnOp) -> OpClass {
+        match op {
+            TxnOp::RequestCreate { tid, .. } if tid.depth() == 1 => OpClass::Output,
+            TxnOp::Create { tid, .. } if tid.is_root() => OpClass::Input,
+            TxnOp::Commit { tid, .. } | TxnOp::Abort { tid } if tid.depth() == 1 => OpClass::Input,
+            _ => OpClass::NotMine,
+        }
+    }
+
+    fn reset(&mut self) {}
+
+    fn enabled_outputs(&self) -> Vec<TxnOp> {
+        Vec::new()
+    }
+
+    fn apply(&mut self, _op: &TxnOp) -> Result<(), String> {
+        Ok(())
+    }
+
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+
+    fn clone_boxed(&self) -> Box<dyn Component<TxnOp>> {
+        Box::new(self.clone())
+    }
+}
+
+/// Replay α on a fresh serial system **A**, mapping a refusal back to the
+/// trace event the refused operation was projected from.
+fn replay_alpha(
+    initial: u64,
+    alpha: &Schedule<TxnOp>,
+    src: &[usize],
+    events: &[TraceEvent],
+) -> Result<(), Divergence> {
+    let mut system: System<TxnOp> = System::new();
+    system.push(Box::new(SerialScheduler::new()));
+    system.push(Box::new(ReadWriteObject::new(
+        A_OBJECT,
+        "O(x)",
+        Value::Int(initial as i64),
+    )));
+    system.push(Box::new(TraceRoot));
+    for (j, op) in alpha.iter().enumerate() {
+        if let Err(e) = system.step(op) {
+            let at = src[j];
+            let action = events
+                .get(at)
+                .map(|ev| format!("{}: {}", ev.tid, ev.action))
+                .unwrap_or_else(|| "end of trace".into());
+            return Err(Divergence {
+                event: at,
+                action,
+                kind: DivergenceKind::Replay(format!("serial system A refused {op}: {e}")),
+            });
+        }
+    }
+    Ok(())
+}
+
+/// Adapt an I/O-automaton schedule of system **B** (serial, or a serial
+/// witness σ from the concurrency-control layer) into a [`ScheduleTrace`]
+/// for `item`, so [`check_trace`] can cross-validate the automata against
+/// the same oracle the simulator uses.
+///
+/// Replica sites are the item's DM indices; each of the item's transaction
+/// managers becomes one traced transaction. Late discovery reads of a
+/// write-TM (read accesses performing after the first install) are
+/// redundant under serial execution and are dropped. An incomplete
+/// trailing block (a run truncated mid-TM) is dropped too.
+///
+/// # Errors
+///
+/// A description of the first inadaptable operation (non-integer values,
+/// unknown item, or interleaved transaction managers).
+pub fn trace_from_schedule(
+    layout: &Layout,
+    item: ItemId,
+    schedule: &Schedule<TxnOp>,
+) -> Result<ScheduleTrace, String> {
+    let il = layout
+        .items
+        .get(&item)
+        .ok_or_else(|| format!("unknown item {item:?}"))?;
+    let initial = il
+        .item
+        .init
+        .as_int()
+        .ok_or_else(|| format!("item {} has a non-integer initial value", il.item.name))?;
+    if initial < 0 {
+        return Err(format!(
+            "item {} has a negative initial value",
+            il.item.name
+        ));
+    }
+    let site_of: std::collections::BTreeMap<ObjectId, usize> = il
+        .dm_objects
+        .iter()
+        .enumerate()
+        .map(|(s, o)| (*o, s))
+        .collect();
+
+    let mut trace =
+        ScheduleTrace::new(format!("schedule:{}", il.item.name), il.dm_objects.len(), 0);
+    trace.initial = initial as u64;
+
+    struct OpenTm {
+        tid: Tid,
+        kind: TmKind,
+        /// `value(T)` for write-TMs.
+        param: Option<u64>,
+        /// The TM's announced result (read-TMs), once it request-commits.
+        result: Option<u64>,
+        name: TraceTid,
+        buf: Vec<TraceEvent>,
+        installed: bool,
+    }
+    let mut ordinal: u64 = 0;
+    let mut open: Option<OpenTm> = None;
+    let mut specs: std::collections::BTreeMap<Tid, AccessSpec> = std::collections::BTreeMap::new();
+
+    let as_u64 = |v: &Value, what: &str| -> Result<u64, String> {
+        let n = v
+            .as_int()
+            .ok_or_else(|| format!("{what}: non-integer value {v}"))?;
+        if n < 0 {
+            return Err(format!("{what}: negative value {n}"));
+        }
+        Ok(n as u64)
+    };
+
+    for (i, op) in schedule.iter().enumerate() {
+        match op {
+            TxnOp::Create {
+                tid,
+                access: None,
+                param,
+            } => {
+                let Some(role) = layout.tm_roles.get(tid) else {
+                    continue;
+                };
+                if role.item() != item {
+                    continue;
+                }
+                if let Some(o) = &open {
+                    return Err(format!(
+                        "TM {tid} created while TM {} is still running",
+                        o.tid
+                    ));
+                }
+                let (kind, tm_param) = match role {
+                    TmRole::Read(_) => (TmKind::Read, None),
+                    TmRole::Write(_) => {
+                        let v = param
+                            .as_ref()
+                            .ok_or_else(|| format!("write-TM {tid} created without value(T)"))?;
+                        (TmKind::Write, Some(as_u64(v, "value(T)")?))
+                    }
+                };
+                let name = TraceTid {
+                    client: 0,
+                    op: ordinal,
+                    attempt: 1,
+                };
+                ordinal += 1;
+                open = Some(OpenTm {
+                    tid: tid.clone(),
+                    kind,
+                    param: tm_param,
+                    result: None,
+                    name,
+                    buf: vec![TraceEvent {
+                        at_us: i as u64,
+                        tid: name,
+                        action: TraceAction::Create { kind },
+                        faulted: false,
+                    }],
+                    installed: false,
+                });
+            }
+            TxnOp::Create {
+                tid,
+                access: Some(spec),
+                ..
+            } => {
+                let Some(o) = &open else { continue };
+                if tid.parent().as_ref() == Some(&o.tid) && site_of.contains_key(&spec.object) {
+                    specs.insert(tid.clone(), spec.clone());
+                }
+            }
+            TxnOp::RequestCommit { tid, value } => {
+                if let Some(spec) = specs.get(tid) {
+                    // A performed replica access of the open TM.
+                    let o = open
+                        .as_mut()
+                        .ok_or_else(|| format!("access {tid} performed outside a TM run"))?;
+                    let site = site_of[&spec.object];
+                    match spec.kind {
+                        AccessKind::Read => {
+                            if o.installed {
+                                // Redundant late discovery read; erased.
+                                continue;
+                            }
+                            let (vn, v) = value
+                                .as_versioned()
+                                .ok_or_else(|| format!("read access {tid} returned {value}"))?;
+                            let v = as_u64(v, "DM read value")?;
+                            o.buf.push(TraceEvent {
+                                at_us: i as u64,
+                                tid: o.name,
+                                action: TraceAction::ReadDm { site, vn, value: v },
+                                faulted: false,
+                            });
+                        }
+                        AccessKind::Write => {
+                            let (vn, v) = spec.data.as_versioned().ok_or_else(|| {
+                                format!("write access {tid} installs {}", spec.data)
+                            })?;
+                            let v = as_u64(v, "DM install value")?;
+                            o.installed = true;
+                            o.buf.push(TraceEvent {
+                                at_us: i as u64,
+                                tid: o.name,
+                                action: TraceAction::WriteDm { site, vn, value: v },
+                                faulted: false,
+                            });
+                        }
+                    }
+                } else if open.as_ref().is_some_and(|o| &o.tid == tid) {
+                    // The TM announced its result. Extra accesses it had
+                    // outstanding may still perform before its COMMIT, so
+                    // the trace's REQUEST-COMMIT event is synthesized at
+                    // the COMMIT — after every replica access of the block.
+                    let o = open.as_mut().expect("checked above");
+                    if o.kind == TmKind::Read {
+                        o.result = Some(as_u64(value, "read-TM result")?);
+                    }
+                }
+            }
+            TxnOp::Commit { tid, .. } if open.as_ref().is_some_and(|o| &o.tid == tid) => {
+                let mut o = open.take().expect("checked above");
+                let rc = match o.kind {
+                    TmKind::Read => {
+                        let dvn = o
+                            .buf
+                            .iter()
+                            .filter_map(|e| match e.action {
+                                TraceAction::ReadDm { vn, .. } => Some(vn),
+                                _ => None,
+                            })
+                            .max()
+                            .unwrap_or(0);
+                        TraceAction::RequestCommit {
+                            vn: dvn,
+                            value: o.result.unwrap_or(0),
+                        }
+                    }
+                    TmKind::Write => {
+                        let install = o.buf.iter().find_map(|e| match e.action {
+                            TraceAction::WriteDm { vn, value, .. } => Some((vn, value)),
+                            _ => None,
+                        });
+                        let (vn, v) = install.unwrap_or((0, o.param.unwrap_or(0)));
+                        TraceAction::RequestCommit { vn, value: v }
+                    }
+                };
+                o.buf.push(TraceEvent {
+                    at_us: i as u64,
+                    tid: o.name,
+                    action: rc,
+                    faulted: false,
+                });
+                o.buf.push(TraceEvent {
+                    at_us: i as u64,
+                    tid: o.name,
+                    action: TraceAction::Commit,
+                    faulted: false,
+                });
+                trace.events.append(&mut o.buf);
+                specs.clear();
+            }
+            TxnOp::Abort { tid } => {
+                if let Some(role) = layout.tm_roles.get(tid) {
+                    if role.item() == item && open.as_ref().is_none_or(|o| &o.tid != tid) {
+                        let kind = match role {
+                            TmRole::Read(_) => TmKind::Read,
+                            TmRole::Write(_) => TmKind::Write,
+                        };
+                        let name = TraceTid {
+                            client: 0,
+                            op: ordinal,
+                            attempt: 1,
+                        };
+                        ordinal += 1;
+                        trace.events.push(TraceEvent {
+                            at_us: i as u64,
+                            tid: name,
+                            action: TraceAction::Abort {
+                                kind,
+                                reason: AbortReason::Forced,
+                            },
+                            faulted: false,
+                        });
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+    // An incomplete trailing block (truncated run) is dropped.
+    Ok(trace)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::{ConfigChoice, ItemSpec, SystemSpec, UserSpec, UserStep};
+    use crate::theorem10::{run_system_b, RunOptions};
+    use quorum::Majority;
+
+    fn ev(tid: TraceTid, action: TraceAction) -> TraceEvent {
+        TraceEvent {
+            at_us: 0,
+            tid,
+            action,
+            faulted: false,
+        }
+    }
+
+    fn tid(op: u64) -> TraceTid {
+        TraceTid {
+            client: 0,
+            op,
+            attempt: 1,
+        }
+    }
+
+    /// A valid write-then-read run over Majority(3).
+    fn good_trace() -> ScheduleTrace {
+        let mut t = ScheduleTrace::new("majority(2/3)", 3, 0);
+        let w = tid(0);
+        let r = tid(1);
+        t.events = vec![
+            ev(
+                w,
+                TraceAction::Create {
+                    kind: TmKind::Write,
+                },
+            ),
+            ev(
+                w,
+                TraceAction::ReadDm {
+                    site: 0,
+                    vn: 0,
+                    value: 0,
+                },
+            ),
+            ev(
+                w,
+                TraceAction::ReadDm {
+                    site: 1,
+                    vn: 0,
+                    value: 0,
+                },
+            ),
+            ev(
+                w,
+                TraceAction::WriteDm {
+                    site: 0,
+                    vn: 1,
+                    value: 7,
+                },
+            ),
+            ev(
+                w,
+                TraceAction::WriteDm {
+                    site: 1,
+                    vn: 1,
+                    value: 7,
+                },
+            ),
+            ev(w, TraceAction::RequestCommit { vn: 1, value: 7 }),
+            ev(w, TraceAction::Commit),
+            ev(r, TraceAction::Create { kind: TmKind::Read }),
+            ev(
+                r,
+                TraceAction::ReadDm {
+                    site: 1,
+                    vn: 1,
+                    value: 7,
+                },
+            ),
+            ev(
+                r,
+                TraceAction::ReadDm {
+                    site: 2,
+                    vn: 0,
+                    value: 0,
+                },
+            ),
+            ev(r, TraceAction::RequestCommit { vn: 1, value: 7 }),
+            ev(r, TraceAction::Commit),
+        ];
+        t
+    }
+
+    #[test]
+    fn good_trace_conforms() {
+        let report = check_trace(&good_trace(), &Majority::new(3)).expect("conforms");
+        assert_eq!(report.committed, 2);
+        assert_eq!(report.aborted, 0);
+        assert_eq!(report.erased, 6);
+        assert_eq!(report.events, 12);
+        assert_eq!(report.max_vn, 1);
+        // CREATE(T0) + 4 ops per committed TM.
+        assert_eq!(report.alpha_len, 9);
+    }
+
+    #[test]
+    fn aborted_attempts_project_to_abort_pairs() {
+        let mut t = good_trace();
+        t.events.insert(
+            0,
+            ev(
+                TraceTid {
+                    client: 1,
+                    op: 0,
+                    attempt: 1,
+                },
+                TraceAction::Abort {
+                    kind: TmKind::Write,
+                    reason: AbortReason::Timeout,
+                },
+            ),
+        );
+        let report = check_trace(&t, &Majority::new(3)).expect("conforms");
+        assert_eq!(report.aborted, 1);
+        assert_eq!(report.alpha_len, 11);
+    }
+
+    #[test]
+    fn read_without_quorum_is_rejected() {
+        let mut t = good_trace();
+        // Drop the read's second READ-DM: {1} is not a majority read quorum.
+        t.events.remove(9);
+        let d = check_trace(&t, &Majority::new(3)).unwrap_err();
+        assert_eq!(d.kind, DivergenceKind::NoReadQuorum);
+        assert_eq!(d.event, 9, "divergence at the REQUEST-COMMIT: {d}");
+    }
+
+    #[test]
+    fn commit_without_quorum_install_is_rejected() {
+        let mut t = good_trace();
+        // Drop one WRITE-DM: {0} is not a majority write quorum.
+        t.events.remove(4);
+        let d = check_trace(&t, &Majority::new(3)).unwrap_err();
+        assert_eq!(d.kind, DivergenceKind::NoWriteQuorum);
+        assert_eq!(d.event, 4, "divergence at the write's REQUEST-COMMIT: {d}");
+    }
+
+    #[test]
+    fn stale_version_install_is_rejected() {
+        let mut t = good_trace();
+        // The write claims to install vn 2 after discovering vn 0.
+        t.events[3] = ev(
+            tid(0),
+            TraceAction::WriteDm {
+                site: 0,
+                vn: 2,
+                value: 7,
+            },
+        );
+        let d = check_trace(&t, &Majority::new(3)).unwrap_err();
+        assert!(matches!(d.kind, DivergenceKind::Malformed(_)), "{d}");
+        assert_eq!(d.event, 3);
+    }
+
+    #[test]
+    fn store_mismatch_is_rejected_at_the_read() {
+        let mut t = good_trace();
+        // The read claims site 1 still holds vn 0 — but the write installed
+        // vn 1 there.
+        t.events[8] = ev(
+            tid(1),
+            TraceAction::ReadDm {
+                site: 1,
+                vn: 0,
+                value: 0,
+            },
+        );
+        let d = check_trace(&t, &Majority::new(3)).unwrap_err();
+        assert!(matches!(d.kind, DivergenceKind::Malformed(_)), "{d}");
+        assert_eq!(d.event, 8);
+    }
+
+    #[test]
+    fn truncated_block_is_rejected_at_end_of_trace() {
+        let mut t = good_trace();
+        t.events.truncate(10);
+        let d = check_trace(&t, &Majority::new(3)).unwrap_err();
+        assert_eq!(d.event, 10);
+        assert!(matches!(d.kind, DivergenceKind::Malformed(_)), "{d}");
+    }
+
+    #[test]
+    fn nonintersecting_quorums_trip_lemma_8() {
+        // An illegal configuration: read quorum {2} misses write quorum
+        // {0, 1}. The structural layer is satisfied (each block uses its
+        // quorums), but the read returns a stale value — exactly what
+        // Lemma 8's quorum-intersection requirement exists to rule out.
+        let config = quorum::Configuration::new(
+            vec![[2].into_iter().collect()],
+            vec![[0, 1].into_iter().collect()],
+        );
+        assert!(!config.is_legal());
+        let w = tid(0);
+        let r = tid(1);
+        let mut t = ScheduleTrace::new("illegal", 3, 0);
+        t.events = vec![
+            ev(
+                w,
+                TraceAction::Create {
+                    kind: TmKind::Write,
+                },
+            ),
+            ev(
+                w,
+                TraceAction::ReadDm {
+                    site: 2,
+                    vn: 0,
+                    value: 0,
+                },
+            ),
+            ev(
+                w,
+                TraceAction::WriteDm {
+                    site: 0,
+                    vn: 1,
+                    value: 7,
+                },
+            ),
+            ev(
+                w,
+                TraceAction::WriteDm {
+                    site: 1,
+                    vn: 1,
+                    value: 7,
+                },
+            ),
+            ev(w, TraceAction::RequestCommit { vn: 1, value: 7 }),
+            ev(w, TraceAction::Commit),
+            ev(r, TraceAction::Create { kind: TmKind::Read }),
+            ev(
+                r,
+                TraceAction::ReadDm {
+                    site: 2,
+                    vn: 0,
+                    value: 0,
+                },
+            ),
+            ev(r, TraceAction::RequestCommit { vn: 0, value: 0 }),
+            ev(r, TraceAction::Commit),
+        ];
+        let d = check_trace(&t, &config).unwrap_err();
+        assert!(matches!(d.kind, DivergenceKind::Lemma(_)), "{d}");
+        assert_eq!(d.event, 9, "stale read detected at its COMMIT: {d}");
+    }
+
+    #[test]
+    fn projection_erases_exactly_the_replica_accesses() {
+        let t = good_trace();
+        let (alpha, src) = project_trace(&t);
+        assert_eq!(alpha.len(), 9);
+        assert_eq!(src.len(), 9);
+        assert!(alpha.iter().all(|op| !matches!(
+            op,
+            TxnOp::RequestCommit {
+                value: Value::Versioned { .. },
+                ..
+            }
+        )));
+        // First op is CREATE(T0).
+        assert!(matches!(
+            alpha.as_slice()[0],
+            TxnOp::Create { ref tid, .. } if tid.is_root()
+        ));
+    }
+
+    #[test]
+    fn system_b_schedules_adapt_and_conform() {
+        let spec = SystemSpec {
+            items: vec![ItemSpec {
+                name: "x".into(),
+                init: Value::Int(0),
+                replicas: 3,
+                config: ConfigChoice::Majority,
+            }],
+            plain: vec![],
+            users: vec![
+                UserSpec::new(vec![UserStep::Write(0, Value::Int(41)), UserStep::Read(0)]),
+                UserSpec::new(vec![UserStep::Read(0), UserStep::Write(0, Value::Int(42))]),
+            ],
+            strategy: Default::default(),
+        };
+        let mut checked = 0;
+        for seed in 0..8u64 {
+            let opts = RunOptions {
+                seed,
+                ..RunOptions::default()
+            };
+            let (beta, layout) = run_system_b(&spec, opts).expect("B runs");
+            let trace = trace_from_schedule(&layout, ItemId(0), &beta).expect("schedule adapts");
+            let il = &layout.items[&ItemId(0)];
+            let site_of: std::collections::BTreeMap<_, _> = il
+                .dm_objects
+                .iter()
+                .enumerate()
+                .map(|(s, o)| (*o, s))
+                .collect();
+            let config = il.config.map(|o| site_of[o]);
+            let report = check_trace(&trace, &config).expect("B trace conforms");
+            checked += report.committed;
+        }
+        assert!(checked > 0, "no TM ever committed across the seeds");
+    }
+}

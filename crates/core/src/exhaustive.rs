@@ -200,7 +200,11 @@ mod tests {
 
     #[test]
     fn exhaustive_single_write_majority() {
-        let spec = tiny(vec![UserStep::Write(0, Value::Int(1))], 2, ConfigChoice::Majority);
+        let spec = tiny(
+            vec![UserStep::Write(0, Value::Int(1))],
+            2,
+            ConfigChoice::Majority,
+        );
         let report = verify_exhaustive(
             &spec,
             ExploreLimits {

@@ -257,7 +257,11 @@ impl<V: Clone + PartialEq + fmt::Debug> LemmaChecker<V> {
 
 /// `access(x, β)`: the subsequence of `β` containing the `CREATE` and
 /// `REQUEST-COMMIT` operations for the members of `tm(x)`.
-pub fn access_sequence<'a>(layout: &Layout, item: ItemId, beta: &'a Schedule<TxnOp>) -> Vec<&'a TxnOp> {
+pub fn access_sequence<'a>(
+    layout: &Layout,
+    item: ItemId,
+    beta: &'a Schedule<TxnOp>,
+) -> Vec<&'a TxnOp> {
     beta.iter()
         .filter(|op| {
             matches!(op, TxnOp::Create { .. } | TxnOp::RequestCommit { .. })
@@ -301,9 +305,11 @@ pub fn current_vn(layout: &Layout, item: ItemId, beta: &Schedule<TxnOp>) -> u64 
     let mut last: BTreeMap<ObjectId, u64> = BTreeMap::new();
     for op in beta.iter() {
         match op {
-            TxnOp::RequestCreate { tid, access: Some(spec), .. }
-                if spec.kind == AccessKind::Write && il.dm_objects.contains(&spec.object) =>
-            {
+            TxnOp::RequestCreate {
+                tid,
+                access: Some(spec),
+                ..
+            } if spec.kind == AccessKind::Write && il.dm_objects.contains(&spec.object) => {
                 if let Some((vn, _)) = spec.data.as_versioned() {
                     spec_of.insert(tid.clone(), (spec.object, vn));
                 }
@@ -391,7 +397,8 @@ impl LemmaMonitor {
             } if spec.kind == AccessKind::Write => {
                 if let Some(item) = self.item_of_dm(spec.object) {
                     if let Some((vn, _)) = spec.data.as_versioned() {
-                        self.access_specs.insert(tid.clone(), (item, spec.object, vn));
+                        self.access_specs
+                            .insert(tid.clone(), (item, spec.object, vn));
                     }
                 }
                 None
@@ -455,12 +462,7 @@ impl LemmaMonitor {
                 .ok_or_else(|| format!("{name} holds non-versioned data"))?;
             states.push((il.dm_objects[r], vn, v.clone()));
         }
-        let current = track
-            .dm_last_write_vn
-            .values()
-            .copied()
-            .max()
-            .unwrap_or(0);
+        let current = track.dm_last_write_vn.values().copied().max().unwrap_or(0);
         // Lemmas 7, 8(1a), 8(1b): shared predicate code with the simulator's
         // InvariantProbe, via LemmaChecker. Replica indices map to DM
         // objects positionally; 8(1a)/8(1b) apply only when access(x, β) has
@@ -468,9 +470,11 @@ impl LemmaMonitor {
         let checker = LemmaChecker::from_state(current, track.logical_state.clone());
         checker
             .check_states(
-                states.iter().map(|(_, vn, v)| (*vn, v)).enumerate().map(
-                    |(r, (vn, v))| (r, vn, v),
-                ),
+                states
+                    .iter()
+                    .map(|(_, vn, v)| (*vn, v))
+                    .enumerate()
+                    .map(|(r, (vn, v))| (r, vn, v)),
                 track.open_tms == 0,
                 |holders: quorum::ReplicaSet| {
                     let objs: std::collections::BTreeSet<ObjectId> =
@@ -566,7 +570,13 @@ mod tests {
         let err = c
             .check_states(states.iter().map(|&(r, vn, ref v)| (r, vn, v)), true, maj3)
             .unwrap_err();
-        assert!(matches!(err, LemmaViolation::Lemma7 { max_replica_vn: 9, current_vn: 1 }));
+        assert!(matches!(
+            err,
+            LemmaViolation::Lemma7 {
+                max_replica_vn: 9,
+                current_vn: 1
+            }
+        ));
         // A replica at current-vn with the wrong value → Lemma 8(1b).
         let states = [(0usize, 1u64, 7u64), (1, 1, 3), (2, 1, 7)];
         let err = c
@@ -593,7 +603,13 @@ mod tests {
         c.commit_write(1, 7).unwrap();
         // A second write at the same vn means its discovery missed vn 1.
         let err = c.commit_write(1, 8).unwrap_err();
-        assert!(matches!(err, LemmaViolation::WriteVn { committed_vn: 1, current_vn: 1 }));
+        assert!(matches!(
+            err,
+            LemmaViolation::WriteVn {
+                committed_vn: 1,
+                current_vn: 1
+            }
+        ));
         // State unchanged by the rejected write.
         assert_eq!(c.current_vn(), 1);
         assert_eq!(*c.logical_state(), 7);

@@ -50,6 +50,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod conformance;
 mod exhaustive;
 pub mod genspec;
 pub mod invariants;
@@ -58,6 +59,10 @@ mod spec;
 pub mod theorem10;
 mod tm;
 
+pub use conformance::{
+    check_trace, project_trace, trace_from_schedule, AbortReason, ConformanceReport, Divergence,
+    DivergenceKind, ScheduleTrace, TmKind, TraceAction, TraceEvent, TraceTid,
+};
 pub use exhaustive::{verify_exhaustive, verify_exhaustive_with, ExhaustiveReport};
 pub use genspec::{random_spec, GenParams};
 pub use invariants::{
@@ -66,8 +71,8 @@ pub use invariants::{
 pub use item::{ItemId, LogicalItem};
 pub use spec::{
     build_replicated_parts, build_system_a, build_system_b, wf_monitor_for_a, BuiltSystem,
-    Components, ConfigChoice, ItemLayout,
-    ItemSpec, Layout, PlainObjectSpec, SystemSpec, TmRole, UserSpec, UserStep,
+    Components, ConfigChoice, ItemLayout, ItemSpec, Layout, PlainObjectSpec, SystemSpec, TmRole,
+    UserSpec, UserStep,
 };
 pub use theorem10::{
     check_projection, check_random, ops_of_transaction, project_to_a, run_system_b, RunOptions,

@@ -242,7 +242,8 @@ impl<'a> Walk<'a> {
             match step {
                 UserStep::Read(i) => {
                     let il = &self.layout.items[&ItemId(*i as u32)];
-                    self.tm_roles.insert(child.clone(), TmRole::Read(il.item.id));
+                    self.tm_roles
+                        .insert(child.clone(), TmRole::Read(il.item.id));
                     if let Some(tms) = &mut self.tms {
                         tms.push(Box::new(ReadTm::new(
                             child.clone(),
@@ -380,7 +381,7 @@ fn walk_users(
         nodes: Vec::new(),
         user_tids: Vec::new(),
         tm_roles: BTreeMap::new(),
-    strategy: spec.strategy,
+        strategy: spec.strategy,
     };
     // The root requests all top-level users at once (the serial scheduler
     // chooses the order), and never commits.
@@ -441,7 +442,11 @@ pub fn build_system_b(spec: &SystemSpec) -> BuiltSystem {
     system.push(Box::new(SerialScheduler::new()));
     for (oid, name) in &layout.plain_objects {
         let init = &spec.plain[oid.0 as usize].init;
-        system.push(Box::new(ReadWriteObject::new(*oid, name.clone(), init.clone())));
+        system.push(Box::new(ReadWriteObject::new(
+            *oid,
+            name.clone(),
+            init.clone(),
+        )));
     }
     for il in layout.items.values() {
         for (r, oid) in il.dm_objects.iter().enumerate() {
@@ -476,7 +481,11 @@ pub fn build_system_a(spec: &SystemSpec, layout: &Layout) -> BuiltSystem {
     system.push(Box::new(SerialScheduler::new()));
     for (oid, name) in &layout_a.plain_objects {
         let init = &spec.plain[oid.0 as usize].init;
-        system.push(Box::new(ReadWriteObject::new(*oid, name.clone(), init.clone())));
+        system.push(Box::new(ReadWriteObject::new(
+            *oid,
+            name.clone(),
+            init.clone(),
+        )));
     }
     // One object O(x) per item, with the TMs registered as its accesses.
     for il in layout_a.items.values() {

@@ -55,7 +55,10 @@ impl Default for RunOptions {
 ///
 /// Propagates executor errors, including monitor violations (which would
 /// indicate a bug in the algorithm or the model).
-pub fn run_system_b(spec: &SystemSpec, opts: RunOptions) -> Result<(Schedule<TxnOp>, Layout), IoaError> {
+pub fn run_system_b(
+    spec: &SystemSpec,
+    opts: RunOptions,
+) -> Result<(Schedule<TxnOp>, Layout), IoaError> {
     let mut built = build_system_b(spec);
     let mut rng = ChaCha8Rng::seed_from_u64(opts.seed);
     let mut exec = Executor::new()
@@ -167,13 +170,14 @@ pub fn check_projection(
         })?;
         so_far.push(op.clone());
         use ioa::Monitor as _;
-        wf.check(&a.system, &so_far, i)
-            .map_err(|m| Theorem10Error::ReplayRefused(IoaError::StepRefused {
+        wf.check(&a.system, &so_far, i).map_err(|m| {
+            Theorem10Error::ReplayRefused(IoaError::StepRefused {
                 component: "wf-monitor(A)".into(),
                 op: format!("{op:?}"),
                 reason: m,
                 at: Some(i),
-            }))?;
+            })
+        })?;
     }
     // Condition 2: α|T = β|T for user transactions (including the root).
     let mut users_checked = 0;
@@ -189,7 +193,9 @@ pub fn check_projection(
     for (oid, name) in &layout.plain_objects {
         let of_obj = |s: &Schedule<TxnOp>| {
             s.project(|op| match op {
-                TxnOp::Create { access: Some(a), .. } => a.object == *oid,
+                TxnOp::Create {
+                    access: Some(a), ..
+                } => a.object == *oid,
                 _ => false,
             })
         };
@@ -220,7 +226,10 @@ pub fn check_projection(
 ///
 /// Run errors (including lemma-monitor violations) wrapped as
 /// [`Theorem10Error::ReplayRefused`], or a genuine theorem refutation.
-pub fn check_random(spec: &SystemSpec, opts: RunOptions) -> Result<Theorem10Report, Theorem10Error> {
+pub fn check_random(
+    spec: &SystemSpec,
+    opts: RunOptions,
+) -> Result<Theorem10Report, Theorem10Error> {
     let (beta, layout) = run_system_b(spec, opts).map_err(Theorem10Error::ReplayRefused)?;
     check_projection(spec, &layout, &beta)
 }
@@ -440,10 +449,8 @@ mod tests {
         let mut tampered = false;
         for op in ops.iter_mut() {
             if let TxnOp::RequestCommit { tid, value } = op {
-                if matches!(
-                    layout.tm_roles.get(tid),
-                    Some(crate::spec::TmRole::Read(_))
-                ) && !value.is_nil()
+                if matches!(layout.tm_roles.get(tid), Some(crate::spec::TmRole::Read(_)))
+                    && !value.is_nil()
                 {
                     *value = Value::Int(987_654);
                     tampered = true;

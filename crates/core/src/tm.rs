@@ -143,8 +143,7 @@ impl TmBase {
         // Targeted: restrict candidates to one chosen minimal quorum.
         let target: Option<std::collections::BTreeSet<ObjectId>> =
             if self.strategy == TmStrategy::Targeted {
-                let all: std::collections::BTreeSet<ObjectId> =
-                    self.dms.iter().copied().collect();
+                let all: std::collections::BTreeSet<ObjectId> = self.dms.iter().copied().collect();
                 match kind {
                     AccessKind::Read => self.config.find_read_quorum(&all).cloned(),
                     AccessKind::Write => self.config.find_write_quorum(&all).cloned(),
@@ -172,7 +171,12 @@ impl TmBase {
     }
 
     /// Record a performed `REQUEST-CREATE` for an access child.
-    fn note_request(&mut self, tid: &Tid, spec: &AccessSpec, phase: &mut Phase) -> Result<(), String> {
+    fn note_request(
+        &mut self,
+        tid: &Tid,
+        spec: &AccessSpec,
+        phase: &mut Phase,
+    ) -> Result<(), String> {
         if self.children.contains_key(tid) {
             return Err(format!("{}: repeated REQUEST-CREATE({tid})", self.label));
         }
@@ -279,9 +283,12 @@ impl Component<TxnOp> for ReadTm {
     }
 
     fn enabled_outputs(&self) -> Vec<TxnOp> {
-        let mut out =
-            self.base
-                .access_candidates(&self.phase, AccessKind::Read, Value::default, self.quorum_covered());
+        let mut out = self.base.access_candidates(
+            &self.phase,
+            AccessKind::Read,
+            Value::default,
+            self.quorum_covered(),
+        );
         // REQUEST-COMMIT(T, v): awake ∧ ∃q ∈ config.r: q ⊆ read ∧ v = data.value.
         if self.base.awake && !self.base.committed && self.quorum_covered() {
             out.push(TxnOp::RequestCommit {
@@ -343,7 +350,10 @@ impl Component<TxnOp> for ReadTm {
             }
             TxnOp::RequestCommit { tid, value } if tid == &self.base.tid => {
                 if !self.base.awake || self.base.committed {
-                    return Err(format!("{}: REQUEST-COMMIT while not awake", self.base.label));
+                    return Err(format!(
+                        "{}: REQUEST-COMMIT while not awake",
+                        self.base.label
+                    ));
                 }
                 if !self.quorum_covered() {
                     return Err(format!("{}: no read-quorum covered", self.base.label));
@@ -442,10 +452,7 @@ impl WriteTm {
     }
 
     fn write_data(&self) -> Value {
-        Value::versioned(
-            self.data_vn + 1,
-            self.value.clone().unwrap_or(Value::Nil),
-        )
+        Value::versioned(self.data_vn + 1, self.value.clone().unwrap_or(Value::Nil))
     }
 }
 
@@ -588,7 +595,10 @@ impl Component<TxnOp> for WriteTm {
             }
             TxnOp::RequestCommit { tid, value } if tid == &self.base.tid => {
                 if !self.base.awake || self.base.committed {
-                    return Err(format!("{}: REQUEST-COMMIT while not awake", self.base.label));
+                    return Err(format!(
+                        "{}: REQUEST-COMMIT while not awake",
+                        self.base.label
+                    ));
                 }
                 if !value.is_nil() {
                     return Err(format!("{}: write-TM must return nil", self.base.label));
@@ -667,15 +677,21 @@ mod tests {
         let r1 = to_dm(&outs, ObjectId(1));
         tm.apply(&r1).unwrap();
         // Their commits arrive: DM0 has (2, 7), DM1 has (1, 5).
-        tm.apply(&commit(r0.tid().clone(), Value::versioned(2, Value::Int(7))))
-            .unwrap();
+        tm.apply(&commit(
+            r0.tid().clone(),
+            Value::versioned(2, Value::Int(7)),
+        ))
+        .unwrap();
         // One DM is not a majority of 3.
         assert!(!tm
             .enabled_outputs()
             .iter()
             .any(|o| matches!(o, TxnOp::RequestCommit { .. })));
-        tm.apply(&commit(r1.tid().clone(), Value::versioned(1, Value::Int(5))))
-            .unwrap();
+        tm.apply(&commit(
+            r1.tid().clone(),
+            Value::versioned(1, Value::Int(5)),
+        ))
+        .unwrap();
         // Quorum covered: returns value with the highest version number.
         let outs = tm.enabled_outputs();
         assert_eq!(
@@ -781,9 +797,7 @@ mod tests {
             let outs = tm.enabled_outputs();
             let w = outs
                 .iter()
-                .find(|o| {
-                    o.access().map(|s| (s.object, s.kind)) == Some((dm, AccessKind::Write))
-                })
+                .find(|o| o.access().map(|s| (s.object, s.kind)) == Some((dm, AccessKind::Write)))
                 .unwrap()
                 .clone();
             tm.apply(&w).unwrap();

@@ -438,6 +438,39 @@ impl QuorumSpec for TreeQuorum {
     }
 }
 
+/// An explicit [`Configuration`] over replica indices *is* a quorum system
+/// in predicate form: membership is "some enumerated quorum is contained in
+/// the set". This is the inverse direction of [`to_configuration`], and
+/// lets paper-style explicit configurations (including deliberately illegal
+/// ones, in tests) drive every consumer of `QuorumSpec` — the simulator,
+/// the availability sweeps, and the conformance checker.
+impl QuorumSpec for Configuration<usize> {
+    fn n(&self) -> usize {
+        self.universe().iter().max().map_or(0, |&m| m + 1)
+    }
+
+    fn is_read_quorum_bits(&self, set: ReplicaSet) -> bool {
+        self.read_quorums()
+            .iter()
+            .any(|q| q.iter().all(|&x| x < MAX_REPLICAS && set.contains(x)))
+    }
+
+    fn is_write_quorum_bits(&self, set: ReplicaSet) -> bool {
+        self.write_quorums()
+            .iter()
+            .any(|q| q.iter().all(|&x| x < MAX_REPLICAS && set.contains(x)))
+    }
+
+    fn label(&self) -> String {
+        format!(
+            "explicit(r{},w{}/{})",
+            self.read_quorums().len(),
+            self.write_quorums().len(),
+            self.n()
+        )
+    }
+}
+
 /// Convert a spec into an explicit configuration by exhaustive enumeration
 /// (practical only for small `n`; capped at `n ≤ 12`).
 ///
@@ -691,5 +724,43 @@ mod tests {
                 assert!(cfg.validate().is_ok(), "{} illegal", s.label());
             }
         }
+    }
+
+    #[test]
+    fn explicit_configuration_is_a_quorum_spec() {
+        // Round-trip: enumerating a spec and using the enumeration as a
+        // spec must answer every membership question identically.
+        let m = Majority::new(5);
+        let cfg = to_configuration(&m);
+        assert_eq!(cfg.n(), 5);
+        for mask in 0u32..(1 << 5) {
+            let set = ReplicaSet::from_bits(mask as u128);
+            assert_eq!(cfg.is_read_quorum_bits(set), m.is_read_quorum_bits(set));
+            assert_eq!(cfg.is_write_quorum_bits(set), m.is_write_quorum_bits(set));
+        }
+        assert_eq!(
+            cfg.quorum_health([0, 1].into_iter().collect()),
+            QuorumHealth::Unavailable
+        );
+        assert_eq!(
+            cfg.quorum_health([0, 1, 3].into_iter().collect()),
+            QuorumHealth::ReadWrite
+        );
+    }
+
+    #[test]
+    fn explicit_configuration_handles_asymmetric_and_empty_cases() {
+        // Asymmetric: read {0}, write {0,1,2} (ROWA over 3).
+        let universe: Vec<usize> = (0..3).collect();
+        let rowa = generators::rowa(&universe);
+        assert_eq!(rowa.n(), 3);
+        assert!(rowa.is_read_quorum_bits([2].into_iter().collect()));
+        assert!(!rowa.is_write_quorum_bits([0, 1].into_iter().collect()));
+        assert!(rowa.is_write_quorum_bits([0, 1, 2].into_iter().collect()));
+        // The empty configuration has no quorums and an empty universe.
+        let empty: Configuration<usize> = Configuration::new(vec![], vec![]);
+        assert_eq!(empty.n(), 0);
+        assert!(!empty.is_read_quorum_bits(ReplicaSet::full(3)));
+        assert_eq!(empty.label(), "explicit(r0,w0/0)");
     }
 }

@@ -258,7 +258,9 @@ impl FaultPlan {
 
     /// Parse the compact text form emitted by `Display`.
     ///
-    /// Events are separated by `;`. Times are integer milliseconds:
+    /// Events are separated by `;`. Times are milliseconds, with an
+    /// optional fraction of up to three digits (microsecond resolution),
+    /// so `crash@1.5:2` crashes site 2 at t = 1500 µs:
     ///
     /// ```text
     /// crash@1500:2       site 2 crashes at t = 1500 ms
@@ -285,54 +287,52 @@ impl FaultPlan {
             let (kind, at_ms) = head
                 .split_once('@')
                 .ok_or_else(|| format!("missing '@' in fault event {ev:?}"))?;
-            let at = SimTime::from_millis(
-                at_ms
-                    .trim()
-                    .parse::<u64>()
-                    .map_err(|_| format!("bad time {at_ms:?} in {ev:?}"))?,
-            );
-            let nums: Vec<u64> = args
-                .split(',')
-                .map(|a| {
-                    a.trim()
-                        .parse::<u64>()
-                        .map_err(|_| format!("bad argument {a:?} in {ev:?}"))
-                })
-                .collect::<Result<_, _>>()?;
+            let at =
+                parse_ms(at_ms).map_err(|_| format!("bad time {:?} in {ev:?}", at_ms.trim()))?;
+            let parts: Vec<&str> = args.split(',').map(str::trim).collect();
             let arity = |n: usize| {
-                if nums.len() == n {
+                if parts.len() == n {
                     Ok(())
                 } else {
-                    Err(format!("{ev:?}: expected {n} argument(s), got {}", nums.len()))
+                    Err(format!(
+                        "{ev:?}: expected {n} argument(s), got {}",
+                        parts.len()
+                    ))
                 }
             };
+            let int = |a: &str| {
+                a.parse::<u64>()
+                    .map_err(|_| format!("bad argument {a:?} in {ev:?}"))
+            };
+            let time = |a: &str| parse_ms(a).map_err(|_| format!("bad argument {a:?} in {ev:?}"));
             plan = match kind.trim() {
                 "crash" => {
                     arity(1)?;
-                    plan.crash_at(at, nums[0] as usize)
+                    plan.crash_at(at, int(parts[0])? as usize)
                 }
                 "recover" => {
                     arity(1)?;
-                    plan.recover_at(at, nums[0] as usize)
+                    plan.recover_at(at, int(parts[0])? as usize)
                 }
                 "abort" => {
                     arity(1)?;
-                    plan.abort_at(at, nums[0] as usize)
+                    plan.abort_at(at, int(parts[0])? as usize)
                 }
                 "corrupt" => {
                     arity(3)?;
-                    plan.corrupt_at(at, nums[0] as usize, nums[1], nums[2])
+                    plan.corrupt_at(at, int(parts[0])? as usize, int(parts[1])?, int(parts[2])?)
                 }
                 "drop" => {
                     arity(2)?;
-                    if nums[1] > 1000 {
+                    let permille = int(parts[1])?;
+                    if permille > 1000 {
                         return Err(format!("{ev:?}: drop permille must be ≤ 1000"));
                     }
-                    plan.drop_window(at, SimTime::from_millis(nums[0]), nums[1] as u32)
+                    plan.drop_window(at, time(parts[0])?, permille as u32)
                 }
                 "delay" => {
                     arity(2)?;
-                    plan.delay_window(at, SimTime::from_millis(nums[0]), SimTime::from_millis(nums[1]))
+                    plan.delay_window(at, time(parts[0])?, time(parts[1])?)
                 }
                 other => return Err(format!("unknown fault kind {other:?} in {ev:?}")),
             };
@@ -341,13 +341,45 @@ impl FaultPlan {
     }
 }
 
+/// Format a time as decimal milliseconds, without trailing zeros, so that
+/// [`parse_ms`] recovers it exactly (`1500 µs` → `"1.5"`, `2 ms` → `"2"`).
+fn format_ms(t: SimTime) -> String {
+    let us = t.as_micros();
+    let (ms, frac) = (us / 1_000, us % 1_000);
+    if frac == 0 {
+        format!("{ms}")
+    } else {
+        let mut s = format!("{ms}.{frac:03}");
+        while s.ends_with('0') {
+            s.pop();
+        }
+        s
+    }
+}
+
+/// Parse decimal milliseconds with at most three fractional digits (the
+/// microsecond resolution of [`SimTime`]).
+fn parse_ms(s: &str) -> Result<SimTime, ()> {
+    let s = s.trim();
+    let (whole, frac) = s.split_once('.').unwrap_or((s, ""));
+    if frac.len() > 3 || !frac.bytes().all(|b| b.is_ascii_digit()) {
+        return Err(());
+    }
+    let ms = whole.parse::<u64>().map_err(|_| ())?;
+    let mut us = ms.checked_mul(1_000).ok_or(())?;
+    if !frac.is_empty() {
+        us += format!("{frac:0<3}").parse::<u64>().map_err(|_| ())?;
+    }
+    Ok(SimTime(us))
+}
+
 impl fmt::Display for FaultPlan {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         for (i, &(at, e)) in self.events.iter().enumerate() {
             if i > 0 {
                 write!(f, "; ")?;
             }
-            let ms = at.as_micros() / 1_000;
+            let ms = format_ms(at);
             match e {
                 FaultEvent::Crash { site } => write!(f, "crash@{ms}:{site}")?,
                 FaultEvent::Recover { site } => write!(f, "recover@{ms}:{site}")?,
@@ -356,15 +388,10 @@ impl fmt::Display for FaultPlan {
                     write!(f, "corrupt@{ms}:{site},{vn},{value}")?;
                 }
                 FaultEvent::DropWindow { duration, permille } => {
-                    write!(f, "drop@{ms}:{},{permille}", duration.as_micros() / 1_000)?;
+                    write!(f, "drop@{ms}:{},{permille}", format_ms(duration))?;
                 }
                 FaultEvent::DelayWindow { duration, extra } => {
-                    write!(
-                        f,
-                        "delay@{ms}:{},{}",
-                        duration.as_micros() / 1_000,
-                        extra.as_micros() / 1_000
-                    )?;
+                    write!(f, "delay@{ms}:{},{}", format_ms(duration), format_ms(extra))?;
                 }
             }
         }
@@ -522,6 +549,75 @@ mod tests {
         let back = FaultPlan::parse(&text).unwrap();
         assert_eq!(plan, back);
         assert_eq!(back.len(), 6);
+    }
+
+    #[test]
+    fn empty_plan_round_trips_through_text() {
+        let plan = FaultPlan::new();
+        assert_eq!(plan.to_string(), "");
+        let back = FaultPlan::parse(&plan.to_string()).unwrap();
+        assert_eq!(plan, back);
+        assert!(back.is_empty());
+    }
+
+    #[test]
+    fn sub_millisecond_times_round_trip_through_text() {
+        let plan = FaultPlan::new()
+            .crash_at(SimTime(100), 0)
+            .recover_at(SimTime(500), 0)
+            .drop_window(SimTime(1_500), SimTime(250), 300)
+            .delay_window(SimTime(2_001), SimTime(999), SimTime(1));
+        let text = plan.to_string();
+        assert_eq!(
+            text,
+            "crash@0.1:0; recover@0.5:0; drop@1.5:0.25,300; delay@2.001:0.999,0.001"
+        );
+        let back = FaultPlan::parse(&text).unwrap();
+        assert_eq!(plan, back, "Display must not truncate sub-ms times");
+    }
+
+    #[test]
+    fn fractional_times_parse_at_microsecond_resolution() {
+        let plan = FaultPlan::parse("crash@1.5:2").unwrap();
+        assert_eq!(plan.events()[0].0, SimTime(1_500));
+        // Short fractions are right-padded: .5 ms == 500 µs, .05 == 50 µs.
+        let plan = FaultPlan::parse("crash@0.05:2").unwrap();
+        assert_eq!(plan.events()[0].0, SimTime(50));
+        // More than µs resolution, or junk fractions, are rejected.
+        assert!(FaultPlan::parse("crash@1.0005:2").is_err());
+        assert!(FaultPlan::parse("crash@1.5x:2").is_err());
+        assert!(FaultPlan::parse("crash@.5:2").is_err());
+    }
+
+    #[test]
+    fn zero_duration_windows_round_trip_and_affect_no_instant() {
+        let plan = FaultPlan::new()
+            .drop_window(SimTime::from_millis(10), SimTime::ZERO, 900)
+            .delay_window(SimTime::from_millis(20), SimTime::ZERO, SimTime::from_millis(3));
+        let back = FaultPlan::parse(&plan.to_string()).unwrap();
+        assert_eq!(plan, back);
+        // A window of zero duration is empty: [start, start) contains nothing.
+        assert_eq!(back.drop_permille_at(SimTime::from_millis(10)), 0);
+        assert_eq!(back.delay_extra_at(SimTime::from_millis(20)), SimTime::ZERO);
+    }
+
+    #[test]
+    fn overlapping_crash_recover_windows_on_one_site_round_trip() {
+        // Two crash/recover windows on site 1 that overlap: the site is
+        // down from 5 ms until the *last* recover at 40 ms.
+        let plan = FaultPlan::new()
+            .crash_at(SimTime::from_millis(5), 1)
+            .crash_at(SimTime::from_millis(10), 1)
+            .recover_at(SimTime::from_millis(20), 1)
+            .recover_at(SimTime::from_millis(40), 1)
+            .crash_at(SimTime::from_millis(30), 1);
+        let back = FaultPlan::parse(&plan.to_string()).unwrap();
+        assert_eq!(plan, back);
+        assert_eq!(back.len(), 5);
+        // Events stay sorted by time, so replaying them in order leaves the
+        // site up after 40 ms regardless of the insertion order above.
+        let times: Vec<u64> = back.events().iter().map(|&(t, _)| t.as_micros()).collect();
+        assert_eq!(times, vec![5_000, 10_000, 20_000, 30_000, 40_000]);
     }
 
     #[test]

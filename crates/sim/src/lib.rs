@@ -34,11 +34,17 @@ mod probe;
 #[allow(clippy::module_inception)]
 mod sim;
 mod time;
+pub mod trace;
 
 pub use faults::{message_dropped, FaultEvent, FaultPlan, RetryPolicy};
 pub use latency::{sample_exponential, LatencyModel};
 pub use metrics::{CommitRecord, Metrics, OpStats, OpSummary, MAX_RECORDED_VIOLATIONS};
 pub use par::{default_threads, par_map, run_batch};
 pub use probe::InvariantProbe;
-pub use sim::{run, ContactPolicy, SimConfig, Simulation};
+pub use qc_replication::{
+    check_trace, AbortReason, ConformanceReport, Divergence, DivergenceKind, ScheduleTrace,
+    TmKind, TraceAction, TraceEvent, TraceTid,
+};
+pub use sim::{run, run_traced, ContactPolicy, SimConfig, Simulation};
 pub use time::SimTime;
+pub use trace::{trace_to_json, TraceRecorder};

@@ -19,13 +19,21 @@
 //! `sim.rs`), so every committed point is an "even point" of the access
 //! sequence in the paper's sense and the full Lemma 8 clause applies.
 
-use qc_replication::{LemmaChecker, LemmaViolation};
+use qc_replication::{LemmaChecker, LemmaViolation, ScheduleTrace};
 use quorum::QuorumSpec;
 
+use crate::trace::TraceRecorder;
+
 /// Feeds committed simulated operations into the Lemma 7/8 checks.
+///
+/// The probe optionally carries a [`TraceRecorder`] *sink*: when attached
+/// (see [`Simulation::run_traced`](crate::Simulation::run_traced)), the
+/// simulator records every CREATE / READ-DM / WRITE-DM / REQUEST-COMMIT /
+/// COMMIT / ABORT action of the run into it, alongside the lemma checks.
 #[derive(Clone, Debug)]
 pub struct InvariantProbe {
     checker: LemmaChecker<u64>,
+    sink: Option<TraceRecorder>,
 }
 
 impl Default for InvariantProbe {
@@ -41,7 +49,29 @@ impl InvariantProbe {
     pub fn new() -> Self {
         InvariantProbe {
             checker: LemmaChecker::new(0),
+            sink: None,
         }
+    }
+
+    /// Attach a schedule-trace sink (replacing any previous one).
+    pub fn attach_sink(&mut self, recorder: TraceRecorder) {
+        self.sink = Some(recorder);
+    }
+
+    /// Whether a trace sink is attached.
+    #[must_use]
+    pub fn has_sink(&self) -> bool {
+        self.sink.is_some()
+    }
+
+    /// The attached sink, if any, for recording.
+    pub fn sink_mut(&mut self) -> Option<&mut TraceRecorder> {
+        self.sink.as_mut()
+    }
+
+    /// Detach the sink and return the recorded trace, if one was attached.
+    pub fn take_trace(&mut self) -> Option<ScheduleTrace> {
+        self.sink.take().map(TraceRecorder::finish)
     }
 
     /// `current-vn` of the committed history so far.
@@ -140,5 +170,38 @@ mod tests {
         // Corrupted store: version beyond current-vn.
         stores[2] = (99, 3);
         assert!(probe.check_stores(&stores, &q).is_err());
+    }
+
+    #[test]
+    fn sink_lifecycle_detaches_with_the_recorded_trace() {
+        use crate::trace::TraceRecorder;
+        use crate::SimTime;
+        use qc_replication::{TmKind, TraceAction, TraceTid};
+
+        let mut probe = InvariantProbe::new();
+        assert!(!probe.has_sink());
+        assert!(probe.sink_mut().is_none());
+        assert!(probe.take_trace().is_none());
+
+        probe.attach_sink(TraceRecorder::new("majority(2/3)", 3, 9));
+        assert!(probe.has_sink());
+        let tid = TraceTid {
+            client: 0,
+            op: 0,
+            attempt: 1,
+        };
+        probe.sink_mut().unwrap().record(
+            SimTime::from_millis(1),
+            tid,
+            TraceAction::Create { kind: TmKind::Read },
+            false,
+        );
+
+        let trace = probe.take_trace().expect("sink was attached");
+        assert_eq!(trace.seed, 9);
+        assert_eq!(trace.events.len(), 1);
+        // Taking the trace detaches the sink.
+        assert!(!probe.has_sink());
+        assert!(probe.take_trace().is_none());
     }
 }

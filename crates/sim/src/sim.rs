@@ -54,10 +54,13 @@ use rand::Rng;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 
+use qc_replication::{AbortReason, ScheduleTrace, TmKind, TraceAction, TraceTid};
+
 use crate::faults::{message_dropped, FaultEvent, FaultPlan, RetryPolicy};
 use crate::latency::{sample_exponential, LatencyModel};
 use crate::metrics::{CommitRecord, Metrics};
 use crate::probe::InvariantProbe;
+use crate::trace::TraceRecorder;
 use crate::time::SimTime;
 
 /// Which replicas the coordinator contacts in each phase.
@@ -283,6 +286,30 @@ impl Simulation {
 
     /// Run to completion, consuming the simulator and returning metrics.
     pub fn run(mut self) -> Metrics {
+        self.drive();
+        self.metrics
+    }
+
+    /// Run to completion with a schedule-trace sink attached, returning
+    /// the metrics *and* the recorded run as an ordered I/O-automaton
+    /// schedule (see [`crate::trace`]).
+    ///
+    /// Tracing is observational: it draws nothing from the RNG stream, so
+    /// the returned metrics are identical to what [`Simulation::run`]
+    /// produces for the same configuration.
+    pub fn run_traced(mut self) -> (Metrics, ScheduleTrace) {
+        let recorder = TraceRecorder::new(
+            self.config.quorum.label(),
+            self.config.quorum.n(),
+            self.config.seed,
+        );
+        self.probe.attach_sink(recorder);
+        self.drive();
+        let trace = self.probe.take_trace().expect("sink was attached above");
+        (self.metrics, trace)
+    }
+
+    fn drive(&mut self) {
         while let Some(Reverse((t, _, e))) = self.queue.pop() {
             if t > self.config.duration {
                 break;
@@ -318,7 +345,6 @@ impl Simulation {
                 self.metrics.record_violation(format!("end-of-run: {v}"));
             }
         }
-        self.metrics
     }
 
     fn handle_plan_fault(&mut self, idx: usize) {
@@ -358,6 +384,26 @@ impl Simulation {
 
     fn live_set(&self) -> ReplicaSet {
         (0..self.up.len()).filter(|&s| self.up[s]).collect()
+    }
+
+    /// Whether any fault condition is active right now — a site down, or
+    /// an open drop/delay window. Trace events are tagged with this so a
+    /// reader can separate healthy-period actions from faulted-period
+    /// ones.
+    fn faulted_now(&self) -> bool {
+        self.up.iter().any(|u| !u)
+            || self.config.faults.drop_permille_at(self.now) > 0
+            || self.config.faults.delay_extra_at(self.now) > SimTime::ZERO
+    }
+
+    /// Record one trace action at the current instant (no-op without an
+    /// attached sink). Tracing never touches the RNG stream, so traced and
+    /// untraced runs are event-for-event identical.
+    fn emit(&mut self, tid: TraceTid, action: TraceAction, faulted: bool) {
+        let now = self.now;
+        if let Some(sink) = self.probe.sink_mut() {
+            sink.record(now, tid, action, faulted);
+        }
     }
 
     /// Whether `site` (up now) crashes at or before `t` — the straddle
@@ -494,6 +540,17 @@ impl Simulation {
         if self.abort_flag[client] {
             self.abort_flag[client] = false;
             self.metrics.forced_aborts += 1;
+            if self.probe.has_sink() {
+                let kind = if op.read { TmKind::Read } else { TmKind::Write };
+                self.emit(
+                    trace_tid(client, &op),
+                    TraceAction::Abort {
+                        kind,
+                        reason: AbortReason::Forced,
+                    },
+                    true,
+                );
+            }
             let stats = if op.read {
                 &mut self.metrics.reads
             } else {
@@ -545,6 +602,17 @@ impl Simulation {
             .unwrap_or((0, 0));
 
         if op.read {
+            if self.probe.has_sink() {
+                let tid = trace_tid(client, &op);
+                let faulted = self.faulted_now();
+                self.emit(tid, TraceAction::Create { kind: TmKind::Read }, faulted);
+                for s in out1.responders {
+                    let (vn, value) = self.stores[s];
+                    self.emit(tid, TraceAction::ReadDm { site: s, vn, value }, faulted);
+                }
+                self.emit(tid, TraceAction::RequestCommit { vn: dvn, value: dval }, faulted);
+                self.emit(tid, TraceAction::Commit, faulted);
+            }
             self.commit_op(client, op, out1.elapsed, out1.messages, dvn, dval);
             return;
         }
@@ -570,6 +638,37 @@ impl Simulation {
             return;
         }
         let new_vn = dvn + 1;
+        // Trace the block before the install loop so the READ-DM events
+        // carry the pre-install store contents the discovery actually saw.
+        if self.probe.has_sink() {
+            let tid = trace_tid(client, &op);
+            let faulted = self.faulted_now();
+            self.emit(tid, TraceAction::Create { kind: TmKind::Write }, faulted);
+            for s in out1.responders {
+                let (vn, value) = self.stores[s];
+                self.emit(tid, TraceAction::ReadDm { site: s, vn, value }, faulted);
+            }
+            for s in out2.responders {
+                self.emit(
+                    tid,
+                    TraceAction::WriteDm {
+                        site: s,
+                        vn: new_vn,
+                        value: op.value,
+                    },
+                    faulted,
+                );
+            }
+            self.emit(
+                tid,
+                TraceAction::RequestCommit {
+                    vn: new_vn,
+                    value: op.value,
+                },
+                faulted,
+            );
+            self.emit(tid, TraceAction::Commit, faulted);
+        }
         for s in out2.responders {
             self.stores[s] = (new_vn, op.value);
         }
@@ -635,6 +734,18 @@ impl Simulation {
         attempt_messages: u64,
         unavailable: bool,
     ) {
+        // Each attempt is its own transaction in the paper's sense; a
+        // failed one was "never created" and appears only as an ABORT.
+        if self.probe.has_sink() {
+            let kind = if op.read { TmKind::Read } else { TmKind::Write };
+            let reason = if unavailable {
+                AbortReason::Unavailable
+            } else {
+                AbortReason::Timeout
+            };
+            let faulted = self.faulted_now();
+            self.emit(trace_tid(client, &op), TraceAction::Abort { kind, reason }, faulted);
+        }
         op.messages += attempt_messages;
         if op.attempt < self.config.retry.attempts {
             op.attempt += 1;
@@ -672,9 +783,24 @@ impl Simulation {
     }
 }
 
+/// The trace name of one attempt: each attempt of each logical operation
+/// is a fresh transaction.
+fn trace_tid(client: usize, op: &PendingOp) -> TraceTid {
+    TraceTid {
+        client: client as u32,
+        op: op.op_index,
+        attempt: op.attempt,
+    }
+}
+
 /// Convenience: build and run in one call.
 pub fn run(config: SimConfig) -> Metrics {
     Simulation::new(config).run()
+}
+
+/// Convenience: build and run with schedule tracing in one call.
+pub fn run_traced(config: SimConfig) -> (Metrics, ScheduleTrace) {
+    Simulation::new(config).run_traced()
 }
 
 #[cfg(test)]

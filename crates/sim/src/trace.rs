@@ -1,0 +1,231 @@
+//! Schedule tracing: recording a simulated run as an ordered
+//! I/O-automaton schedule of the replicated serial system **B**.
+//!
+//! The simulator's event loop is an operational stand-in for the paper's
+//! replicated system: each committed operation is one transaction manager
+//! run (`CREATE`, its replica accesses, `REQUEST-COMMIT`, `COMMIT`), each
+//! failed or forced-aborted attempt is a transaction that was *never
+//! created* (`ABORT`). A [`TraceRecorder`] — attached to the simulator's
+//! [`InvariantProbe`](crate::InvariantProbe) — captures that schedule as a
+//! [`ScheduleTrace`], which `qc_replication::check_trace` then replays
+//! through the Theorem 10 projection and the serial-system machinery.
+//!
+//! The recorder is purely observational: it draws nothing from the
+//! simulator's RNG stream and mutates no simulator state, so a traced run
+//! commits exactly the operations the untraced run commits
+//! (`tests/conformance.rs` asserts metrics equality).
+//!
+//! [`trace_to_json`] renders a trace in a stable, diff-friendly byte
+//! format (one event per line) for `--trace-dir` dumps and the golden
+//! snapshot tests under `tests/golden/`.
+
+use std::fmt::Write as _;
+
+use qc_replication::{ScheduleTrace, TraceAction, TraceEvent, TraceTid};
+
+use crate::time::SimTime;
+
+/// Accumulates the schedule of one simulated run.
+#[derive(Clone, Debug)]
+pub struct TraceRecorder {
+    trace: ScheduleTrace,
+}
+
+impl TraceRecorder {
+    /// An empty recorder for a run over `sites` replicas under the quorum
+    /// system labelled `quorum`, seeded with `seed`.
+    #[must_use]
+    pub fn new(quorum: impl Into<String>, sites: usize, seed: u64) -> Self {
+        TraceRecorder {
+            trace: ScheduleTrace::new(quorum, sites, seed),
+        }
+    }
+
+    /// Append one action to the schedule.
+    pub fn record(&mut self, at: SimTime, tid: TraceTid, action: TraceAction, faulted: bool) {
+        self.trace.events.push(TraceEvent {
+            at_us: at.as_micros(),
+            tid,
+            action,
+            faulted,
+        });
+    }
+
+    /// Number of recorded events.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.trace.events.len()
+    }
+
+    /// Whether nothing has been recorded.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.trace.events.is_empty()
+    }
+
+    /// Finish recording and return the trace.
+    #[must_use]
+    pub fn finish(self) -> ScheduleTrace {
+        self.trace
+    }
+}
+
+fn event_json(e: &TraceEvent) -> String {
+    let mut s = String::new();
+    write!(
+        s,
+        "{{\"at_us\":{},\"client\":{},\"op\":{},\"attempt\":{},\"faulted\":{},",
+        e.at_us, e.tid.client, e.tid.op, e.tid.attempt, e.faulted
+    )
+    .expect("writing to a String cannot fail");
+    match e.action {
+        TraceAction::Create { kind } => {
+            write!(s, "\"action\":\"CREATE\",\"kind\":\"{kind}\"")
+        }
+        TraceAction::ReadDm { site, vn, value } => {
+            write!(s, "\"action\":\"READ-DM\",\"site\":{site},\"vn\":{vn},\"value\":{value}")
+        }
+        TraceAction::WriteDm { site, vn, value } => {
+            write!(s, "\"action\":\"WRITE-DM\",\"site\":{site},\"vn\":{vn},\"value\":{value}")
+        }
+        TraceAction::RequestCommit { vn, value } => {
+            write!(s, "\"action\":\"REQUEST-COMMIT\",\"vn\":{vn},\"value\":{value}")
+        }
+        TraceAction::Commit => write!(s, "\"action\":\"COMMIT\""),
+        TraceAction::Abort { kind, reason } => {
+            write!(s, "\"action\":\"ABORT\",\"kind\":\"{kind}\",\"reason\":\"{reason}\"")
+        }
+    }
+    .expect("writing to a String cannot fail");
+    s.push('}');
+    s
+}
+
+/// Render a trace in the stable `qc-trace-v1` JSON byte format.
+///
+/// One event per line, keys in a fixed order, a trailing newline: the
+/// output for a given trace is byte-identical across runs and platforms,
+/// so golden files diff cleanly.
+#[must_use]
+pub fn trace_to_json(trace: &ScheduleTrace) -> String {
+    let mut out = String::from("{\n  \"format\": \"qc-trace-v1\",\n  \"quorum\": ");
+    serde::escape_json_string(&trace.quorum, &mut out);
+    write!(
+        out,
+        ",\n  \"sites\": {},\n  \"seed\": {},\n  \"initial\": {},\n  \"events\": [\n",
+        trace.sites, trace.seed, trace.initial
+    )
+    .expect("writing to a String cannot fail");
+    let n = trace.events.len();
+    for (i, e) in trace.events.iter().enumerate() {
+        out.push_str("    ");
+        out.push_str(&event_json(e));
+        if i + 1 < n {
+            out.push(',');
+        }
+        out.push('\n');
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qc_replication::{AbortReason, TmKind};
+
+    fn tid() -> TraceTid {
+        TraceTid {
+            client: 1,
+            op: 2,
+            attempt: 3,
+        }
+    }
+
+    #[test]
+    fn recorder_accumulates_in_order() {
+        let mut r = TraceRecorder::new("majority(3)", 3, 7);
+        assert!(r.is_empty());
+        r.record(
+            SimTime(10),
+            tid(),
+            TraceAction::Create { kind: TmKind::Read },
+            false,
+        );
+        r.record(SimTime(11), tid(), TraceAction::Commit, true);
+        assert_eq!(r.len(), 2);
+        let t = r.finish();
+        assert_eq!(t.quorum, "majority(3)");
+        assert_eq!(t.sites, 3);
+        assert_eq!(t.seed, 7);
+        assert_eq!(t.events[0].at_us, 10);
+        assert!(t.events[1].faulted);
+    }
+
+    #[test]
+    fn json_format_is_stable() {
+        let mut r = TraceRecorder::new("rowa(2)", 2, 0);
+        r.record(
+            SimTime(5),
+            tid(),
+            TraceAction::Create {
+                kind: TmKind::Write,
+            },
+            false,
+        );
+        r.record(
+            SimTime(5),
+            tid(),
+            TraceAction::ReadDm {
+                site: 0,
+                vn: 0,
+                value: 0,
+            },
+            false,
+        );
+        r.record(
+            SimTime(5),
+            tid(),
+            TraceAction::WriteDm {
+                site: 1,
+                vn: 1,
+                value: 9,
+            },
+            false,
+        );
+        r.record(
+            SimTime(5),
+            tid(),
+            TraceAction::RequestCommit { vn: 1, value: 9 },
+            false,
+        );
+        r.record(SimTime(5), tid(), TraceAction::Commit, false);
+        r.record(
+            SimTime(6),
+            tid(),
+            TraceAction::Abort {
+                kind: TmKind::Read,
+                reason: AbortReason::Timeout,
+            },
+            true,
+        );
+        let json = trace_to_json(&r.finish());
+        let expected = "{\n  \"format\": \"qc-trace-v1\",\n  \"quorum\": \"rowa(2)\",\n  \
+                        \"sites\": 2,\n  \"seed\": 0,\n  \"initial\": 0,\n  \"events\": [\n    \
+                        {\"at_us\":5,\"client\":1,\"op\":2,\"attempt\":3,\"faulted\":false,\"action\":\"CREATE\",\"kind\":\"write\"},\n    \
+                        {\"at_us\":5,\"client\":1,\"op\":2,\"attempt\":3,\"faulted\":false,\"action\":\"READ-DM\",\"site\":0,\"vn\":0,\"value\":0},\n    \
+                        {\"at_us\":5,\"client\":1,\"op\":2,\"attempt\":3,\"faulted\":false,\"action\":\"WRITE-DM\",\"site\":1,\"vn\":1,\"value\":9},\n    \
+                        {\"at_us\":5,\"client\":1,\"op\":2,\"attempt\":3,\"faulted\":false,\"action\":\"REQUEST-COMMIT\",\"vn\":1,\"value\":9},\n    \
+                        {\"at_us\":5,\"client\":1,\"op\":2,\"attempt\":3,\"faulted\":false,\"action\":\"COMMIT\"},\n    \
+                        {\"at_us\":6,\"client\":1,\"op\":2,\"attempt\":3,\"faulted\":true,\"action\":\"ABORT\",\"kind\":\"read\",\"reason\":\"timeout\"}\n  \
+                        ]\n}\n";
+        assert_eq!(json, expected);
+    }
+
+    #[test]
+    fn quorum_labels_are_escaped() {
+        let r = TraceRecorder::new("odd \"label\"", 1, 0);
+        let json = trace_to_json(&r.finish());
+        assert!(json.contains("\"quorum\": \"odd \\\"label\\\"\""));
+    }
+}

@@ -1,0 +1,421 @@
+//! Theorem 10 conformance: every simulated run, traced as an ordered
+//! I/O-automaton schedule, must project (by erasing its replica-access
+//! actions) onto a schedule the non-replicated serial system A accepts.
+//!
+//! The suite replays the pinned-seed scenarios of `determinism.rs` and
+//! `faults.rs` through `qc_replication::check_trace`, asserts that tracing
+//! never perturbs a run (traced and untraced metrics are byte-identical),
+//! and hand-mutates recorded traces to prove the checker rejects
+//! non-conforming schedules at the right divergence point.
+
+use std::sync::Arc;
+
+use qc_sim::{
+    check_trace, run, run_traced, ConformanceReport, ContactPolicy, DivergenceKind, FaultPlan,
+    LatencyModel, Metrics, RetryPolicy, ScheduleTrace, SimConfig, SimTime, TraceAction,
+};
+use quorum::{Majority, Rowa};
+
+/// Run traced, assert the trace conforms, and return everything.
+fn assert_conforms(c: SimConfig) -> (Metrics, ScheduleTrace, ConformanceReport) {
+    let q = Arc::clone(&c.quorum);
+    let (m, t) = run_traced(c);
+    match check_trace(&t, &*q) {
+        Ok(report) => (m, t, report),
+        Err(d) => panic!("trace failed Theorem 10 conformance: {d}"),
+    }
+}
+
+/// Total aborted transactions a run's trace must contain: every failed
+/// attempt (retried or final) plus every forced abort is a transaction
+/// that was never created.
+fn expected_aborts(m: &Metrics) -> usize {
+    let total = m.reads.retries
+        + m.writes.retries
+        + m.reads.unavailable
+        + m.writes.unavailable
+        + m.reads.timeouts
+        + m.writes.timeouts
+        + m.forced_aborts;
+    usize::try_from(total).expect("abort count fits usize")
+}
+
+// ---------------------------------------------------------------------------
+// The pinned scenarios of determinism.rs.
+// ---------------------------------------------------------------------------
+
+fn healthy(policy: ContactPolicy) -> SimConfig {
+    let mut c = SimConfig::new(Arc::new(Majority::new(5)));
+    c.contact = policy;
+    c.duration = SimTime::from_secs(2);
+    c.seed = 7;
+    c
+}
+
+fn faulted(policy: ContactPolicy) -> SimConfig {
+    let mut c = healthy(policy);
+    c.faults = FaultPlan::new()
+        .crash_at(SimTime::from_millis(300), 1)
+        .crash_at(SimTime::from_millis(400), 3)
+        .recover_at(SimTime::from_millis(900), 1)
+        .recover_at(SimTime::from_millis(1100), 3)
+        .abort_at(SimTime::from_millis(500), 0)
+        .abort_at(SimTime::from_millis(600), 2)
+        .drop_window(SimTime::from_millis(1200), SimTime::from_millis(200), 300)
+        .delay_window(
+            SimTime::from_millis(1500),
+            SimTime::from_millis(200),
+            SimTime::from_millis(2),
+        );
+    c.retry = RetryPolicy::retries(3, SimTime::from_millis(5));
+    c.record_history = true;
+    c
+}
+
+#[test]
+fn determinism_scenarios_conform() {
+    for policy in [ContactPolicy::AllLive, ContactPolicy::MinimalQuorum] {
+        let (m, t, report) = assert_conforms(healthy(policy));
+        assert_eq!(
+            u64::try_from(report.committed).expect("fits"),
+            m.reads.successes + m.writes.successes
+        );
+        assert_eq!(report.aborted, expected_aborts(&m));
+        assert_eq!(report.faulted_events, 0, "healthy run tagged faulted");
+        assert_eq!(t.sites, 5);
+
+        let (m, t, report) = assert_conforms(faulted(policy));
+        assert_eq!(
+            u64::try_from(report.committed).expect("fits"),
+            m.reads.successes + m.writes.successes
+        );
+        assert_eq!(report.aborted, expected_aborts(&m));
+        assert!(report.faulted_events > 0, "fault windows left no tagged events");
+        assert!(t.events.iter().any(|e| !e.faulted), "healthy periods missing");
+    }
+}
+
+/// Tracing is observational: a traced run commits exactly what the
+/// untraced run commits, down to the full `Debug` rendering of the
+/// metrics (the same contract the pinned digests enforce).
+#[test]
+fn tracing_does_not_perturb_the_run() {
+    for policy in [ContactPolicy::AllLive, ContactPolicy::MinimalQuorum] {
+        let plain = run(healthy(policy));
+        let (traced, _) = run_traced(healthy(policy));
+        assert_eq!(format!("{plain:?}"), format!("{traced:?}"));
+
+        let plain = run(faulted(policy));
+        let (traced, _) = run_traced(faulted(policy));
+        assert_eq!(format!("{plain:?}"), format!("{traced:?}"));
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The fault-injection scenarios of faults.rs.
+// ---------------------------------------------------------------------------
+
+fn base() -> SimConfig {
+    let mut c = SimConfig::new(Arc::new(Majority::new(3)));
+    c.duration = SimTime::from_secs(4);
+    c.read_fraction = 0.5;
+    c
+}
+
+#[test]
+fn total_outage_conforms() {
+    let mut c = base();
+    c.faults = FaultPlan::new()
+        .crash_at(SimTime::from_secs(1), 0)
+        .crash_at(SimTime::from_secs(1), 1)
+        .crash_at(SimTime::from_secs(1), 2)
+        .recover_at(SimTime::from_secs(2), 0)
+        .recover_at(SimTime::from_secs(2), 1)
+        .recover_at(SimTime::from_secs(2), 2);
+    let (m, t, report) = assert_conforms(c);
+    assert!(m.reads.unavailable + m.writes.unavailable > 100);
+    assert!(report.aborted > 100, "outage aborts missing from the trace");
+    // Unavailable fail-fast attempts happen while sites are down, so they
+    // must carry the faulted tag.
+    assert!(
+        t.events
+            .iter()
+            .any(|e| e.faulted && matches!(e.action, TraceAction::Abort { .. })),
+        "no faulted ABORT recorded during the outage"
+    );
+}
+
+#[test]
+fn retry_bridged_outage_conforms() {
+    let mut c = base();
+    c.faults = FaultPlan::new()
+        .crash_at(SimTime::from_secs(1), 0)
+        .crash_at(SimTime::from_secs(1), 1)
+        .crash_at(SimTime::from_secs(1), 2)
+        .recover_at(SimTime::from_millis(1400), 0)
+        .recover_at(SimTime::from_millis(1400), 1)
+        .recover_at(SimTime::from_millis(1400), 2);
+    c.retry = RetryPolicy::retries(10, SimTime::from_millis(50));
+    let (m, t, report) = assert_conforms(c);
+    assert!(m.reads.retries + m.writes.retries > 0);
+    assert_eq!(report.aborted, expected_aborts(&m));
+    // A retry-bridged operation shows up as an aborted attempt followed by
+    // a committed attempt of the same (client, op) with a higher attempt
+    // number.
+    assert!(
+        t.events.iter().any(|e| e.tid.attempt > 1),
+        "no retried attempt reached the trace"
+    );
+}
+
+#[test]
+fn rowa_write_quorum_loss_conforms() {
+    let mut c = SimConfig::new(Arc::new(Rowa::new(3)));
+    c.duration = SimTime::from_secs(3);
+    c.read_fraction = 0.5;
+    c.faults = FaultPlan::new()
+        .crash_at(SimTime::from_secs(1), 2)
+        .recover_at(SimTime::from_secs(2), 2);
+    let (m, _, report) = assert_conforms(c);
+    assert!(m.writes.unavailable > 0);
+    assert_eq!(report.aborted, expected_aborts(&m));
+}
+
+#[test]
+fn drop_window_conforms() {
+    let mut c = base();
+    c.faults = FaultPlan::new().drop_window(SimTime::from_secs(1), SimTime::from_secs(2), 400);
+    c.retry = RetryPolicy::retries(4, SimTime::from_millis(2));
+    c.record_history = true;
+    let (m, _, _) = assert_conforms(c);
+    assert!(m.dropped_messages > 100);
+}
+
+#[test]
+fn delay_window_conforms() {
+    let mut c = base();
+    c.faults = FaultPlan::new().delay_window(
+        SimTime::ZERO,
+        SimTime::from_secs(4),
+        SimTime::from_millis(5),
+    );
+    let (_, t, _) = assert_conforms(c);
+    // The delay window spans the whole run: every event is in a faulted
+    // period.
+    assert!(t.events.iter().all(|e| e.faulted));
+}
+
+#[test]
+fn in_flight_crash_conforms() {
+    let mut c = base();
+    c.latency = LatencyModel::Fixed(SimTime::from_millis(20));
+    c.timeout = SimTime::from_millis(100);
+    c.faults = FaultPlan::new()
+        .crash_at(SimTime::from_millis(30), 0)
+        .crash_at(SimTime::from_millis(30), 1)
+        .crash_at(SimTime::from_millis(30), 2);
+    c.duration = SimTime::from_secs(2);
+    let (m, _, report) = assert_conforms(c);
+    assert_eq!(m.reads.successes + m.writes.successes, 0);
+    assert_eq!(report.committed, 0);
+    assert_eq!(report.max_vn, 0, "nothing committed, so no version advanced");
+}
+
+#[test]
+fn zero_think_time_outage_conforms() {
+    let mut c = base();
+    c.think_time = SimTime::ZERO;
+    c.duration = SimTime::from_secs(2);
+    c.faults = FaultPlan::new()
+        .crash_at(SimTime::from_millis(500), 0)
+        .crash_at(SimTime::from_millis(500), 1)
+        .crash_at(SimTime::from_millis(500), 2)
+        .recover_at(SimTime::from_millis(1500), 0)
+        .recover_at(SimTime::from_millis(1500), 1)
+        .recover_at(SimTime::from_millis(1500), 2);
+    let (_, _, report) = assert_conforms(c);
+    assert!(report.committed > 0 && report.aborted > 0);
+}
+
+#[test]
+fn forced_aborts_conform_and_are_tagged() {
+    let mut c = base();
+    c.read_fraction = 0.0;
+    c.faults = FaultPlan::new()
+        .abort_at(SimTime::from_millis(100), 0)
+        .abort_at(SimTime::from_millis(200), 1);
+    let (m, t, report) = assert_conforms(c);
+    assert_eq!(m.forced_aborts, 2);
+    assert_eq!(report.aborted, 2);
+    let forced: Vec<_> = t
+        .events
+        .iter()
+        .filter(|e| matches!(e.action, TraceAction::Abort { .. }))
+        .collect();
+    assert_eq!(forced.len(), 2);
+    assert!(forced.iter().all(|e| e.faulted), "forced aborts must be tagged faulted");
+}
+
+#[test]
+fn contact_policy_scenarios_conform() {
+    for seed in [1u64, 7, 23, 101] {
+        for policy in [ContactPolicy::AllLive, ContactPolicy::MinimalQuorum] {
+            let mut c = base();
+            c.seed = seed;
+            c.contact = policy;
+            c.latency = LatencyModel::Fixed(SimTime(400));
+            c.faults = FaultPlan::new()
+                .crash_at(SimTime::from_millis(700), 0)
+                .recover_at(SimTime::from_millis(1900), 0)
+                .abort_at(SimTime::from_millis(500), 1)
+                .abort_at(SimTime::from_millis(2500), 3)
+                .delay_window(
+                    SimTime::from_millis(2200),
+                    SimTime::from_millis(400),
+                    SimTime::from_millis(1),
+                );
+            c.retry = RetryPolicy::retries(3, SimTime::from_millis(10));
+            assert_conforms(c);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Negative controls: corrupted runs and hand-mutated traces must fail
+// with the right divergence.
+// ---------------------------------------------------------------------------
+
+/// A corrupt injection puts a replica store out of sync with the schedule
+/// the protocol actually executed, so the next discovery that touches the
+/// corrupted site records a READ-DM no faithful run could produce — and
+/// conformance fails there, independent of the lemma monitor.
+#[test]
+fn corrupted_run_fails_conformance() {
+    let mut c = base();
+    c.faults = FaultPlan::new().corrupt_at(SimTime::from_secs(2), 1, 9_999_999, 42);
+    let q = Arc::clone(&c.quorum);
+    let (m, t) = run_traced(c);
+    assert!(m.lemma_violations > 0, "monitor should fire too");
+    let d = check_trace(&t, &*q).expect_err("corrupted run must not conform");
+    assert!(
+        matches!(d.kind, DivergenceKind::Malformed(_)),
+        "unexpected divergence: {d}"
+    );
+    // The divergent action is the first READ-DM that observed the
+    // corrupted store.
+    assert!(
+        matches!(t.events[d.event].action, TraceAction::ReadDm { vn: 9_999_999, .. }),
+        "diverged at {} instead of the corrupt observation",
+        t.events[d.event].action
+    );
+}
+
+/// Conformance checking is independent of the `monitor` flag: a corrupted
+/// run fails replay even when the in-run lemma probe is disabled.
+#[test]
+fn conformance_does_not_need_the_monitor() {
+    let mut c = base();
+    c.faults = FaultPlan::new().corrupt_at(SimTime::from_secs(2), 1, 9_999_999, 42);
+    c.monitor = false;
+    let q = Arc::clone(&c.quorum);
+    let (m, t) = run_traced(c);
+    assert_eq!(m.lemma_violations, 0, "monitor is off");
+    assert!(check_trace(&t, &*q).is_err(), "conformance must still fail");
+}
+
+/// With no clients there is no schedule: the trace is empty and vacuously
+/// conformant. (Catching a corruption no transaction ever observed is the
+/// store sweep's job, not the schedule checker's.)
+#[test]
+fn no_traffic_trace_is_vacuously_conformant() {
+    let mut c = base();
+    c.clients = 0;
+    c.faults = FaultPlan::new().corrupt_at(SimTime::from_secs(1), 0, 7, 7);
+    let q = Arc::clone(&c.quorum);
+    let (m, t) = run_traced(c);
+    assert!(m.lemma_violations > 0, "sweep should still fire");
+    assert!(t.events.is_empty());
+    let report = check_trace(&t, &*q).expect("empty schedule conforms");
+    assert_eq!(report.committed, 0);
+}
+
+/// A short healthy run whose trace the mutation tests below operate on.
+fn small_recorded_run() -> (ScheduleTrace, Arc<Majority>) {
+    let q = Arc::new(Majority::new(3));
+    let mut c = SimConfig::new(Arc::clone(&q) as Arc<_>);
+    c.duration = SimTime::from_millis(200);
+    c.read_fraction = 0.5;
+    c.seed = 3;
+    let (m, t) = run_traced(c);
+    assert!(m.writes.successes > 0, "need at least one committed write");
+    (t, q)
+}
+
+/// Index of the first write block's REQUEST-COMMIT and the indices of its
+/// WRITE-DM installs.
+fn first_write_block(t: &ScheduleTrace) -> (usize, Vec<usize>) {
+    let mut installs = Vec::new();
+    for (i, e) in t.events.iter().enumerate() {
+        match e.action {
+            TraceAction::WriteDm { .. } => installs.push(i),
+            TraceAction::RequestCommit { .. } if !installs.is_empty() => return (i, installs),
+            _ => {}
+        }
+    }
+    panic!("no committed write in the trace");
+}
+
+/// Satellite: a stale version number in a REQUEST-COMMIT — the write
+/// claims a version other than the one it installed — is rejected exactly
+/// at that action.
+#[test]
+fn mutated_stale_version_is_rejected() {
+    let (mut t, q) = small_recorded_run();
+    let (rc, _) = first_write_block(&t);
+    let TraceAction::RequestCommit { vn, value } = t.events[rc].action else {
+        panic!("expected REQUEST-COMMIT at {rc}");
+    };
+    t.events[rc].action = TraceAction::RequestCommit { vn: vn + 1, value };
+    let d = check_trace(&t, &*q).expect_err("stale version must not conform");
+    assert_eq!(d.event, rc, "diverged at {} instead of the mutated action", d.action);
+    assert!(matches!(d.kind, DivergenceKind::Malformed(_)), "got: {d}");
+}
+
+/// Satellite: a commit without a quorum install — the WRITE-DM actions
+/// are erased from the write's block — is rejected at the REQUEST-COMMIT
+/// with a missing-write-quorum divergence.
+#[test]
+fn mutated_commit_without_quorum_install_is_rejected() {
+    let (mut t, q) = small_recorded_run();
+    let (rc, installs) = first_write_block(&t);
+    for &i in installs.iter().rev() {
+        t.events.remove(i);
+    }
+    let rc = rc - installs.len();
+    let d = check_trace(&t, &*q).expect_err("installing nowhere must not conform");
+    assert_eq!(d.event, rc, "diverged at {} instead of the gutted commit", d.action);
+    assert_eq!(d.kind, DivergenceKind::NoWriteQuorum, "got: {d}");
+}
+
+/// A READ-DM claiming a value the replica never held is caught at that
+/// very observation.
+#[test]
+fn mutated_read_observation_is_rejected() {
+    let (mut t, q) = small_recorded_run();
+    let target = t
+        .events
+        .iter()
+        .position(|e| matches!(e.action, TraceAction::ReadDm { .. }))
+        .expect("some read observation");
+    let TraceAction::ReadDm { site, vn, value } = t.events[target].action else {
+        unreachable!();
+    };
+    t.events[target].action = TraceAction::ReadDm {
+        site,
+        vn,
+        value: value + 1,
+    };
+    let d = check_trace(&t, &*q).expect_err("fabricated observation must not conform");
+    assert_eq!(d.event, target, "diverged at {} instead of the mutation", d.action);
+    assert!(matches!(d.kind, DivergenceKind::Malformed(_)), "got: {d}");
+}

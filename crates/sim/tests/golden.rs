@@ -1,0 +1,79 @@
+//! Golden-trace snapshots: pinned-seed runs must regenerate byte-identical
+//! JSON trace files.
+//!
+//! The snapshot files under `tests/golden/` are committed; this test
+//! re-runs each scenario and compares the serialized trace against the
+//! file.  To bless new snapshots after an intentional change to the trace
+//! format or the simulator's event order, run
+//!
+//! ```text
+//! UPDATE_GOLDEN=1 cargo test -p qc-sim --test golden
+//! ```
+//!
+//! and commit the rewritten files.
+
+use std::path::PathBuf;
+use std::sync::Arc;
+
+use qc_sim::{
+    run_traced, trace_to_json, ContactPolicy, FaultPlan, LatencyModel, RetryPolicy, SimConfig,
+    SimTime,
+};
+use quorum::Majority;
+
+fn golden_path(name: &str) -> PathBuf {
+    PathBuf::from(concat!(env!("CARGO_MANIFEST_DIR"), "/tests/golden")).join(name)
+}
+
+fn check(name: &str, config: SimConfig) {
+    let (_, trace) = run_traced(config);
+    let json = trace_to_json(&trace);
+    let path = golden_path(name);
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        std::fs::create_dir_all(path.parent().expect("golden dir")).expect("mkdir golden");
+        std::fs::write(&path, &json).expect("write golden file");
+        return;
+    }
+    let expected = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing golden file {} ({e}); bless it with UPDATE_GOLDEN=1",
+            path.display()
+        )
+    });
+    assert_eq!(
+        json,
+        expected,
+        "trace for {name} drifted from its snapshot; if intentional, \
+         regenerate with UPDATE_GOLDEN=1"
+    );
+}
+
+fn small(seed: u64) -> SimConfig {
+    let mut config = SimConfig::new(Arc::new(Majority::new(3)));
+    config.clients = 2;
+    config.read_fraction = 0.5;
+    config.latency = LatencyModel::Fixed(SimTime(400));
+    config.contact = ContactPolicy::AllLive;
+    config.think_time = SimTime::from_millis(1);
+    config.duration = SimTime::from_millis(25);
+    config.mttf = None;
+    config.seed = seed;
+    config
+}
+
+/// A short healthy run: every event healthy, traces byte-stable.
+#[test]
+fn healthy_snapshot_is_stable() {
+    check("healthy_majority3_seed7.json", small(7));
+}
+
+/// A short faulted run: a crash/recover window plus a forced abort and
+/// retries, exercising faulted tags and ABORT reasons in the snapshot.
+#[test]
+fn faulted_snapshot_is_stable() {
+    let mut config = small(11);
+    config.faults =
+        FaultPlan::parse("crash@5:0;recover@14:0;abort@8:1").expect("fault plan parses");
+    config.retry = RetryPolicy::retries(3, SimTime::from_millis(2));
+    check("faulted_majority3_seed11.json", config);
+}

@@ -45,6 +45,16 @@ pub struct SerialScheduler {
     committed: BTreeMap<Tid, Value>,
     aborted: BTreeSet<Tid>,
     returned: BTreeSet<Tid>,
+    // The two output preconditions quantify over siblings/children, and a
+    // scan per step makes long flat schedules quadratic (replaying a
+    // million-transaction simulator trace never finishes). These counters
+    // are the same predicates maintained incrementally:
+    /// Per-parent count of created-but-not-returned children
+    /// (`siblings(T) ∩ created ⊈ returned` ⇔ counter ≠ 0).
+    active_children: BTreeMap<Tid, usize>,
+    /// Per-parent count of requested-but-not-returned children
+    /// (`children(T) ∩ create-requested ⊈ returned` ⇔ counter ≠ 0).
+    pending_children: BTreeMap<Tid, usize>,
 }
 
 impl SerialScheduler {
@@ -81,18 +91,39 @@ impl SerialScheduler {
         self.aborted.iter().any(|a| a.is_ancestor_of(tid))
     }
 
+    /// `siblings(T) ∩ created ⊆ returned`. Only consulted for a `t` that
+    /// is not itself created (see [`Self::create_enabled`]), so the
+    /// parent's active-children counter counts exactly the created,
+    /// unreturned siblings.
     fn siblings_quiet(&self, t: &Tid) -> bool {
-        self.created
-            .iter()
-            .filter(|s| s.is_sibling_of(t))
-            .all(|s| self.returned.contains(s))
+        match t.parent() {
+            Some(p) => self.active_children.get(&p).copied().unwrap_or(0) == 0,
+            None => true, // the root has no siblings
+        }
     }
 
+    /// `children(T) ∩ create-requested ⊆ returned`, as a counter.
     fn children_returned(&self, t: &Tid) -> bool {
-        self.create_requested
-            .keys()
-            .filter(|c| c.is_child_of(t))
-            .all(|c| self.returned.contains(c))
+        self.pending_children.get(t).copied().unwrap_or(0) == 0
+    }
+
+    /// Maintain the counters when `t` returns: it stops being an active
+    /// sibling (if it was created) and a pending child (if requested).
+    /// Called at most once per transaction — both `COMMIT` and `ABORT`
+    /// preconditions exclude already-returned transactions.
+    fn note_returned(&mut self, t: &Tid) {
+        if let Some(p) = t.parent() {
+            if self.created.contains(t) {
+                if let Some(n) = self.active_children.get_mut(&p) {
+                    *n = n.saturating_sub(1);
+                }
+            }
+            if self.create_requested.contains_key(t) {
+                if let Some(n) = self.pending_children.get_mut(&p) {
+                    *n = n.saturating_sub(1);
+                }
+            }
+        }
     }
 
     fn create_enabled(&self, t: &Tid) -> bool {
@@ -161,9 +192,14 @@ impl Component<TxnOp> for SerialScheduler {
                 // Postcondition: create-requested ∪= {T}. (Set union: a
                 // repeat — which only an ill-formed parent would issue — is
                 // idempotent.)
-                self.create_requested
-                    .entry(tid.clone())
-                    .or_insert_with(|| (access.clone(), param.clone()));
+                if let std::collections::btree_map::Entry::Vacant(e) =
+                    self.create_requested.entry(tid.clone())
+                {
+                    e.insert((access.clone(), param.clone()));
+                    if let Some(p) = tid.parent() {
+                        *self.pending_children.entry(p).or_insert(0) += 1;
+                    }
+                }
                 Ok(())
             }
             TxnOp::RequestCommit { tid, value } => {
@@ -177,6 +213,9 @@ impl Component<TxnOp> for SerialScheduler {
                     return Err(format!("CREATE({tid}) precondition fails"));
                 }
                 self.created.insert(tid.clone());
+                if let Some(p) = tid.parent() {
+                    *self.active_children.entry(p).or_insert(0) += 1;
+                }
                 Ok(())
             }
             TxnOp::Commit { tid, value } => {
@@ -188,6 +227,7 @@ impl Component<TxnOp> for SerialScheduler {
                 }
                 self.committed.insert(tid.clone(), value.clone());
                 self.returned.insert(tid.clone());
+                self.note_returned(tid);
                 Ok(())
             }
             TxnOp::Abort { tid } => {
@@ -196,6 +236,7 @@ impl Component<TxnOp> for SerialScheduler {
                 }
                 self.aborted.insert(tid.clone());
                 self.returned.insert(tid.clone());
+                self.note_returned(tid);
                 Ok(())
             }
         }
@@ -393,5 +434,83 @@ mod tests {
             access: Some(spec),
             param: Some(Value::Int(9)),
         }));
+    }
+
+    /// The incremental counters must agree with brute-force evaluation of
+    /// the paper's set-quantified preconditions after every step of a
+    /// nested schedule (creation, nesting, commits, and aborts).
+    #[test]
+    fn counter_predicates_match_the_quantified_preconditions() {
+        let brute_quiet = |s: &SerialScheduler, x: &Tid| {
+            s.created
+                .iter()
+                .filter(|c| c.is_sibling_of(x))
+                .all(|c| s.returned.contains(c))
+        };
+        let brute_children = |s: &SerialScheduler, x: &Tid| {
+            s.create_requested
+                .keys()
+                .filter(|c| c.is_child_of(x))
+                .all(|c| s.returned.contains(c))
+        };
+        let rc = |path: &[u32], v: Value| TxnOp::RequestCommit {
+            tid: t(path),
+            value: v,
+        };
+        let commit = |path: &[u32], v: Value| TxnOp::Commit {
+            tid: t(path),
+            value: v,
+        };
+        let script = vec![
+            create(&[]),
+            req(&[0]),
+            req(&[1]),
+            req(&[2]),
+            create(&[0]),
+            req(&[0, 0]),
+            req(&[0, 1]),
+            create(&[0, 0]),
+            rc(&[0, 0], Value::Int(1)),
+            commit(&[0, 0], Value::Int(1)),
+            TxnOp::Abort { tid: t(&[0, 1]) },
+            rc(&[0], Value::Nil),
+            commit(&[0], Value::Nil),
+            create(&[1]),
+            rc(&[1], Value::Int(2)),
+            commit(&[1], Value::Int(2)),
+            TxnOp::Abort { tid: t(&[2]) },
+        ];
+        let probes = [
+            t(&[]),
+            t(&[0]),
+            t(&[1]),
+            t(&[2]),
+            t(&[3]),
+            t(&[0, 0]),
+            t(&[0, 1]),
+        ];
+        let mut s = SerialScheduler::new();
+        for op in script {
+            s.apply(&op).unwrap_or_else(|e| panic!("{op:?}: {e}"));
+            for p in &probes {
+                // `siblings_quiet` is only consulted for a `p` that is not
+                // itself created-and-unreturned (see `create_enabled`); an
+                // active `p` counts itself in the parent's counter.
+                if !s.created.contains(p) || s.returned.contains(p) {
+                    assert_eq!(
+                        s.siblings_quiet(p),
+                        brute_quiet(&s, p),
+                        "siblings_quiet({p}) diverged after {op:?}"
+                    );
+                }
+                assert_eq!(
+                    s.children_returned(p),
+                    brute_children(&s, p),
+                    "children_returned({p}) diverged after {op:?}"
+                );
+            }
+        }
+        assert!(s.committed.contains_key(&t(&[0])));
+        assert!(s.aborted.contains(&t(&[2])));
     }
 }
