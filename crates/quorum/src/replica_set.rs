@@ -165,6 +165,33 @@ impl ReplicaSet {
         }
     }
 
+    /// The largest index in the set, if any.
+    #[inline]
+    pub const fn max(self) -> Option<usize> {
+        if self.0 == 0 {
+            None
+        } else {
+            Some(127 - self.0.leading_zeros() as usize)
+        }
+    }
+
+    /// The subset holding the `k` largest indices (the whole set when
+    /// `k >= len`). This is exactly what greedy quorum shrinking leaves of
+    /// a threshold system's availability set — shrinking drops indices in
+    /// ascending order — so threshold specs can answer
+    /// `find_*_quorum_bits` with one loop instead of `len` predicate
+    /// probes.
+    #[inline]
+    pub fn keep_highest(self, k: usize) -> ReplicaSet {
+        let mut bits = self.0;
+        let mut excess = self.len().saturating_sub(k);
+        while excess > 0 {
+            bits &= bits - 1; // clear lowest set bit
+            excess -= 1;
+        }
+        ReplicaSet(bits)
+    }
+
     /// Iterate indices in ascending order.
     #[inline]
     pub fn iter(self) -> Iter {
@@ -337,6 +364,19 @@ mod tests {
     #[should_panic(expected = "caps replicas")]
     fn full_beyond_cap_panics() {
         let _ = ReplicaSet::full(129);
+    }
+
+    #[test]
+    fn keep_highest_retains_largest_indices() {
+        let s: ReplicaSet = [0usize, 2, 5, 9, 11].into_iter().collect();
+        assert_eq!(s.keep_highest(2).iter().collect::<Vec<_>>(), vec![9, 11]);
+        assert_eq!(s.keep_highest(5), s);
+        assert_eq!(s.keep_highest(100), s);
+        assert_eq!(s.keep_highest(0), ReplicaSet::EMPTY);
+        assert_eq!(ReplicaSet::EMPTY.keep_highest(3), ReplicaSet::EMPTY);
+        assert_eq!(s.max(), Some(11));
+        assert_eq!(ReplicaSet::EMPTY.max(), None);
+        assert_eq!(ReplicaSet::singleton(127).max(), Some(127));
     }
 
     #[test]

@@ -175,6 +175,21 @@ impl QuorumSpec for Rowa {
         set.is_superset(ReplicaSet::full(self.n))
     }
 
+    // O(1) fast paths, bit-identical to the default greedy shrink (which
+    // drops indices ascending): a ROWA read-quorum shrinks to the highest
+    // live replica, a write-quorum to exactly the full replica set.
+    fn find_read_quorum_bits(&self, available: ReplicaSet) -> Option<ReplicaSet> {
+        available
+            .intersection(ReplicaSet::full(self.n))
+            .max()
+            .map(ReplicaSet::singleton)
+    }
+
+    fn find_write_quorum_bits(&self, available: ReplicaSet) -> Option<ReplicaSet> {
+        let full = ReplicaSet::full(self.n);
+        available.is_superset(full).then_some(full)
+    }
+
     fn label(&self) -> String {
         "rowa".into()
     }
@@ -247,6 +262,21 @@ impl QuorumSpec for Majority {
 
     fn is_write_quorum_bits(&self, set: ReplicaSet) -> bool {
         set.intersection(ReplicaSet::full(self.n)).len() >= self.write_size
+    }
+
+    // Threshold systems shrink greedily to the highest `size` in-range
+    // indices (ascending drop order removes the lowest first), so the
+    // minimal quorum is one mask-and-popcount instead of `len` predicate
+    // probes — this is the per-operation path of the simulator's
+    // MinimalQuorum contact policy.
+    fn find_read_quorum_bits(&self, available: ReplicaSet) -> Option<ReplicaSet> {
+        let live = available.intersection(ReplicaSet::full(self.n));
+        (live.len() >= self.read_size).then(|| live.keep_highest(self.read_size))
+    }
+
+    fn find_write_quorum_bits(&self, available: ReplicaSet) -> Option<ReplicaSet> {
+        let live = available.intersection(ReplicaSet::full(self.n));
+        (live.len() >= self.write_size).then(|| live.keep_highest(self.write_size))
     }
 
     fn label(&self) -> String {
@@ -602,6 +632,59 @@ mod tests {
                     "{} find mismatch on {:?}",
                     s.label(),
                     explicit
+                );
+            }
+        }
+    }
+
+    /// Delegate that exposes only the membership predicates, so the
+    /// trait's *default* greedy shrink answers the find queries — the
+    /// oracle the fast-path overrides must match bit for bit.
+    #[derive(Debug)]
+    struct DefaultShrink<'a>(&'a dyn QuorumSpec);
+
+    impl QuorumSpec for DefaultShrink<'_> {
+        fn n(&self) -> usize {
+            self.0.n()
+        }
+        fn is_read_quorum_bits(&self, set: ReplicaSet) -> bool {
+            self.0.is_read_quorum_bits(set)
+        }
+        fn is_write_quorum_bits(&self, set: ReplicaSet) -> bool {
+            self.0.is_write_quorum_bits(set)
+        }
+        fn label(&self) -> String {
+            "default-shrink".into()
+        }
+    }
+
+    #[test]
+    fn fast_path_find_matches_default_shrink_exhaustively() {
+        let specs: Vec<Box<dyn QuorumSpec>> = vec![
+            Box::new(Rowa::new(4)),
+            Box::new(Rowa::new(1)),
+            Box::new(Majority::new(5)),
+            Box::new(Majority::new(1)),
+            Box::new(Majority::with_sizes(5, 2, 4)),
+            Box::new(Majority::with_sizes(5, 4, 2)),
+        ];
+        for s in &specs {
+            let oracle = DefaultShrink(s.as_ref());
+            // Sweep two extra bits beyond n to cover out-of-range indices,
+            // which the greedy shrink silently drops.
+            for mask in 0u32..(1 << (s.n() + 2)) {
+                let set = ReplicaSet::from_bits(mask as u128);
+                assert_eq!(
+                    s.find_read_quorum_bits(set),
+                    oracle.find_read_quorum_bits(set),
+                    "{} read fast path diverges on {set:?}",
+                    s.label()
+                );
+                assert_eq!(
+                    s.find_write_quorum_bits(set),
+                    oracle.find_write_quorum_bits(set),
+                    "{} write fast path diverges on {set:?}",
+                    s.label()
                 );
             }
         }

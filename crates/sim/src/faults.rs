@@ -231,6 +231,43 @@ impl FaultPlan {
         Ok(())
     }
 
+    /// The view of a global plan that one shard of the sharded simulator
+    /// applies (see `qc_sim::shard`).
+    ///
+    /// Site-scoped events — crashes, recoveries, drop and delay windows —
+    /// are *shared across shards*: every shard replays them against its
+    /// own copy of the site state, so all shards experience the same
+    /// cluster weather at the same simulated instants. Client- and
+    /// item-scoped events are split: `AbortClient { client }` survives
+    /// only when `client` falls in the shard's global client range
+    /// `[clients_lo, clients_hi)`, remapped to the shard-local index;
+    /// `Corrupt` survives only when `keep_corrupt` is set (the sharded
+    /// simulator scribbles the negative-control corruption into exactly
+    /// one item, owned by one shard, so the monitor fires once rather than
+    /// once per shard).
+    ///
+    /// Event order (and therefore replay determinism) is preserved.
+    #[must_use]
+    pub fn shard_view(
+        &self,
+        clients_lo: usize,
+        clients_hi: usize,
+        keep_corrupt: bool,
+    ) -> FaultPlan {
+        let events = self
+            .events
+            .iter()
+            .filter_map(|&(at, e)| match e {
+                FaultEvent::AbortClient { client } => (clients_lo..clients_hi)
+                    .contains(&client)
+                    .then(|| (at, FaultEvent::AbortClient { client: client - clients_lo })),
+                FaultEvent::Corrupt { .. } => keep_corrupt.then_some((at, e)),
+                _ => Some((at, e)),
+            })
+            .collect();
+        FaultPlan { events }
+    }
+
     /// A deterministic seed-driven plan: `pairs` crash/recovery pairs over
     /// random sites, `aborts` forced client aborts, all within
     /// `[duration/10, 9·duration/10]`.
@@ -667,6 +704,35 @@ mod tests {
         let plan = FaultPlan::new().abort_at(SimTime::from_millis(1), 4);
         assert!(plan.validate(5, 4).is_err());
         assert!(plan.validate(5, 5).is_ok());
+    }
+
+    #[test]
+    fn shard_view_shares_site_events_and_splits_client_events() {
+        let plan = FaultPlan::new()
+            .crash_at(SimTime::from_millis(1), 2)
+            .recover_at(SimTime::from_millis(2), 2)
+            .drop_window(SimTime::from_millis(3), SimTime::from_millis(1), 500)
+            .delay_window(SimTime::from_millis(4), SimTime::from_millis(1), SimTime(100))
+            .abort_at(SimTime::from_millis(5), 1)
+            .abort_at(SimTime::from_millis(6), 5)
+            .corrupt_at(SimTime::from_millis(7), 0, 99, 7);
+        // Shard owning clients [4, 8): site events and windows survive
+        // untouched, abort of global client 5 becomes local client 1,
+        // abort of client 1 and the corruption disappear.
+        let view = plan.shard_view(4, 8, false);
+        assert_eq!(
+            view.to_string(),
+            "crash@1:2; recover@2:2; drop@3:1,500; delay@4:1,0.1; abort@6:1"
+        );
+        // Shard owning clients [0, 4) keeps the corruption (it owns item 0).
+        let view0 = plan.shard_view(0, 4, true);
+        assert_eq!(
+            view0.to_string(),
+            "crash@1:2; recover@2:2; drop@3:1,500; delay@4:1,0.1; abort@5:1; corrupt@7:0,99,7"
+        );
+        // A single-shard view over all clients with corruption kept is the
+        // identity.
+        assert_eq!(plan.shard_view(0, 8, true), plan);
     }
 
     #[test]

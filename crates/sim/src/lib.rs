@@ -31,6 +31,7 @@ mod latency;
 mod metrics;
 mod par;
 mod probe;
+mod shard;
 #[allow(clippy::module_inception)]
 mod sim;
 mod time;
@@ -41,6 +42,9 @@ pub use latency::{sample_exponential, LatencyModel};
 pub use metrics::{CommitRecord, Metrics, OpStats, OpSummary, MAX_RECORDED_VIOLATIONS};
 pub use par::{default_threads, par_map, run_batch};
 pub use probe::InvariantProbe;
+pub use shard::{
+    run_sharded, run_sharded_traced, ItemDist, MultiConfig, ShardReport, Workload,
+};
 pub use qc_replication::{
     check_trace, AbortReason, ConformanceReport, Divergence, DivergenceKind, ScheduleTrace,
     TmKind, TraceAction, TraceEvent, TraceTid,

@@ -97,6 +97,23 @@ impl OpStats {
         }
     }
 
+    /// Fold another stats block into this one (counter sums; the latency
+    /// samples of `other` are appended). Used by the sharded simulator to
+    /// reduce per-shard stats into one aggregate; every counter-derived
+    /// quantity (availability, messages/op, mean latency, percentiles over
+    /// the sample *multiset*) is order-insensitive, so any merge order
+    /// yields the same aggregate statistics.
+    pub fn merge(&mut self, other: &OpStats) {
+        self.attempts += other.attempts;
+        self.successes += other.successes;
+        self.messages += other.messages;
+        self.retries += other.retries;
+        self.timeouts += other.timeouts;
+        self.unavailable += other.unavailable;
+        self.aborted += other.aborted;
+        self.latencies_us.extend_from_slice(&other.latencies_us);
+    }
+
     /// Condensed summary for reports.
     pub fn summary(&self) -> OpSummary {
         OpSummary {
@@ -220,6 +237,47 @@ impl Metrics {
         }
     }
 
+    /// Fold another run's metrics into this one: counters sum, latency
+    /// samples and histories append, violation descriptions keep the cap.
+    ///
+    /// The sharded simulator reduces per-shard metrics with this; because
+    /// the shard list is a deterministic function of the configuration
+    /// (never of the thread count), merging shard `0, 1, …, S-1` in index
+    /// order produces a byte-identical aggregate no matter how many OS
+    /// threads executed the shards.
+    pub fn merge(&mut self, other: &Metrics) {
+        self.reads.merge(&other.reads);
+        self.writes.merge(&other.writes);
+        self.site_failures += other.site_failures;
+        self.dropped_messages += other.dropped_messages;
+        self.forced_aborts += other.forced_aborts;
+        self.injected_faults += other.injected_faults;
+        self.lemma_violations += other.lemma_violations;
+        for v in &other.violations {
+            if self.violations.len() >= MAX_RECORDED_VIOLATIONS {
+                break;
+            }
+            self.violations.push(v.clone());
+        }
+        self.history.extend_from_slice(&other.history);
+    }
+
+    /// FNV-1a digest of the complete `Debug` rendering (every counter and
+    /// every latency sample). Two runs with equal digests committed the
+    /// same operations with the same latencies — this is the value the
+    /// cross-thread-count determinism suite and the shard-scaling smoke
+    /// pin.
+    #[must_use]
+    pub fn digest(&self) -> u64 {
+        let s = format!("{self:?}");
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in s.bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x1000_0000_01b3);
+        }
+        h
+    }
+
     /// Combined throughput in operations per simulated second.
     pub fn throughput_ops_per_sec(&self, duration: SimTime) -> f64 {
         let ops = self.reads.successes + self.writes.successes;
@@ -294,6 +352,59 @@ mod tests {
         assert_eq!(m.lemma_violations, 20);
         assert_eq!(m.violations.len(), MAX_RECORDED_VIOLATIONS);
         assert_eq!(m.violations[0], "violation 0");
+    }
+
+    #[test]
+    fn merge_sums_counters_and_appends_samples() {
+        let mut a = Metrics::default();
+        a.reads.record_success(SimTime(1_000), 6);
+        a.writes.record_failure(4);
+        a.record_violation("first".into());
+        a.history.push(CommitRecord {
+            client: 0,
+            read: true,
+            vn: 1,
+            value: 7,
+        });
+        let mut b = Metrics::default();
+        b.reads.record_success(SimTime(3_000), 6);
+        b.reads.record_retry();
+        b.site_failures = 2;
+        b.record_violation("second".into());
+        a.merge(&b);
+        assert_eq!(a.reads.attempts, 2);
+        assert_eq!(a.reads.successes, 2);
+        assert_eq!(a.reads.retries, 1);
+        assert_eq!(a.reads.mean_latency_ms(), 2.0);
+        assert_eq!(a.writes.timeouts, 1);
+        assert_eq!(a.site_failures, 2);
+        assert_eq!(a.lemma_violations, 2);
+        assert_eq!(a.violations, vec!["first".to_string(), "second".to_string()]);
+        assert_eq!(a.history.len(), 1);
+    }
+
+    #[test]
+    fn merge_respects_violation_cap() {
+        let mut a = Metrics::default();
+        let mut b = Metrics::default();
+        for i in 0..MAX_RECORDED_VIOLATIONS {
+            a.record_violation(format!("a{i}"));
+            b.record_violation(format!("b{i}"));
+        }
+        a.merge(&b);
+        assert_eq!(a.lemma_violations, 2 * MAX_RECORDED_VIOLATIONS as u64);
+        assert_eq!(a.violations.len(), MAX_RECORDED_VIOLATIONS);
+    }
+
+    #[test]
+    fn digest_distinguishes_and_reproduces() {
+        let mut a = Metrics::default();
+        a.reads.record_success(SimTime(1_000), 6);
+        let mut b = Metrics::default();
+        b.reads.record_success(SimTime(1_000), 6);
+        assert_eq!(a.digest(), b.digest());
+        b.reads.record_success(SimTime(2_000), 6);
+        assert_ne!(a.digest(), b.digest());
     }
 
     #[test]

@@ -31,7 +31,10 @@ pub fn default_threads() -> usize {
 /// its item's index, which makes the output order (and therefore any fold
 /// over it) independent of thread timing. `threads` is clamped to at least
 /// 1 and at most the item count. A panic in `f` propagates to the caller
-/// when the scope joins.
+/// with its *original payload* — the workers are joined by hand rather
+/// than letting `std::thread::scope` replace the payload with its generic
+/// "a scoped thread panicked" message, so `should_panic(expected = …)`
+/// tests and assertion messages from inside simulations survive the fan-out.
 pub fn par_map<T, R, F>(items: Vec<T>, threads: usize, f: F) -> Vec<R>
 where
     T: Send,
@@ -51,20 +54,33 @@ where
     let cursor = AtomicUsize::new(0);
     let f = &f;
     std::thread::scope(|scope| {
-        for _ in 0..threads {
-            scope.spawn(|| loop {
-                let i = cursor.fetch_add(1, Ordering::Relaxed);
-                if i >= n {
-                    break;
-                }
-                let item = work[i]
-                    .lock()
-                    .expect("work mutex")
-                    .take()
-                    .expect("each item is claimed exactly once");
-                let r = f(i, item);
-                *results[i].lock().expect("result mutex") = Some(r);
-            });
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                scope.spawn(|| loop {
+                    let i = cursor.fetch_add(1, Ordering::Relaxed);
+                    if i >= n {
+                        break;
+                    }
+                    let item = work[i]
+                        .lock()
+                        .expect("work mutex")
+                        .take()
+                        .expect("each item is claimed exactly once");
+                    let r = f(i, item);
+                    *results[i].lock().expect("result mutex") = Some(r);
+                })
+            })
+            .collect();
+        // Join every worker before re-raising, so no thread outlives the
+        // scope; the first panic payload (by spawn order) wins.
+        let mut first_panic = None;
+        for h in handles {
+            if let Err(payload) = h.join() {
+                first_panic.get_or_insert(payload);
+            }
+        }
+        if let Some(payload) = first_panic {
+            std::panic::resume_unwind(payload);
         }
     });
     results
@@ -118,6 +134,27 @@ mod tests {
     fn par_map_empty_input() {
         let out: Vec<u64> = par_map(Vec::<u64>::new(), 8, |_, x| x);
         assert!(out.is_empty());
+    }
+
+    #[test]
+    fn par_map_preserves_panic_payloads() {
+        // A worker panic must surface with its original payload, not the
+        // scope's generic "a scoped thread panicked" message.
+        let result = std::panic::catch_unwind(|| {
+            par_map((0..16).collect::<Vec<u64>>(), 4, |_, x| {
+                if x == 11 {
+                    panic!("simulation {x} exploded");
+                }
+                x
+            })
+        });
+        let payload = result.expect_err("a worker panicked");
+        let msg = payload
+            .downcast_ref::<String>()
+            .cloned()
+            .or_else(|| payload.downcast_ref::<&str>().map(|s| (*s).to_string()))
+            .expect("panic payload is a string");
+        assert_eq!(msg, "simulation 11 exploded");
     }
 
     #[test]

@@ -1,0 +1,1116 @@
+//! Sharded multi-item simulation: deterministic parallel event loops over
+//! a keyspace of independently replicated items.
+//!
+//! The single-item simulator (`sim.rs`) models one replicated object. Real
+//! deployments replicate many objects over the same sites, and the paper's
+//! per-object correctness argument (Lemmas 7/8 hold for each object's
+//! access sequence independently) is exactly what makes the workload
+//! *shardable*: items never interact, so the keyspace can be partitioned
+//! into shards, each shard driven by its own event loop, and the shards
+//! executed on however many OS threads are available.
+//!
+//! # Determinism contract
+//!
+//! The metrics digest of a sharded run is **bit-identical for any thread
+//! count**. Three design rules make that hold:
+//!
+//! 1. **The shard list is a function of the configuration, never of the
+//!    thread count.** [`MultiConfig::shards`] fixes the partition; threads
+//!    only decide which OS thread executes which shard.
+//! 2. **Each shard owns a private RNG stream** derived from
+//!    `(seed, shard)` by a SplitMix64 finalizer, so no shard ever observes
+//!    another shard's draws.
+//! 3. **Per-shard results are reduced in shard-index order** (via
+//!    [`par_map`]'s input-order results) with the commutative,
+//!    order-insensitive [`Metrics::merge`].
+//!
+//! # Partition
+//!
+//! Global items `0..items` are assigned round-robin: shard `s` owns
+//! `{g : g % shards == s}`. Clients come in contiguous blocks: shard `s`
+//! drives global clients `[s·cps, (s+1)·cps)`. Each shard's clients draw
+//! items from the shard's own slice of the keyspace, weighted by the
+//! global [`ItemDist`] restricted to that slice — under
+//! [`ItemDist::Zipfian`] the round-robin assignment spreads the hot head
+//! of the distribution evenly across shards.
+//!
+//! # Faults
+//!
+//! A single global [`FaultPlan`] describes the run; each shard applies its
+//! [`FaultPlan::shard_view`]: site crashes/recoveries and drop/delay
+//! windows replay in *every* shard (shared cluster weather), client aborts
+//! go to the owning shard only, and the `Corrupt` negative control is
+//! applied by the shard owning item 0 (to item 0).
+//!
+//! # Hot path
+//!
+//! Per-item DM state lives in one flat arena (`stores[item·n + site]`),
+//! item lookup is index arithmetic, the phase response buffer is reused
+//! across operations, and quorum discovery uses the specs' O(1)
+//! `find_*_quorum_bits` fast paths — no hashing, no per-operation
+//! allocation, no `Arc` traffic per operation.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use std::sync::Arc;
+
+use quorum::{QuorumSpec, ReplicaSet};
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+use qc_replication::{
+    AbortReason, LemmaChecker, ScheduleTrace, TmKind, TraceAction, TraceTid,
+};
+
+use crate::faults::{message_dropped, FaultEvent, FaultPlan, RetryPolicy};
+use crate::latency::LatencyModel;
+use crate::metrics::Metrics;
+use crate::par::par_map;
+use crate::sim::ContactPolicy;
+use crate::time::SimTime;
+use crate::trace::TraceRecorder;
+
+/// How clients pick the item of each operation.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum ItemDist {
+    /// Every item equally likely.
+    Uniform,
+    /// Item `g` drawn with weight `1 / (g+1)^theta` — the standard
+    /// skewed-popularity model (`theta ≈ 0.99` is the YCSB default).
+    Zipfian {
+        /// Skew exponent (0 degenerates to uniform).
+        theta: f64,
+    },
+}
+
+/// How clients pace their operations.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Workload {
+    /// Closed loop: the next operation starts `think` after the previous
+    /// one completes.
+    Closed {
+        /// Think time between operations.
+        think: SimTime,
+    },
+    /// Open loop: operations arrive every `interarrival`, independent of
+    /// completion. An arrival that finds the client still retrying a
+    /// previous operation is absorbed by it (the client is saturated).
+    Open {
+        /// Time between successive arrivals.
+        interarrival: SimTime,
+    },
+}
+
+/// Configuration of one sharded multi-item run.
+#[derive(Clone)]
+pub struct MultiConfig {
+    /// The quorum system, shared by every item (over sites `0..n`).
+    pub quorum: Arc<dyn QuorumSpec + Send + Sync>,
+    /// One-way message latency model.
+    pub latency: LatencyModel,
+    /// Coordinator contact policy.
+    pub contact: ContactPolicy,
+    /// Number of logical items in the keyspace.
+    pub items: usize,
+    /// Number of shards the keyspace is partitioned into. Fixed by the
+    /// configuration — **never derived from the thread count** — so the
+    /// result is thread-count independent.
+    pub shards: usize,
+    /// Closed- or open-loop clients per shard.
+    pub clients_per_shard: usize,
+    /// Fraction of operations that are logical reads.
+    pub read_fraction: f64,
+    /// Item-popularity distribution.
+    pub dist: ItemDist,
+    /// Client pacing.
+    pub workload: Workload,
+    /// Per-phase quorum-assembly timeout.
+    pub timeout: SimTime,
+    /// Simulated duration.
+    pub duration: SimTime,
+    /// RNG seed (each shard derives its own stream from this).
+    pub seed: u64,
+    /// Global fault plan; shards apply their [`FaultPlan::shard_view`].
+    /// Client indices are *global* (`0..shards·clients_per_shard`).
+    pub faults: FaultPlan,
+    /// Coordinator retry/backoff policy.
+    pub retry: RetryPolicy,
+    /// Assert Lemmas 7/8 per item after every committed operation.
+    pub monitor: bool,
+}
+
+impl std::fmt::Debug for MultiConfig {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MultiConfig")
+            .field("quorum", &self.quorum.label())
+            .field("items", &self.items)
+            .field("shards", &self.shards)
+            .field("clients_per_shard", &self.clients_per_shard)
+            .finish_non_exhaustive()
+    }
+}
+
+impl MultiConfig {
+    /// A reasonable default: 8 items over 4 shards, 2 clients per shard,
+    /// 90% reads, uniform items, closed loop with 1 ms think time, LAN
+    /// latencies, no faults, no retries, monitoring on, 10 simulated
+    /// seconds.
+    pub fn new(quorum: Arc<dyn QuorumSpec + Send + Sync>) -> Self {
+        MultiConfig {
+            quorum,
+            latency: LatencyModel::lan(),
+            contact: ContactPolicy::AllLive,
+            items: 8,
+            shards: 4,
+            clients_per_shard: 2,
+            read_fraction: 0.9,
+            dist: ItemDist::Uniform,
+            workload: Workload::Closed {
+                think: SimTime::from_millis(1),
+            },
+            timeout: SimTime::from_millis(50),
+            duration: SimTime::from_secs(10),
+            seed: 0,
+            faults: FaultPlan::new(),
+            retry: RetryPolicy::default(),
+            monitor: true,
+        }
+    }
+
+    /// Total client count across all shards.
+    #[must_use]
+    pub fn clients(&self) -> usize {
+        self.shards * self.clients_per_shard
+    }
+
+    /// Check the configuration is runnable.
+    ///
+    /// # Errors
+    ///
+    /// A description of the first inconsistency (empty keyspace, more
+    /// shards than items, no clients, or an out-of-range fault plan).
+    pub fn validate(&self) -> Result<(), String> {
+        if self.items == 0 {
+            return Err("a sharded run needs at least one item".into());
+        }
+        if self.shards == 0 || self.shards > self.items {
+            return Err(format!(
+                "shard count must be in 1..={} (one per item), got {}",
+                self.items, self.shards
+            ));
+        }
+        if self.clients_per_shard == 0 {
+            return Err("each shard needs at least one client".into());
+        }
+        self.faults.validate(self.quorum.n(), self.clients())
+    }
+}
+
+/// Aggregate result of a sharded run: merged metrics plus per-item tallies
+/// (kept *outside* [`Metrics`] so the single-item simulator's pinned
+/// metric digests are untouched).
+#[derive(Clone, Debug)]
+pub struct ShardReport {
+    /// Metrics merged over all shards in shard-index order.
+    pub metrics: Metrics,
+    /// Committed operations per global item.
+    pub item_commits: Vec<u64>,
+    /// Final committed version number per global item.
+    pub item_vns: Vec<u64>,
+}
+
+impl ShardReport {
+    /// FNV-1a digest over the merged metrics *and* the per-item tallies —
+    /// the value the cross-thread-count determinism suite pins. Equal
+    /// digests mean the sharded run committed exactly the same operations
+    /// with the same latencies on the same items.
+    #[must_use]
+    pub fn digest(&self) -> u64 {
+        let s = format!(
+            "{:?}|{:?}|{:?}",
+            self.metrics, self.item_commits, self.item_vns
+        );
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in s.bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x1000_0000_01b3);
+        }
+        h
+    }
+}
+
+/// SplitMix64 finalizer used to derive independent per-shard seeds.
+fn splitmix(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// The seed of shard `s`'s private RNG stream.
+fn shard_seed(seed: u64, shard: usize) -> u64 {
+    splitmix(seed ^ splitmix(0x5A4D_0000 ^ shard as u64))
+}
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Event {
+    OpStart { client: usize },
+    PlanFault { idx: usize },
+    Retry { client: usize },
+}
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+struct EventBox(u8, usize);
+
+impl EventBox {
+    fn pack(e: Event) -> Self {
+        match e {
+            Event::OpStart { client } => EventBox(0, client),
+            Event::PlanFault { idx } => EventBox(1, idx),
+            Event::Retry { client } => EventBox(2, client),
+        }
+    }
+
+    fn unpack(self) -> Event {
+        match self.0 {
+            0 => Event::OpStart { client: self.1 },
+            1 => Event::PlanFault { idx: self.1 },
+            _ => Event::Retry { client: self.1 },
+        }
+    }
+}
+
+/// One logical operation in flight for one shard-local client.
+#[derive(Clone, Copy, Debug)]
+struct PendingOp {
+    /// Shard-local item index.
+    item: usize,
+    read: bool,
+    value: u64,
+    op_index: u64,
+    attempt: u32,
+    started: SimTime,
+    messages: u64,
+}
+
+struct PhaseOutcome {
+    elapsed: SimTime,
+    messages: u64,
+    responders: ReplicaSet,
+    ok: bool,
+}
+
+/// What one shard hands back to the merge step.
+struct ShardOutcome {
+    metrics: Metrics,
+    /// `(global item id, commits, final vn)` per owned item.
+    items: Vec<(usize, u64, u64)>,
+    /// Per-owned-item schedule traces (same order as `items`), when traced.
+    traces: Option<Vec<(usize, ScheduleTrace)>>,
+}
+
+/// One shard's event loop over its slice of the keyspace.
+struct ShardSim<'a> {
+    config: &'a MultiConfig,
+    /// Sites per item (`quorum.n()`).
+    n: usize,
+    /// Global client id of this shard's first client.
+    client_base: usize,
+    /// This shard's private Arc handle (cloned once, at construction).
+    quorum: Arc<dyn QuorumSpec + Send + Sync>,
+    rng: ChaCha8Rng,
+    now: SimTime,
+    queue: BinaryHeap<Reverse<(SimTime, u64, EventBox)>>,
+    seq: u64,
+    up: Vec<bool>,
+    /// Flat per-item DM arena: `stores[item·n + site] = (vn, value)`.
+    stores: Vec<(u64, u64)>,
+    /// One lemma checker per owned item.
+    checkers: Vec<LemmaChecker<u64>>,
+    /// Global ids of the owned items, ascending.
+    global_items: Vec<usize>,
+    /// Cumulative item weights (`cum_weights[i]` = weight of local items
+    /// `0..=i`), for one-draw item selection.
+    cum_weights: Vec<f64>,
+    total_weight: f64,
+    /// This shard's view of the global fault plan (local client ids).
+    plan: FaultPlan,
+    plan_crashes: Vec<Vec<SimTime>>,
+    abort_flag: Vec<bool>,
+    pending: Vec<Option<PendingOp>>,
+    op_counter: Vec<u64>,
+    /// Reused phase response buffer (no per-operation allocation).
+    scratch: Vec<(SimTime, usize)>,
+    /// One trace recorder per owned item, when tracing.
+    recorders: Option<Vec<TraceRecorder>>,
+    metrics: Metrics,
+    item_commits: Vec<u64>,
+}
+
+impl<'a> ShardSim<'a> {
+    fn new(config: &'a MultiConfig, shard: usize, traced: bool) -> Self {
+        let n = config.quorum.n();
+        let cps = config.clients_per_shard;
+        let client_base = shard * cps;
+        let global_items: Vec<usize> =
+            (0..config.items).filter(|g| g % config.shards == shard).collect();
+        let local = global_items.len();
+        let mut cum_weights = Vec::with_capacity(local);
+        let mut total = 0.0f64;
+        for &g in &global_items {
+            let w = match config.dist {
+                ItemDist::Uniform => 1.0,
+                ItemDist::Zipfian { theta } => (g as f64 + 1.0).powf(-theta),
+            };
+            total += w;
+            cum_weights.push(total);
+        }
+        // Item 0 (the corruption target) is owned by shard 0 under
+        // round-robin assignment.
+        let plan = config.faults.shard_view(client_base, client_base + cps, shard == 0);
+        let plan_crashes = (0..n).map(|s| plan.crash_times_for(s).collect()).collect();
+        let recorders = traced.then(|| {
+            global_items
+                .iter()
+                .map(|_| TraceRecorder::new(config.quorum.label(), n, config.seed))
+                .collect()
+        });
+        let mut sim = ShardSim {
+            config,
+            n,
+            client_base,
+            quorum: Arc::clone(&config.quorum),
+            rng: ChaCha8Rng::seed_from_u64(shard_seed(config.seed, shard)),
+            now: SimTime::ZERO,
+            queue: BinaryHeap::new(),
+            seq: 0,
+            up: vec![true; n],
+            stores: vec![(0, 0); local * n],
+            checkers: (0..local).map(|_| LemmaChecker::new(0)).collect(),
+            global_items,
+            cum_weights,
+            total_weight: total,
+            plan,
+            plan_crashes,
+            abort_flag: vec![false; cps],
+            pending: vec![None; cps],
+            op_counter: vec![0; cps],
+            scratch: Vec::new(),
+            recorders,
+            metrics: Metrics::default(),
+            item_commits: vec![0; local],
+        };
+        for c in 0..cps {
+            // Stagger client starts to avoid phase lock (same policy as the
+            // single-item simulator).
+            let jitter = SimTime(sim.rng.gen_range(0..1_000));
+            sim.schedule(jitter, Event::OpStart { client: c });
+        }
+        for idx in 0..sim.plan.len() {
+            let at = sim.plan.events()[idx].0;
+            sim.schedule(at, Event::PlanFault { idx });
+        }
+        sim
+    }
+
+    fn schedule(&mut self, delay: SimTime, e: Event) {
+        self.seq += 1;
+        self.queue
+            .push(Reverse((self.now + delay, self.seq, EventBox::pack(e))));
+    }
+
+    fn run(mut self) -> ShardOutcome {
+        while let Some(Reverse((t, _, e))) = self.queue.pop() {
+            if t > self.config.duration {
+                break;
+            }
+            self.now = t;
+            match e.unpack() {
+                Event::OpStart { client } => self.handle_op(client),
+                Event::Retry { client } => self.attempt_op(client),
+                Event::PlanFault { idx } => self.handle_plan_fault(idx),
+            }
+        }
+        // Every owned item's stores must satisfy the lemmas at quiescence.
+        if self.config.monitor {
+            for item in 0..self.checkers.len() {
+                if let Err(v) = self.check_item(item) {
+                    let g = self.global_items[item];
+                    self.metrics
+                        .record_violation(format!("end-of-run item={g}: {v}"));
+                }
+            }
+        }
+        let items = self
+            .global_items
+            .iter()
+            .zip(&self.item_commits)
+            .zip(&self.checkers)
+            .map(|((&g, &commits), checker)| (g, commits, checker.current_vn()))
+            .collect();
+        let traces = self.recorders.map(|recorders| {
+            self.global_items
+                .iter()
+                .zip(recorders)
+                .map(|(&g, r)| (g, r.finish()))
+                .collect()
+        });
+        ShardOutcome {
+            metrics: self.metrics,
+            items,
+            traces,
+        }
+    }
+
+    /// Assert Lemmas 7 and 8(1a)/8(1b) against one item's stores.
+    fn check_item(&self, item: usize) -> Result<(), qc_replication::LemmaViolation> {
+        let stores = &self.stores[item * self.n..(item + 1) * self.n];
+        let quorum: &dyn QuorumSpec = &*self.quorum;
+        self.checkers[item].check_states(
+            stores.iter().enumerate().map(|(r, (vn, v))| (r, *vn, v)),
+            true,
+            |holders| quorum.is_write_quorum_bits(holders),
+        )
+    }
+
+    fn handle_plan_fault(&mut self, idx: usize) {
+        self.metrics.injected_faults += 1;
+        match self.plan.events()[idx].1 {
+            FaultEvent::Crash { site } => {
+                if self.up[site] {
+                    self.up[site] = false;
+                    self.metrics.site_failures += 1;
+                }
+            }
+            FaultEvent::Recover { site } => {
+                self.up[site] = true;
+            }
+            FaultEvent::AbortClient { client } => {
+                self.abort_flag[client] = true;
+            }
+            FaultEvent::Corrupt { site, vn, value } => {
+                // shard_view routes Corrupt to the shard owning item 0;
+                // local index 0 is global item 0 there.
+                self.stores[site] = (vn, value);
+                if self.config.monitor {
+                    if let Err(v) = self.check_item(0) {
+                        let now = self.now;
+                        self.metrics
+                            .record_violation(format!("t={now} corrupt injection: {v}"));
+                    }
+                }
+            }
+            FaultEvent::DropWindow { .. } | FaultEvent::DelayWindow { .. } => {}
+        }
+    }
+
+    fn live_set(&self) -> ReplicaSet {
+        (0..self.n).filter(|&s| self.up[s]).collect()
+    }
+
+    fn faulted_now(&self) -> bool {
+        self.up.iter().any(|u| !u)
+            || self.plan.drop_permille_at(self.now) > 0
+            || self.plan.delay_extra_at(self.now) > SimTime::ZERO
+    }
+
+    /// Whether `site` (up now) crashes at or before `t` (straddle check;
+    /// sharded runs use planned faults only, so no stochastic component).
+    fn site_crashes_by(&self, site: usize, t: SimTime) -> bool {
+        let planned = &self.plan_crashes[site];
+        let i = planned.partition_point(|&c| c <= self.now);
+        i < planned.len() && planned[i] <= t
+    }
+
+    /// One quorum-gathering phase (`write_phase` selects the predicate).
+    /// Identical semantics to the single-item simulator's phase; the
+    /// quorum predicate is dispatched inline, so no per-call closure or
+    /// `Arc` clone.
+    fn phase(
+        &mut self,
+        targets: ReplicaSet,
+        client: usize,
+        op_index: u64,
+        attempt: u32,
+        write_phase: bool,
+    ) -> PhaseOutcome {
+        let phase_no: u8 = if write_phase { 2 } else { 1 };
+        let drop_permille = self.plan.drop_permille_at(self.now);
+        let delay_extra = self.plan.delay_extra_at(self.now);
+        let seed = self.config.seed;
+        let global_client = self.client_base + client;
+        let mut responses = std::mem::take(&mut self.scratch);
+        responses.clear();
+        let mut messages = 0u64;
+        for s in targets {
+            messages += 1; // request
+            if !self.up[s] {
+                continue;
+            }
+            if message_dropped(
+                seed,
+                global_client,
+                op_index,
+                attempt,
+                phase_no,
+                s,
+                false,
+                drop_permille,
+            ) {
+                self.metrics.dropped_messages += 1;
+                continue;
+            }
+            let rtt = self.config.latency.sample(&mut self.rng)
+                + self.config.latency.sample(&mut self.rng)
+                + delay_extra
+                + delay_extra;
+            if self.site_crashes_by(s, self.now + rtt) {
+                continue;
+            }
+            messages += 1; // response
+            if message_dropped(
+                seed,
+                global_client,
+                op_index,
+                attempt,
+                phase_no,
+                s,
+                true,
+                drop_permille,
+            ) {
+                self.metrics.dropped_messages += 1;
+                continue;
+            }
+            responses.push((rtt, s));
+        }
+        responses.sort_unstable();
+        let mut have = ReplicaSet::new();
+        let mut outcome = PhaseOutcome {
+            elapsed: self.config.timeout,
+            messages,
+            responders: ReplicaSet::new(),
+            ok: false,
+        };
+        for &(t, s) in &responses {
+            if t > self.config.timeout {
+                break;
+            }
+            have.insert(s);
+            let is_quorum = if write_phase {
+                self.quorum.is_write_quorum_bits(have)
+            } else {
+                self.quorum.is_read_quorum_bits(have)
+            };
+            if is_quorum {
+                outcome = PhaseOutcome {
+                    elapsed: t,
+                    messages,
+                    responders: have,
+                    ok: true,
+                };
+                break;
+            }
+        }
+        self.scratch = responses;
+        outcome
+    }
+
+    /// Draw the item of the next operation from the shard's slice of the
+    /// keyspace (one uniform draw + binary search on the cumulative
+    /// weights).
+    fn draw_item(&mut self) -> usize {
+        let u: f64 = self.rng.gen_range(0.0..self.total_weight);
+        let i = self.cum_weights.partition_point(|&c| c <= u);
+        i.min(self.cum_weights.len() - 1)
+    }
+
+    /// Start a fresh logical operation for local `client`.
+    fn handle_op(&mut self, client: usize) {
+        if let Workload::Open { interarrival } = self.config.workload {
+            // Arrivals are unconditional in an open loop; schedule the next
+            // one before deciding what to do with this one.
+            self.schedule(interarrival.max(SimTime(1)), Event::OpStart { client });
+            if self.pending[client].is_some() {
+                // Client still retrying a previous operation: it absorbs
+                // this arrival (saturation).
+                return;
+            }
+        }
+        let item = self.draw_item();
+        let is_read = self.rng.gen_bool(self.config.read_fraction);
+        let op_index = self.op_counter[client];
+        self.op_counter[client] += 1;
+        // A value unique across the whole run (all shards), so per-item
+        // histories identify writes.
+        let value = (self.client_base + client) as u64 * 1_000_000 + op_index + 1;
+        self.pending[client] = Some(PendingOp {
+            item,
+            read: is_read,
+            value,
+            op_index,
+            attempt: 1,
+            started: self.now,
+            messages: 0,
+        });
+        self.attempt_op(client);
+    }
+
+    fn trace_tid(&self, client: usize, op: &PendingOp) -> TraceTid {
+        TraceTid {
+            client: (self.client_base + client) as u32,
+            op: op.op_index,
+            attempt: op.attempt,
+        }
+    }
+
+    /// Record one trace action against `op`'s item (no-op when untraced).
+    fn emit(&mut self, client: usize, op: &PendingOp, action: TraceAction, faulted: bool) {
+        let tid = self.trace_tid(client, op);
+        let now = self.now;
+        if let Some(recorders) = self.recorders.as_mut() {
+            recorders[op.item].record(now, tid, action, faulted);
+        }
+    }
+
+    /// Run one attempt of local `client`'s pending operation.
+    fn attempt_op(&mut self, client: usize) {
+        let op = match self.pending[client].take() {
+            Some(op) => op,
+            None => return,
+        };
+
+        if self.abort_flag[client] {
+            self.abort_flag[client] = false;
+            self.metrics.forced_aborts += 1;
+            if self.recorders.is_some() {
+                let kind = if op.read { TmKind::Read } else { TmKind::Write };
+                self.emit(
+                    client,
+                    &op,
+                    TraceAction::Abort {
+                        kind,
+                        reason: AbortReason::Forced,
+                    },
+                    true,
+                );
+            }
+            let stats = if op.read {
+                &mut self.metrics.reads
+            } else {
+                &mut self.metrics.writes
+            };
+            stats.record_abort();
+            if let Workload::Closed { think } = self.config.workload {
+                self.schedule(think, Event::OpStart { client });
+            }
+            return;
+        }
+
+        let health = self.quorum.quorum_health(self.live_set());
+        let feasible = if op.read {
+            health.can_read()
+        } else {
+            health.can_read() && health.can_write()
+        };
+        if !feasible {
+            self.finish_failed_attempt(client, op, SimTime::ZERO, 0, true);
+            return;
+        }
+
+        // Phase 1 (both kinds): version discovery at a read quorum.
+        let live = self.live_set();
+        let targets1 = match self.config.contact {
+            ContactPolicy::AllLive => Some(live),
+            ContactPolicy::MinimalQuorum => self.quorum.find_read_quorum_bits(live),
+        };
+        let out1 = match targets1 {
+            Some(targets) => self.phase(targets, client, op.op_index, op.attempt, false),
+            None => {
+                self.finish_failed_attempt(client, op, SimTime::ZERO, 0, true);
+                return;
+            }
+        };
+        if !out1.ok {
+            self.finish_failed_attempt(client, op, out1.elapsed, out1.messages, false);
+            return;
+        }
+        let base = op.item * self.n;
+        let (dvn, dval) = out1
+            .responders
+            .iter()
+            .map(|s| self.stores[base + s])
+            .max_by_key(|&(vn, _)| vn)
+            .unwrap_or((0, 0));
+
+        if op.read {
+            if self.recorders.is_some() {
+                let faulted = self.faulted_now();
+                self.emit(client, &op, TraceAction::Create { kind: TmKind::Read }, faulted);
+                for s in out1.responders {
+                    let (vn, value) = self.stores[base + s];
+                    self.emit(client, &op, TraceAction::ReadDm { site: s, vn, value }, faulted);
+                }
+                self.emit(
+                    client,
+                    &op,
+                    TraceAction::RequestCommit { vn: dvn, value: dval },
+                    faulted,
+                );
+                self.emit(client, &op, TraceAction::Commit, faulted);
+            }
+            self.commit_op(client, op, out1.elapsed, out1.messages, dvn, dval);
+            return;
+        }
+
+        // Phase 2 (writes): install at a write quorum, atomically.
+        let live = self.live_set();
+        let targets2 = match self.config.contact {
+            ContactPolicy::AllLive => Some(live),
+            ContactPolicy::MinimalQuorum => self.quorum.find_write_quorum_bits(live),
+        };
+        let out2 = match targets2 {
+            Some(targets) => self.phase(targets, client, op.op_index, op.attempt, true),
+            None => {
+                self.finish_failed_attempt(client, op, out1.elapsed, out1.messages, true);
+                return;
+            }
+        };
+        let elapsed = out1.elapsed + out2.elapsed;
+        let messages = out1.messages + out2.messages;
+        if !out2.ok {
+            self.finish_failed_attempt(client, op, elapsed, messages, false);
+            return;
+        }
+        let new_vn = dvn + 1;
+        if self.recorders.is_some() {
+            let faulted = self.faulted_now();
+            self.emit(client, &op, TraceAction::Create { kind: TmKind::Write }, faulted);
+            for s in out1.responders {
+                let (vn, value) = self.stores[base + s];
+                self.emit(client, &op, TraceAction::ReadDm { site: s, vn, value }, faulted);
+            }
+            for s in out2.responders {
+                self.emit(
+                    client,
+                    &op,
+                    TraceAction::WriteDm {
+                        site: s,
+                        vn: new_vn,
+                        value: op.value,
+                    },
+                    faulted,
+                );
+            }
+            self.emit(
+                client,
+                &op,
+                TraceAction::RequestCommit {
+                    vn: new_vn,
+                    value: op.value,
+                },
+                faulted,
+            );
+            self.emit(client, &op, TraceAction::Commit, faulted);
+        }
+        for s in out2.responders {
+            self.stores[base + s] = (new_vn, op.value);
+        }
+        self.commit_op(client, op, elapsed, messages, new_vn, op.value);
+    }
+
+    /// Commit the pending operation against its item.
+    fn commit_op(
+        &mut self,
+        client: usize,
+        op: PendingOp,
+        attempt_elapsed: SimTime,
+        attempt_messages: u64,
+        vn: u64,
+        value: u64,
+    ) {
+        let total = (self.now - op.started) + attempt_elapsed;
+        let messages = op.messages + attempt_messages;
+        let stats = if op.read {
+            &mut self.metrics.reads
+        } else {
+            &mut self.metrics.writes
+        };
+        stats.record_success(total, messages);
+        self.item_commits[op.item] += 1;
+        if self.config.monitor {
+            let stores = &self.stores[op.item * self.n..(op.item + 1) * self.n];
+            let quorum: &dyn QuorumSpec = &*self.quorum;
+            let checker = &mut self.checkers[op.item];
+            let check = if op.read {
+                checker.check_read(&value)
+            } else {
+                checker.commit_write(vn, value)
+            }
+            .and_then(|()| {
+                checker.check_states(
+                    stores.iter().enumerate().map(|(r, (vn, v))| (r, *vn, v)),
+                    true,
+                    |holders| quorum.is_write_quorum_bits(holders),
+                )
+            });
+            if let Err(v) = check {
+                let kind = if op.read { "read" } else { "write" };
+                let g = self.global_items[op.item];
+                let c = self.client_base + client;
+                self.metrics.record_violation(format!(
+                    "t={} item={g} client={c} {kind}: {v}",
+                    self.now
+                ));
+            }
+        }
+        if let Workload::Closed { think } = self.config.workload {
+            self.schedule(attempt_elapsed + think, Event::OpStart { client });
+        }
+    }
+
+    /// A failed attempt: retry with backoff if the policy allows, else
+    /// record the failure and (closed loop) move the client on.
+    fn finish_failed_attempt(
+        &mut self,
+        client: usize,
+        mut op: PendingOp,
+        attempt_elapsed: SimTime,
+        attempt_messages: u64,
+        unavailable: bool,
+    ) {
+        if self.recorders.is_some() {
+            let kind = if op.read { TmKind::Read } else { TmKind::Write };
+            let reason = if unavailable {
+                AbortReason::Unavailable
+            } else {
+                AbortReason::Timeout
+            };
+            let faulted = self.faulted_now();
+            self.emit(client, &op, TraceAction::Abort { kind, reason }, faulted);
+        }
+        op.messages += attempt_messages;
+        if op.attempt < self.config.retry.attempts {
+            op.attempt += 1;
+            let stats = if op.read {
+                &mut self.metrics.reads
+            } else {
+                &mut self.metrics.writes
+            };
+            stats.record_retry();
+            // Never reschedule at the current instant (see sim.rs).
+            let delay = (attempt_elapsed + self.config.retry.backoff_before(op.attempt))
+                .max(SimTime(1));
+            self.pending[client] = Some(op);
+            self.schedule(delay, Event::Retry { client });
+            return;
+        }
+        let stats = if op.read {
+            &mut self.metrics.reads
+        } else {
+            &mut self.metrics.writes
+        };
+        if unavailable {
+            stats.record_unavailable(op.messages);
+        } else {
+            stats.record_failure(op.messages);
+        }
+        if let Workload::Closed { think } = self.config.workload {
+            self.schedule((attempt_elapsed + think).max(SimTime(1)), Event::OpStart { client });
+        }
+    }
+}
+
+fn merge_outcomes(
+    config: &MultiConfig,
+    outcomes: Vec<ShardOutcome>,
+) -> (ShardReport, Option<Vec<ScheduleTrace>>) {
+    let mut metrics = Metrics::default();
+    let mut item_commits = vec![0u64; config.items];
+    let mut item_vns = vec![0u64; config.items];
+    let mut traces: Option<Vec<Option<ScheduleTrace>>> = None;
+    for out in outcomes {
+        metrics.merge(&out.metrics);
+        for (g, commits, vn) in out.items {
+            item_commits[g] = commits;
+            item_vns[g] = vn;
+        }
+        if let Some(shard_traces) = out.traces {
+            let slots = traces.get_or_insert_with(|| (0..config.items).map(|_| None).collect());
+            for (g, t) in shard_traces {
+                slots[g] = Some(t);
+            }
+        }
+    }
+    let traces = traces.map(|slots| {
+        slots
+            .into_iter()
+            .map(|t| t.expect("every item belongs to exactly one shard"))
+            .collect()
+    });
+    (
+        ShardReport {
+            metrics,
+            item_commits,
+            item_vns,
+        },
+        traces,
+    )
+}
+
+/// Run a sharded multi-item simulation on up to `threads` OS threads.
+///
+/// The result is bit-identical for every `threads` value (see the module
+/// docs for the determinism contract).
+///
+/// # Panics
+///
+/// Panics if the configuration fails [`MultiConfig::validate`].
+#[must_use]
+pub fn run_sharded(config: &MultiConfig, threads: usize) -> ShardReport {
+    config.validate().expect("invalid sharded configuration");
+    let outcomes = par_map((0..config.shards).collect(), threads, |_, s| {
+        ShardSim::new(config, s, false).run()
+    });
+    merge_outcomes(config, outcomes).0
+}
+
+/// Run a sharded simulation with per-item schedule tracing: returns the
+/// report plus one single-item [`ScheduleTrace`] per global item (indexed
+/// by item id), each independently checkable with
+/// [`check_trace`](qc_replication::check_trace).
+///
+/// Tracing is observational — it draws nothing from any shard's RNG
+/// stream — so the report is identical to [`run_sharded`]'s.
+///
+/// # Panics
+///
+/// Panics if the configuration fails [`MultiConfig::validate`].
+#[must_use]
+pub fn run_sharded_traced(config: &MultiConfig, threads: usize) -> (ShardReport, Vec<ScheduleTrace>) {
+    config.validate().expect("invalid sharded configuration");
+    let outcomes = par_map((0..config.shards).collect(), threads, |_, s| {
+        ShardSim::new(config, s, true).run()
+    });
+    let (report, traces) = merge_outcomes(config, outcomes);
+    (report, traces.expect("tracing was requested for every shard"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use quorum::Majority;
+
+    fn base() -> MultiConfig {
+        let mut c = MultiConfig::new(Arc::new(Majority::new(5)));
+        c.duration = SimTime::from_secs(2);
+        c.seed = 7;
+        c
+    }
+
+    #[test]
+    fn validate_rejects_degenerate_configs() {
+        let mut c = base();
+        c.items = 0;
+        assert!(c.validate().is_err());
+        let mut c = base();
+        c.shards = 0;
+        assert!(c.validate().is_err());
+        let mut c = base();
+        c.items = 3;
+        c.shards = 4;
+        assert!(c.validate().is_err());
+        let mut c = base();
+        c.clients_per_shard = 0;
+        assert!(c.validate().is_err());
+        // Fault plans use *global* client ids.
+        let mut c = base();
+        c.faults = FaultPlan::new().abort_at(SimTime::from_millis(1), c.clients());
+        assert!(c.validate().is_err());
+        assert!(base().validate().is_ok());
+    }
+
+    #[test]
+    fn healthy_sharded_run_commits_on_every_item() {
+        let report = run_sharded(&base(), 1);
+        assert_eq!(report.metrics.lemma_violations, 0);
+        assert_eq!(report.metrics.reads.availability(), 1.0);
+        assert!(report.item_commits.iter().all(|&c| c > 0), "{:?}", report.item_commits);
+        // Writes happened somewhere, so some item's version advanced.
+        assert!(report.item_vns.iter().any(|&vn| vn > 0));
+        assert_eq!(report.item_commits.len(), base().items);
+    }
+
+    #[test]
+    fn zipfian_skews_commits_toward_the_head() {
+        let mut c = base();
+        c.items = 16;
+        c.shards = 4;
+        c.dist = ItemDist::Zipfian { theta: 0.99 };
+        let report = run_sharded(&c, 1);
+        assert_eq!(report.metrics.lemma_violations, 0);
+        // Item 0 is the hottest; the tail item must see strictly less.
+        assert!(
+            report.item_commits[0] > 2 * report.item_commits[15],
+            "head {} tail {}",
+            report.item_commits[0],
+            report.item_commits[15]
+        );
+    }
+
+    #[test]
+    fn open_loop_issues_ops_at_the_configured_rate() {
+        let mut c = base();
+        c.workload = Workload::Open {
+            interarrival: SimTime::from_millis(10),
+        };
+        let report = run_sharded(&c, 1);
+        // 2 s / 10 ms = ~200 arrivals per client, 8 clients.
+        let attempts = report.metrics.reads.attempts + report.metrics.writes.attempts;
+        assert!((1_400..=1_700).contains(&attempts), "attempts {attempts}");
+        assert_eq!(report.metrics.lemma_violations, 0);
+    }
+
+    #[test]
+    fn corrupt_fires_the_monitor_exactly_once_across_shards() {
+        let mut c = base();
+        c.faults = FaultPlan::new().corrupt_at(SimTime::from_secs(1), 0, 999, 123);
+        let report = run_sharded(&c, 2);
+        // One detection at injection time on the owning shard — not one
+        // per shard.
+        assert!(report.metrics.lemma_violations >= 1);
+        assert!(report
+            .metrics
+            .violations
+            .iter()
+            .any(|v| v.contains("corrupt injection")));
+    }
+
+    #[test]
+    fn traced_run_matches_untraced_run() {
+        let c = base();
+        let plain = run_sharded(&c, 1);
+        let (traced, traces) = run_sharded_traced(&c, 1);
+        assert_eq!(plain.digest(), traced.digest());
+        assert_eq!(traces.len(), c.items);
+        // Per-item traces carry only that item's operations: commits seen
+        // in the trace match the report's per-item tally.
+        for (g, trace) in traces.iter().enumerate() {
+            let commits = trace
+                .events
+                .iter()
+                .filter(|e| matches!(e.action, TraceAction::Commit))
+                .count() as u64;
+            assert_eq!(commits, plain.item_commits[g], "item {g}");
+        }
+    }
+
+    #[test]
+    fn shard_seeds_are_pairwise_distinct() {
+        let seeds: Vec<u64> = (0..64).map(|s| shard_seed(42, s)).collect();
+        let mut dedup = seeds.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), seeds.len());
+    }
+}

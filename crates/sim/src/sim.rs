@@ -223,6 +223,9 @@ pub struct Simulation {
     abort_flag: Vec<bool>,
     pending: Vec<Option<PendingOp>>,
     op_counter: Vec<u64>,
+    /// Scratch buffer for phase responses, reused across phases so the hot
+    /// path allocates nothing per operation.
+    scratch: Vec<(SimTime, usize)>,
     probe: InvariantProbe,
     metrics: Metrics,
 }
@@ -255,6 +258,7 @@ impl Simulation {
             abort_flag: vec![false; config.clients],
             pending: vec![None; config.clients],
             op_counter: vec![0; config.clients],
+            scratch: Vec::new(),
             probe: InvariantProbe::new(),
             metrics: Metrics::default(),
             config,
@@ -440,7 +444,8 @@ impl Simulation {
         let drop_permille = self.config.faults.drop_permille_at(self.now);
         let delay_extra = self.config.faults.delay_extra_at(self.now);
         let seed = self.config.seed;
-        let mut responses: Vec<(SimTime, usize)> = Vec::new();
+        let mut responses = std::mem::take(&mut self.scratch);
+        responses.clear();
         let mut messages = 0u64;
         for s in targets {
             messages += 1; // request
@@ -468,28 +473,33 @@ impl Simulation {
             }
             responses.push((rtt, s));
         }
-        responses.sort();
+        // `(rtt, site)` pairs are distinct (sites differ), so an unstable
+        // sort orders them exactly as a stable one would.
+        responses.sort_unstable();
         let mut have = ReplicaSet::new();
+        let mut outcome = PhaseOutcome {
+            elapsed: self.config.timeout,
+            messages,
+            responders: ReplicaSet::new(),
+            ok: false,
+        };
         for &(t, s) in &responses {
             if t > self.config.timeout {
                 break;
             }
             have.insert(s);
             if is_quorum(have) {
-                return PhaseOutcome {
+                outcome = PhaseOutcome {
                     elapsed: t,
                     messages,
                     responders: have,
                     ok: true,
                 };
+                break;
             }
         }
-        PhaseOutcome {
-            elapsed: self.config.timeout,
-            messages,
-            responders: ReplicaSet::new(),
-            ok: false,
-        }
+        self.scratch = responses;
+        outcome
     }
 
     fn read_targets(&mut self) -> Option<ReplicaSet> {

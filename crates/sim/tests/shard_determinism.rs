@@ -1,0 +1,152 @@
+//! Cross-thread-count determinism for the sharded multi-item simulator:
+//! the report digest (merged metrics + per-item tallies) must be
+//! bit-identical whether the shards run on 1, 2, or 4 OS threads, healthy
+//! or faulted, uniform or zipfian — the contract that makes parallel
+//! sharded runs trustworthy evidence.
+//!
+//! Also checks the traced run: tracing is observational (digest unchanged)
+//! and every per-item schedule passes the Theorem 10 conformance check.
+
+use std::sync::Arc;
+
+use qc_sim::{
+    check_trace, run_sharded, run_sharded_traced, ContactPolicy, FaultPlan, ItemDist,
+    MultiConfig, RetryPolicy, SimTime, TraceAction, Workload,
+};
+use quorum::Majority;
+
+fn healthy() -> MultiConfig {
+    let mut c = MultiConfig::new(Arc::new(Majority::new(5)));
+    c.contact = ContactPolicy::MinimalQuorum;
+    c.items = 8;
+    c.shards = 4;
+    c.clients_per_shard = 2;
+    c.duration = SimTime::from_secs(2);
+    c.seed = 7;
+    c
+}
+
+fn faulted() -> MultiConfig {
+    let mut c = healthy();
+    // Global client ids: 8 clients across 4 shards.
+    c.faults = FaultPlan::new()
+        .crash_at(SimTime::from_millis(300), 1)
+        .crash_at(SimTime::from_millis(400), 3)
+        .recover_at(SimTime::from_millis(900), 1)
+        .recover_at(SimTime::from_millis(1100), 3)
+        .abort_at(SimTime::from_millis(500), 0)
+        .abort_at(SimTime::from_millis(600), 5)
+        .drop_window(SimTime::from_millis(1200), SimTime::from_millis(200), 300)
+        .delay_window(
+            SimTime::from_millis(1500),
+            SimTime::from_millis(200),
+            SimTime::from_millis(2),
+        );
+    c.retry = RetryPolicy::retries(3, SimTime::from_millis(5));
+    c
+}
+
+fn zipfian() -> MultiConfig {
+    let mut c = healthy();
+    c.items = 16;
+    c.dist = ItemDist::Zipfian { theta: 0.99 };
+    c
+}
+
+fn open_loop() -> MultiConfig {
+    let mut c = faulted();
+    c.workload = Workload::Open {
+        interarrival: SimTime::from_millis(5),
+    };
+    c
+}
+
+#[test]
+fn digests_are_identical_across_thread_counts() {
+    for (label, config) in [
+        ("healthy", healthy()),
+        ("faulted", faulted()),
+        ("zipfian", zipfian()),
+        ("open-loop", open_loop()),
+    ] {
+        let baseline = run_sharded(&config, 1);
+        assert_eq!(
+            baseline.metrics.lemma_violations, 0,
+            "{label}: violations {:?}",
+            baseline.metrics.violations
+        );
+        for threads in [2, 4] {
+            let r = run_sharded(&config, threads);
+            assert_eq!(
+                r.digest(),
+                baseline.digest(),
+                "{label}: digest diverged at {threads} threads"
+            );
+        }
+    }
+}
+
+#[test]
+fn reports_reproduce_run_to_run() {
+    let a = run_sharded(&faulted(), 2);
+    let b = run_sharded(&faulted(), 2);
+    assert_eq!(a.digest(), b.digest());
+    assert_eq!(a.item_commits, b.item_commits);
+    assert_eq!(a.item_vns, b.item_vns);
+}
+
+#[test]
+fn forced_aborts_land_in_the_owning_shard_only() {
+    let r = run_sharded(&faulted(), 1);
+    // Exactly the two AbortClient events fire, once each — not once per
+    // shard.
+    assert_eq!(r.metrics.forced_aborts, 2);
+    assert_eq!(
+        r.metrics.reads.aborted + r.metrics.writes.aborted,
+        r.metrics.forced_aborts
+    );
+}
+
+#[test]
+fn traced_run_is_observational_and_items_conform() {
+    let config = faulted();
+    let plain = run_sharded(&config, 2);
+    let (traced, traces) = run_sharded_traced(&config, 2);
+    assert_eq!(plain.digest(), traced.digest(), "tracing perturbed the run");
+    assert_eq!(traces.len(), config.items);
+    for (g, trace) in traces.iter().enumerate() {
+        let report = check_trace(trace, &*config.quorum)
+            .unwrap_or_else(|d| panic!("item {g} diverged from the serial system: {d}"));
+        assert_eq!(
+            report.committed as u64, plain.item_commits[g],
+            "item {g}: trace commits vs report tally"
+        );
+        assert_eq!(
+            report.max_vn, plain.item_vns[g],
+            "item {g}: trace max vn vs final store vn"
+        );
+    }
+}
+
+#[test]
+fn zipfian_traces_cover_the_whole_keyspace() {
+    let config = zipfian();
+    let (report, traces) = run_sharded_traced(&config, 1);
+    assert_eq!(report.metrics.lemma_violations, 0);
+    // Every item conforms, hot head and cold tail alike.
+    let mut total_commits = 0u64;
+    for (g, trace) in traces.iter().enumerate() {
+        check_trace(trace, &*config.quorum)
+            .unwrap_or_else(|d| panic!("item {g} diverged: {d}"));
+        total_commits += trace
+            .events
+            .iter()
+            .filter(|e| matches!(e.action, TraceAction::Commit))
+            .count() as u64;
+    }
+    assert_eq!(
+        total_commits,
+        report.metrics.reads.successes + report.metrics.writes.successes,
+        "per-item traces partition the committed operations"
+    );
+}
