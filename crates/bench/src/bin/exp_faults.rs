@@ -23,10 +23,12 @@
 
 use std::sync::Arc;
 
-use qc_bench::{dump_trace, faults_flag, flag_value, row, rule, trace_dir_flag, trace_file_stem};
+use qc_bench::{
+    dump_trace, faults_flag, flag_value, obs_flags, row, rule, trace_dir_flag, trace_file_stem,
+};
 use qc_sim::{
-    check_trace, default_threads, run, run_batch, run_traced, ContactPolicy, FaultPlan,
-    Metrics, RetryPolicy, SimConfig, SimTime,
+    check_trace, default_threads, par_map, run, run_batch, run_observed, run_traced,
+    ContactPolicy, FaultPlan, Metrics, RetryPolicy, SimConfig, SimTime,
 };
 use quorum::{Majority, QuorumSpec, Rowa};
 use serde_json::JsonObject;
@@ -78,6 +80,10 @@ fn main() {
         .unwrap_or(DURATION_SECS);
     let plan = faults_flag().unwrap_or_else(|| scenario(secs));
     let trace_dir = trace_dir_flag();
+    // `--obs-dir DIR` / `--snapshot-every SECS`: run every cell with the
+    // instrumentation layer on (fault firings and any violations land in
+    // the event log) and dump the recordings per cell.
+    let obs = obs_flags();
 
     println!("Q6 — fault injection under a seeded plan (n = 5, seed {seed}, {secs} s)\n");
     println!("plan: {plan}\n");
@@ -113,6 +119,26 @@ fn main() {
                         report.faulted_events,
                         report.committed
                     );
+                    m
+                })
+                .collect()
+        }
+        None if obs.enabled() => {
+            let options = obs.options();
+            let grid: Vec<SimConfig> = cells
+                .iter()
+                .map(|(q, a)| {
+                    let mut c = cell(q, &plan, seed, *a, secs);
+                    c.obs = options;
+                    c
+                })
+                .collect();
+            let outs = par_map(grid, default_threads(), |_, c| run_observed(c));
+            outs.into_iter()
+                .zip(&cells)
+                .map(|((m, report), (q, attempts))| {
+                    let stem = format!("faults_{}_a{attempts}", trace_file_stem(&q.label()));
+                    obs.dump(&stem, &report);
                     m
                 })
                 .collect()
@@ -210,6 +236,15 @@ fn main() {
             "trace {}: rejected as required — {d}",
             path.display()
         );
+        m
+    } else if obs.enabled() {
+        // The negative control is the interesting event log: the corrupt
+        // injection and every violation it causes (with the offending op
+        // attached at commit-time detections) land in it.
+        let mut c = cell(&systems[1], &corrupt, seed, 1, secs);
+        c.obs = obs.options();
+        let (m, report) = run_observed(c);
+        obs.dump("faults_negative_control", &report);
         m
     } else {
         run(cell(&systems[1], &corrupt, seed, 1, secs))

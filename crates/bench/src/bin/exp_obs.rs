@@ -1,0 +1,347 @@
+//! Q8 — observability: where does a quorum operation spend its time?
+//!
+//! Runs the instrumented simulator under LAN and WAN latency models and
+//! prints a per-phase breakdown (read_gather / vn_resolve / write_install
+//! / commit_round / retry_backoff) with p50/p99/p999/max from the
+//! log-bucketed HDR histograms. Three properties are *asserted*, not just
+//! reported:
+//!
+//! 1. **Reconciliation** — the per-phase span sums must add up to the
+//!    end-to-end committed latency within 0.1% (they are exact by
+//!    construction; the tolerance only guards the arithmetic here).
+//! 2. **Determinism** — the merged sharded `ObsReport` (histograms,
+//!    event-log digest, snapshots) is bit-identical on 1, 2 and 4 OS
+//!    threads.
+//! 3. **Snapshots** — the periodic exporter fired on every simulated
+//!    boundary of the run.
+//!
+//! The null-sink overhead (observed run vs plain run, wall-clock) is
+//! measured and recorded. Everything lands in `results/BENCH_obs.json`.
+//!
+//! Flags: `--secs N` (default 10), `--seed N` (default 23), `--smoke`
+//! (1-second run for CI; same assertions), `--obs-dir DIR` /
+//! `--snapshot-every SECS` (dump recordings).
+//!
+//! Reproduce with:
+//!   cargo run --release -p qc-bench --bin exp_obs > results/exp_obs.txt
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use qc_bench::{flag_value, obs_flags, row, rule};
+use qc_sim::{
+    run, run_batch, run_observed, run_sharded, ContactPolicy, FaultPlan, LatencyModel,
+    Metrics, MultiConfig, ObsOptions, ObsReport, Phase, RetryPolicy, SimConfig, SimTime,
+    PHASES,
+};
+use quorum::{Majority, QuorumSpec, Rowa};
+use serde_json::JsonObject;
+
+fn base(latency: LatencyModel, secs: u64, seed: u64) -> SimConfig {
+    let mut c = SimConfig::new(Arc::new(Majority::new(5)));
+    c.clients = 8;
+    c.read_fraction = 0.7;
+    c.contact = ContactPolicy::MinimalQuorum;
+    c.latency = latency;
+    c.think_time = SimTime::from_millis(1);
+    c.duration = SimTime::from_secs(secs);
+    c.seed = seed;
+    // A mid-run outage so the retry_backoff phase has real mass.
+    c.faults = FaultPlan::new()
+        .crash_at(SimTime(secs * 250_000), 0)
+        .crash_at(SimTime(secs * 250_000), 1)
+        .crash_at(SimTime(secs * 250_000), 2)
+        .recover_at(SimTime(secs * 400_000), 0)
+        .recover_at(SimTime(secs * 400_000), 1)
+        .recover_at(SimTime(secs * 400_000), 2);
+    c.retry = RetryPolicy::retries(8, SimTime::from_millis(20));
+    c
+}
+
+/// Print the phase table for one model and return its JSON rows, after
+/// asserting the phase sums reconcile with end-to-end latency.
+fn phase_section(label: &str, m: &Metrics, obs: &ObsReport) -> Vec<String> {
+    let committed = m.reads.successes + m.writes.successes;
+    let e2e_sum = m.reads.latency_hist().sum() + m.writes.latency_hist().sum();
+    let span_sum = obs.spans.total_us();
+    assert!(committed > 0, "{label}: nothing committed");
+    let err = (span_sum as f64 - e2e_sum as f64).abs() / (e2e_sum as f64).max(1.0);
+    assert!(
+        err <= 0.001,
+        "{label}: phase spans ({span_sum} µs) fail to reconcile with \
+         end-to-end latency ({e2e_sum} µs): {:.4}% off",
+        err * 100.0
+    );
+
+    println!(
+        "{label}: {committed} committed ops, end-to-end Σ {e2e_sum} µs, \
+         phase Σ {span_sum} µs (exact match: {})",
+        span_sum == e2e_sum
+    );
+    let widths = [14, 10, 10, 10, 10, 10, 8];
+    row(
+        &[
+            "phase".into(),
+            "spans".into(),
+            "p50 µs".into(),
+            "p99 µs".into(),
+            "p999 µs".into(),
+            "max µs".into(),
+            "share".into(),
+        ],
+        &widths,
+    );
+    rule(&widths);
+    let mut rows = Vec::new();
+    for phase in PHASES {
+        let h = obs.spans.hist(phase);
+        let share = h.sum() as f64 / (span_sum as f64).max(1.0);
+        row(
+            &[
+                phase.name().into(),
+                format!("{}", h.count()),
+                format!("{}", h.p50()),
+                format!("{}", h.p99()),
+                format!("{}", h.p999()),
+                format!("{}", h.max()),
+                format!("{:.1}%", share * 100.0),
+            ],
+            &widths,
+        );
+        rows.push(
+            JsonObject::new()
+                .field("phase", phase.name())
+                .field("count", &h.count())
+                .field("sum_us", &h.sum())
+                .field("p50_us", &h.p50())
+                .field("p99_us", &h.p99())
+                .field("p999_us", &h.p999())
+                .field("max_us", &h.max())
+                .field("share", &share)
+                .build(),
+        );
+    }
+    rule(&widths);
+    println!();
+    rows
+}
+
+/// The 24-cell 1-thread batch whose wall time `exp_throughput` records as
+/// `thread_scaling[0].wall_secs` in `results/BENCH_hotpath.json` — rebuilt
+/// here verbatim so the *null-sink* path (observability compiled in but
+/// disabled) can be timed against that committed pre-instrumentation
+/// baseline.
+fn hotpath_batch() -> Vec<SimConfig> {
+    let systems: Vec<Arc<dyn QuorumSpec + Send + Sync>> =
+        vec![Arc::new(Rowa::new(5)), Arc::new(Majority::new(5))];
+    let mut batch = Vec::new();
+    for k in 0..4u64 {
+        for q in &systems {
+            for rf in [0.5, 0.9, 0.99] {
+                let mut c = SimConfig::new(Arc::clone(q));
+                c.clients = 8;
+                c.read_fraction = rf;
+                c.contact = ContactPolicy::MinimalQuorum;
+                c.think_time = SimTime::from_millis(0);
+                c.duration = SimTime::from_secs(20);
+                c.seed = 23 + 1_000 * (k + 1);
+                batch.push(c);
+            }
+        }
+    }
+    batch
+}
+
+/// `thread_scaling[0].wall_secs` from the committed
+/// `results/BENCH_hotpath.json`, extracted with a targeted scan (the
+/// vendored serde_json is a writer, not a parser).
+fn prepr_baseline_wall() -> Option<f64> {
+    let text = std::fs::read_to_string("results/BENCH_hotpath.json").ok()?;
+    let scaling = text.split("\"thread_scaling\"").nth(1)?;
+    let wall = scaling.split("\"wall_secs\":").nth(1)?;
+    let num: String = wall
+        .chars()
+        .take_while(|c| c.is_ascii_digit() || *c == '.' || *c == '-' || *c == 'e')
+        .collect();
+    num.parse().ok()
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let secs: u64 = flag_value("--secs")
+        .map(|s| s.parse().expect("--secs takes an integer"))
+        .unwrap_or(if smoke { 1 } else { 10 });
+    let seed: u64 = flag_value("--seed")
+        .map(|s| s.parse().expect("--seed takes an integer"))
+        .unwrap_or(23);
+    let dump = obs_flags();
+
+    println!(
+        "Q8 — per-phase latency breakdown (n = 5 majority, minimal-quorum \
+         contact, mid-run outage + retries, {secs} s simulated, seed {seed})\n"
+    );
+
+    // Per-phase breakdown under LAN and WAN, with full instrumentation.
+    let mut sections = Vec::new();
+    for (label, latency) in [("LAN", LatencyModel::lan()), ("WAN", LatencyModel::wan())] {
+        let mut c = base(latency, secs, seed);
+        c.obs = ObsOptions::full();
+        // One snapshot per simulated 500 ms so even the smoke run fires.
+        c.obs.snapshot_every_us = Some(500_000);
+        let (m, obs) = run_observed(c);
+        let expected_snapshots = (secs * 1_000_000 / 500_000) as usize;
+        assert_eq!(
+            obs.snapshots.len(),
+            expected_snapshots,
+            "{label}: snapshot exporter must fire on every boundary"
+        );
+        let rows = phase_section(label, &m, &obs);
+        dump.dump(&format!("obs_{}", label.to_lowercase()), &obs);
+        sections.push((label, m, obs, rows));
+    }
+
+    // Null-sink overhead: the same LAN workload with observability fully
+    // disabled must cost (wall-clock) about the same as before this layer
+    // existed — the no-op sinks compile away. Take the best of a few
+    // rounds to tame scheduler noise; in smoke mode only report it.
+    let rounds = if smoke { 2 } else { 5 };
+    let mut plain_best = f64::INFINITY;
+    let mut observed_best = f64::INFINITY;
+    for _ in 0..rounds {
+        let start = Instant::now();
+        let m = run(base(LatencyModel::lan(), secs, seed));
+        plain_best = plain_best.min(start.elapsed().as_secs_f64());
+        let mut c = base(LatencyModel::lan(), secs, seed);
+        c.obs = ObsOptions::full();
+        let start = Instant::now();
+        let (mo, _) = run_observed(c);
+        observed_best = observed_best.min(start.elapsed().as_secs_f64());
+        assert_eq!(m.digest(), mo.digest(), "observation must be invisible");
+    }
+    let overhead = observed_best / plain_best.max(1e-9) - 1.0;
+    println!(
+        "instrumentation wall overhead (full recording vs disabled): \
+         {:.1}% ({observed_best:.4}s vs {plain_best:.4}s, best of {rounds})",
+        overhead * 100.0
+    );
+
+    // Null-sink overhead vs the committed pre-instrumentation baseline:
+    // re-time the exact 24-cell batch whose 1-thread wall the pre-PR
+    // `exp_throughput` recorded in BENCH_hotpath.json, with observability
+    // disabled (the default). Skipped in smoke mode (it simulates 8
+    // minutes of traffic) and when no baseline file is present.
+    let mut null_vs_baseline = None;
+    if !smoke {
+        if let Some(baseline) = prepr_baseline_wall() {
+            let mut best = f64::INFINITY;
+            for _ in 0..3 {
+                let batch = hotpath_batch();
+                let cells = batch.len();
+                let start = Instant::now();
+                let out = run_batch(batch, 1);
+                best = best.min(start.elapsed().as_secs_f64());
+                assert_eq!(out.len(), cells);
+            }
+            let vs = best / baseline.max(1e-9) - 1.0;
+            println!(
+                "null-sink batch wall: {best:.4}s vs committed pre-PR baseline \
+                 {baseline:.4}s ({:+.1}%)",
+                vs * 100.0
+            );
+            null_vs_baseline = Some((best, baseline, vs));
+        }
+    }
+
+    // Cross-thread-count identity of the merged sharded recordings: the
+    // histogram merge (and event/snapshot concatenation) is performed in
+    // shard-index order, so 1-, 2- and 4-thread runs agree bit for bit.
+    let mut mc = MultiConfig::new(Arc::new(Majority::new(5)));
+    mc.contact = ContactPolicy::MinimalQuorum;
+    mc.items = 8;
+    mc.shards = 4;
+    mc.clients_per_shard = 2;
+    mc.duration = SimTime::from_millis(if smoke { 500 } else { 2_000 });
+    mc.seed = seed;
+    mc.obs = ObsOptions::full();
+    mc.obs.snapshot_every_us = Some(100_000);
+    let reports: Vec<_> = [1usize, 2, 4]
+        .iter()
+        .map(|&t| run_sharded(&mc, t))
+        .collect();
+    for (r, t) in reports.iter().zip([1usize, 2, 4]).skip(1) {
+        assert_eq!(
+            r.obs.spans.digest(),
+            reports[0].obs.spans.digest(),
+            "{t}-thread histogram merge diverged from 1-thread"
+        );
+        assert_eq!(
+            r.obs.digest(),
+            reports[0].obs.digest(),
+            "{t}-thread obs recordings diverged from 1-thread"
+        );
+    }
+    assert!(
+        !reports[0].obs.snapshots.is_empty(),
+        "sharded snapshot exporter must fire"
+    );
+    println!(
+        "sharded determinism: obs digest {:#018x} (spans {:#018x}) identical \
+         on 1/2/4 threads; {} snapshots, {} events",
+        reports[0].obs.digest(),
+        reports[0].obs.spans.digest(),
+        reports[0].obs.snapshots.len(),
+        reports[0].obs.events.len(),
+    );
+    dump.dump("obs_sharded", &reports[0].obs);
+
+    let mut json = JsonObject::new()
+        .field("sim_duration_secs", &secs)
+        .field("seed", &seed)
+        .field("smoke", &smoke)
+        .field("null_sink_overhead_pct", &(overhead * 100.0))
+        .field("plain_wall_secs", &plain_best)
+        .field("observed_wall_secs", &observed_best)
+        .field(
+            "sharded_obs_digest",
+            &format!("{:#018x}", reports[0].obs.digest()),
+        )
+        .field("sharded_obs_thread_counts", "1/2/4 identical");
+    if let Some((wall, baseline, vs)) = null_vs_baseline {
+        json = json.field_raw(
+            "null_sink_vs_prepr_baseline",
+            &JsonObject::new()
+                .field("batch_wall_secs", &wall)
+                .field("prepr_wall_secs", &baseline)
+                .field("overhead_pct", &(vs * 100.0))
+                .build(),
+        );
+    }
+    for (label, m, obs, rows) in &sections {
+        let e2e = m.reads.latency_hist().sum() + m.writes.latency_hist().sum();
+        json = json.field_raw(
+            &format!("phases_{}", label.to_lowercase()),
+            &JsonObject::new()
+                .field("committed", &(m.reads.successes + m.writes.successes))
+                .field("e2e_sum_us", &e2e)
+                .field("span_sum_us", &obs.spans.total_us())
+                .field("exact_reconciliation", &(obs.spans.total_us() == e2e))
+                .field(
+                    "retry_share",
+                    &(obs.spans.hist(Phase::RetryBackoff).sum() as f64
+                        / (obs.spans.total_us() as f64).max(1.0)),
+                )
+                .field_raw("phases", &serde_json::array_raw(rows.clone()))
+                .build(),
+        );
+    }
+    std::fs::create_dir_all("results").expect("create results/");
+    std::fs::write("results/BENCH_obs.json", json.build()).expect("write BENCH_obs.json");
+    println!("\nwrote results/BENCH_obs.json");
+
+    println!(
+        "\nExpected shape: LAN ops are gather-dominated with a tight tail; WAN \
+         ops inherit the log-normal tail in both quorum phases; the outage \
+         window moves an order of magnitude of latency into retry_backoff; and \
+         the phase sums reconcile with end-to-end latency exactly."
+    );
+}

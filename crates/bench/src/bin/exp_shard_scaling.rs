@@ -24,7 +24,7 @@
 use std::sync::Arc;
 use std::time::Instant;
 
-use qc_bench::{flag_value, row, rule};
+use qc_bench::{flag_value, obs_flags, row, rule};
 use qc_sim::{
     check_trace, default_threads, run_sharded, run_sharded_traced, ContactPolicy, ItemDist,
     MultiConfig, SimTime, Workload,
@@ -76,15 +76,32 @@ fn main() {
          zipf {theta}, {secs} s simulated, {threads} threads)\n"
     );
 
-    // 1. Determinism: bit-identical report digest across thread counts.
-    let det_cfg = config(items, max_shards.min(items), secs.min(2), seed, theta);
+    // `--obs-dir DIR` / `--snapshot-every SECS`: run the determinism
+    // configuration instrumented too; the merged ObsReport is part of the
+    // cross-thread-count identity check below.
+    let obs = obs_flags();
+
+    // 1. Determinism: bit-identical report digest across thread counts —
+    // including the merged observability recordings when enabled.
+    let mut det_cfg = config(items, max_shards.min(items), secs.min(2), seed, theta);
+    det_cfg.obs = obs.options();
     let mut digests = Vec::new();
+    let mut obs_digests = Vec::new();
     for t in [1usize, 2, 4] {
-        digests.push(run_sharded(&det_cfg, t).digest());
+        let r = run_sharded(&det_cfg, t);
+        digests.push(r.digest());
+        obs_digests.push(r.obs.digest());
+        if t == 1 {
+            obs.dump("shard_scaling", &r.obs);
+        }
     }
     assert!(
         digests.windows(2).all(|w| w[0] == w[1]),
         "digest diverged across thread counts: {digests:x?}"
+    );
+    assert!(
+        obs_digests.windows(2).all(|w| w[0] == w[1]),
+        "obs recordings diverged across thread counts: {obs_digests:x?}"
     );
     println!(
         "determinism: digest {:#018x} identical on 1/2/4 threads",

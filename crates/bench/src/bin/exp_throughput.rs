@@ -22,7 +22,7 @@ use std::time::Instant;
 use ioa::{ExploreLimits, ReplayStrategy};
 use nested_txn::Value;
 use qc_bench::{
-    contention_spec, dump_trace, faults_flag, flag_value, row, rule, trace_dir_flag,
+    contention_spec, dump_trace, faults_flag, flag_value, obs_flags, row, rule, trace_dir_flag,
     trace_file_stem,
 };
 use qc_cc::{check_theorem11, CcRunOptions};
@@ -30,8 +30,9 @@ use qc_replication::{
     verify_exhaustive_with, ConfigChoice, ItemSpec, SystemSpec, UserSpec, UserStep,
 };
 use qc_sim::{
-    check_trace, default_threads, par_map, run_batch, run_sharded, run_traced, ContactPolicy,
-    FaultPlan, ItemDist, Metrics, MultiConfig, SimConfig, SimTime, Workload,
+    check_trace, default_threads, par_map, run, run_batch, run_observed, run_sharded,
+    run_traced, ContactPolicy, FaultPlan, ItemDist, Metrics, MultiConfig, SimConfig, SimTime,
+    Workload,
 };
 use quorum::{Majority, QuorumSpec, Rowa};
 use serde_json::JsonObject;
@@ -94,6 +95,9 @@ fn main() {
     let threads = flag_value("--threads")
         .map(|s| s.parse().expect("--threads takes an integer"))
         .unwrap_or_else(default_threads);
+    // `--obs-dir DIR` / `--snapshot-every SECS` instrument every cell and
+    // dump its event log + snapshots under DIR.
+    let obs = obs_flags();
     println!(
         "Q3a — simulated throughput vs read fraction (n = 5, 8 clients, LAN, \
          {threads}-thread sweep)\n"
@@ -101,12 +105,13 @@ fn main() {
     if !faults.is_empty() {
         println!("injected fault plan: {faults}\n");
     }
-    let widths = [14, 8, 14, 12, 12];
+    let widths = [14, 8, 12, 12, 12, 12];
     row(
         &[
             "quorum".into(),
             "reads".into(),
-            "ops/sec".into(),
+            "ops/sim-s".into(),
+            "ops/wall-s".into(),
             "read p50".into(),
             "write p50".into(),
         ],
@@ -115,14 +120,19 @@ fn main() {
     rule(&widths);
 
     let grid = sim_grid(&faults, seed, secs);
-    let metrics: Vec<Metrics> = match trace_dir_flag() {
+    // Each cell reports (metrics, its own wall-clock seconds): simulated
+    // throughput is the model's prediction, wall throughput is what the
+    // simulator itself sustains — reported side by side below.
+    let timed: Vec<(Metrics, f64)> = match trace_dir_flag() {
         Some(dir) => {
             // Traced cells run serially (identical metrics); each trace is
             // dumped as JSON and must pass the Theorem 10 conformance check.
             std::fs::create_dir_all(&dir).expect("create --trace-dir");
             grid.iter()
                 .map(|(label, rf, c)| {
+                    let start = Instant::now();
                     let (m, trace) = run_traced(c.clone());
+                    let wall = start.elapsed().as_secs_f64();
                     let name = format!(
                         "throughput_{}_rf{}.json",
                         trace_file_stem(label),
@@ -138,28 +148,65 @@ fn main() {
                         report.events,
                         report.committed
                     );
-                    m
+                    (m, wall)
+                })
+                .collect()
+        }
+        None if obs.enabled() => {
+            // Observed cells: same sweep, with instrumentation on; the
+            // recordings are dumped per cell under `--obs-dir`.
+            let options = obs.options();
+            let cells: Vec<(String, f64, SimConfig)> = grid
+                .iter()
+                .map(|(l, rf, c)| {
+                    let mut c = c.clone();
+                    c.obs = options;
+                    (l.clone(), *rf, c)
+                })
+                .collect();
+            let outs = par_map(cells, threads, |_, (_, _, c)| {
+                let start = Instant::now();
+                let out = run_observed(c);
+                (out, start.elapsed().as_secs_f64())
+            });
+            outs.into_iter()
+                .zip(&grid)
+                .map(|(((m, report), wall), (label, rf, _))| {
+                    let stem = format!(
+                        "throughput_{}_rf{}",
+                        trace_file_stem(label),
+                        (rf * 100.0) as u32
+                    );
+                    obs.dump(&stem, &report);
+                    (m, wall)
                 })
                 .collect()
         }
         None => {
             let configs: Vec<SimConfig> = grid.iter().map(|(_, _, c)| c.clone()).collect();
-            run_batch(configs, threads)
+            par_map(configs, threads, |_, c| {
+                let start = Instant::now();
+                let m = run(c);
+                (m, start.elapsed().as_secs_f64())
+            })
         }
     };
     let mut sim_rows = Vec::new();
     let mut prev_label = None;
-    for ((label, rf, _), m) in grid.iter().zip(&metrics) {
+    for ((label, rf, _), (m, wall)) in grid.iter().zip(&timed) {
         if prev_label.is_some() && prev_label != Some(label) {
             rule(&widths);
         }
         prev_label = Some(label);
         let ops = m.throughput_ops_per_sec(SimTime::from_secs(secs));
+        let committed = m.reads.successes + m.writes.successes;
+        let wall_ops = committed as f64 / wall.max(1e-9);
         row(
             &[
                 label.clone(),
                 format!("{rf:.2}"),
                 format!("{ops:.0}"),
+                format!("{wall_ops:.0}"),
                 format!("{:.2}ms", m.reads.percentile_ms(50.0)),
                 format!("{:.2}ms", m.writes.percentile_ms(50.0)),
             ],
@@ -169,7 +216,9 @@ fn main() {
             JsonObject::new()
                 .field("quorum", label.as_str())
                 .field("read_fraction", rf)
-                .field("ops_per_sec", &ops)
+                .field("ops_per_sim_sec", &ops)
+                .field("ops_per_wall_sec", &wall_ops)
+                .field("wall_secs", wall)
                 .build(),
         );
     }
@@ -200,7 +249,9 @@ fn main() {
         mc.duration = SimTime::from_secs(secs);
         mc.seed = seed;
         mc.faults = faults.clone();
+        mc.obs = obs.options();
         let report = run_sharded(&mc, threads);
+        obs.dump("throughput_sharded", &report.obs);
         let ops = report
             .metrics
             .throughput_ops_per_sec(SimTime::from_secs(secs));

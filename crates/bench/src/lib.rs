@@ -31,6 +31,70 @@ pub fn faults_flag() -> Option<qc_sim::FaultPlan> {
     })
 }
 
+/// Parsed observability flags shared by the experiment binaries:
+/// `--obs-dir DIR` turns on the full instrumentation (per-phase spans +
+/// structured event log + periodic snapshots) and dumps the recordings
+/// under DIR; `--snapshot-every SECS` sets the snapshot period in
+/// *simulated* seconds (implies instrumentation even without a dir).
+pub struct ObsFlags {
+    /// Dump directory (`--obs-dir`), created eagerly when given.
+    pub dir: Option<std::path::PathBuf>,
+    /// Snapshot period in simulated seconds (`--snapshot-every`).
+    pub every_secs: Option<f64>,
+}
+
+/// Parse `--obs-dir` / `--snapshot-every` from this process's arguments.
+pub fn obs_flags() -> ObsFlags {
+    let dir = flag_value("--obs-dir").map(std::path::PathBuf::from);
+    let every_secs = flag_value("--snapshot-every").map(|s| {
+        let v: f64 = s.parse().expect("--snapshot-every takes seconds");
+        assert!(v > 0.0, "--snapshot-every must be positive");
+        v
+    });
+    if let Some(d) = &dir {
+        std::fs::create_dir_all(d).expect("create --obs-dir");
+    }
+    ObsFlags { dir, every_secs }
+}
+
+impl ObsFlags {
+    /// Whether any observability output was requested.
+    pub fn enabled(&self) -> bool {
+        self.dir.is_some() || self.every_secs.is_some()
+    }
+
+    /// The [`qc_sim::ObsOptions`] these flags imply: disabled when neither
+    /// flag was given, otherwise spans + full event log + snapshots every
+    /// `--snapshot-every` (default 1) simulated seconds.
+    pub fn options(&self) -> qc_sim::ObsOptions {
+        if !self.enabled() {
+            return qc_sim::ObsOptions::disabled();
+        }
+        let mut o = qc_sim::ObsOptions::full();
+        if let Some(secs) = self.every_secs {
+            o.snapshot_every_us = Some((secs * 1e6) as u64);
+        }
+        o
+    }
+
+    /// Write `obs` under `--obs-dir` as `<stem>.events.jsonl` and
+    /// `<stem>.snapshots.json`; no-op when the flag is absent.
+    pub fn dump(&self, stem: &str, obs: &qc_sim::ObsReport) {
+        let Some(dir) = &self.dir else { return };
+        let events = dir.join(format!("{stem}.events.jsonl"));
+        std::fs::write(&events, obs.events_jsonl()).expect("write events jsonl");
+        let snaps = dir.join(format!("{stem}.snapshots.json"));
+        std::fs::write(&snaps, obs.snapshots_json()).expect("write snapshots json");
+        println!(
+            "obs: {} ({} events, {} snapshots) + {}",
+            events.display(),
+            obs.events.len(),
+            obs.snapshots.len(),
+            snaps.display()
+        );
+    }
+}
+
 /// Parse a `--trace-dir DIR` argument: the directory into which an
 /// experiment binary dumps one JSON schedule trace per simulator cell and
 /// replays each through the Theorem 10 conformance checker. `None` (the

@@ -1,0 +1,131 @@
+//! Property tests: `Histogram::merge` is commutative and associative
+//! over arbitrary sample splits (the sim-side digest-equality tests
+//! only cover the 1/2/4-thread shard partitions; here the partition
+//! itself is arbitrary), and quantiles stay within the documented
+//! log-bucket error bound.
+//!
+//! Case budget: `PROPTEST_CASES` (see `scripts/tier1.sh`), default 256.
+
+use proptest::prelude::*;
+use qc_obs::{Histogram, Phase, SpanRecorder, PHASES};
+
+fn from_samples(samples: &[u64]) -> Histogram {
+    let mut h = Histogram::new();
+    for &s in samples {
+        h.record(s);
+    }
+    h
+}
+
+/// Latency-like magnitudes: everything from sub-µs to ~18 hours.
+fn sample_strategy() -> impl Strategy<Value = u64> {
+    (0u64..64, 0u32..36).prop_map(|(m, shift)| m << shift)
+}
+
+proptest! {
+    /// merge(A, B) == merge(B, A), bit-for-bit (state, JSON and digest).
+    #[test]
+    fn histogram_merge_commutative(
+        a in prop::collection::vec(sample_strategy(), 0..200),
+        b in prop::collection::vec(sample_strategy(), 0..200),
+    ) {
+        let (ha, hb) = (from_samples(&a), from_samples(&b));
+        let mut ab = ha.clone();
+        ab.merge(&hb);
+        let mut ba = hb.clone();
+        ba.merge(&ha);
+        prop_assert_eq!(&ab, &ba);
+        prop_assert_eq!(ab.to_json(), ba.to_json());
+        prop_assert_eq!(ab.digest(), ba.digest());
+    }
+
+    /// merge(merge(A, B), C) == merge(A, merge(B, C)), and both equal
+    /// the histogram built from the concatenated samples — so *any*
+    /// shard split of a sample stream reduces to the same histogram.
+    #[test]
+    fn histogram_merge_associative_and_split_invariant(
+        samples in prop::collection::vec(sample_strategy(), 0..300),
+        cut1 in 0.0f64..1.0,
+        cut2 in 0.0f64..1.0,
+    ) {
+        let i = (cut1 * samples.len() as f64) as usize;
+        let j = i + ((cut2 * (samples.len() - i.min(samples.len())) as f64) as usize);
+        let (a, rest) = samples.split_at(i.min(samples.len()));
+        let (b, c) = rest.split_at((j - i).min(rest.len()));
+        let (ha, hb, hc) = (from_samples(a), from_samples(b), from_samples(c));
+
+        let mut left = ha.clone();
+        left.merge(&hb);
+        left.merge(&hc);
+
+        let mut bc = hb.clone();
+        bc.merge(&hc);
+        let mut right = ha.clone();
+        right.merge(&bc);
+
+        let whole = from_samples(&samples);
+        prop_assert_eq!(&left, &right);
+        prop_assert_eq!(&left, &whole);
+        prop_assert_eq!(left.to_json(), whole.to_json());
+        prop_assert_eq!(left.digest(), whole.digest());
+    }
+
+    /// Exact scalars are exact; quantiles respect the <0.8% bucket
+    /// error bound relative to a sorted-sample oracle.
+    #[test]
+    fn histogram_tracks_oracle(
+        raw in prop::collection::vec(sample_strategy(), 1..300),
+    ) {
+        let h = from_samples(&raw);
+        let mut samples = raw;
+        samples.sort_unstable();
+        prop_assert_eq!(h.count(), samples.len() as u64);
+        prop_assert_eq!(h.min(), samples[0]);
+        prop_assert_eq!(h.max(), *samples.last().unwrap());
+        let sum: u64 = samples.iter().fold(0u64, |acc, &v| acc.saturating_add(v));
+        prop_assert_eq!(h.sum(), sum);
+
+        for q in [0.5, 0.9, 0.99, 1.0] {
+            let rank = ((q * samples.len() as f64).ceil() as usize).clamp(1, samples.len());
+            let exact = samples[rank - 1];
+            let got = h.quantile(q);
+            // Same bucket ⇒ relative error below 1/128; allow equality
+            // for the exact small-value buckets.
+            let tol = (exact as f64 / 128.0).max(0.0);
+            prop_assert!(
+                (got as f64 - exact as f64).abs() <= tol,
+                "q={} got={} exact={}", q, got, exact
+            );
+        }
+    }
+
+    /// SpanRecorder::merge inherits split-invariance phase-by-phase.
+    #[test]
+    fn span_recorder_split_invariant(
+        spans in prop::collection::vec((0usize..5, sample_strategy()), 0..200),
+        cut in 0.0f64..1.0,
+    ) {
+        let i = (cut * spans.len() as f64) as usize;
+        let mut whole = SpanRecorder::new();
+        for &(p, d) in &spans {
+            whole.record(PHASES[p], d);
+        }
+        let mut left = SpanRecorder::new();
+        for &(p, d) in &spans[..i] {
+            left.record(PHASES[p], d);
+        }
+        let mut right = SpanRecorder::new();
+        for &(p, d) in &spans[i..] {
+            right.record(PHASES[p], d);
+        }
+        let mut merged = left.clone();
+        merged.merge(&right);
+        let mut rev = right;
+        rev.merge(&left);
+        prop_assert_eq!(&merged, &whole);
+        prop_assert_eq!(&rev, &whole);
+        prop_assert_eq!(merged.digest(), whole.digest());
+        prop_assert_eq!(merged.total_us(), whole.total_us());
+        let _ = merged.hist(Phase::ReadGather);
+    }
+}

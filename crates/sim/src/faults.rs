@@ -410,27 +410,37 @@ fn parse_ms(s: &str) -> Result<SimTime, ()> {
     Ok(SimTime(us))
 }
 
+impl FaultEvent {
+    /// The plan-grammar rendering of this event firing at `at` — the same
+    /// fragment `Display for FaultPlan` emits (and [`FaultPlan::parse`]
+    /// accepts). The structured event log uses this as the fault
+    /// description, so log entries and plan flags share one vocabulary.
+    pub fn text(&self, at: SimTime) -> String {
+        let ms = format_ms(at);
+        match *self {
+            FaultEvent::Crash { site } => format!("crash@{ms}:{site}"),
+            FaultEvent::Recover { site } => format!("recover@{ms}:{site}"),
+            FaultEvent::AbortClient { client } => format!("abort@{ms}:{client}"),
+            FaultEvent::Corrupt { site, vn, value } => {
+                format!("corrupt@{ms}:{site},{vn},{value}")
+            }
+            FaultEvent::DropWindow { duration, permille } => {
+                format!("drop@{ms}:{},{permille}", format_ms(duration))
+            }
+            FaultEvent::DelayWindow { duration, extra } => {
+                format!("delay@{ms}:{},{}", format_ms(duration), format_ms(extra))
+            }
+        }
+    }
+}
+
 impl fmt::Display for FaultPlan {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         for (i, &(at, e)) in self.events.iter().enumerate() {
             if i > 0 {
                 write!(f, "; ")?;
             }
-            let ms = format_ms(at);
-            match e {
-                FaultEvent::Crash { site } => write!(f, "crash@{ms}:{site}")?,
-                FaultEvent::Recover { site } => write!(f, "recover@{ms}:{site}")?,
-                FaultEvent::AbortClient { client } => write!(f, "abort@{ms}:{client}")?,
-                FaultEvent::Corrupt { site, vn, value } => {
-                    write!(f, "corrupt@{ms}:{site},{vn},{value}")?;
-                }
-                FaultEvent::DropWindow { duration, permille } => {
-                    write!(f, "drop@{ms}:{},{permille}", format_ms(duration))?;
-                }
-                FaultEvent::DelayWindow { duration, extra } => {
-                    write!(f, "delay@{ms}:{},{}", format_ms(duration), format_ms(extra))?;
-                }
-            }
+            write!(f, "{}", e.text(at))?;
         }
         Ok(())
     }

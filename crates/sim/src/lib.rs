@@ -49,6 +49,10 @@ pub use qc_replication::{
     check_trace, AbortReason, ConformanceReport, Divergence, DivergenceKind, ScheduleTrace,
     TmKind, TraceAction, TraceEvent, TraceTid,
 };
-pub use sim::{run, run_traced, ContactPolicy, SimConfig, Simulation};
+pub use qc_obs::{
+    EventKind, EventLogMode, Histogram, ObsEvent, ObsOptions, ObsReport, OpRef, Phase,
+    Snapshot, SpanRecorder, PHASES,
+};
+pub use sim::{run, run_observed, run_traced, ContactPolicy, SimConfig, Simulation};
 pub use time::SimTime;
 pub use trace::{trace_to_json, TraceRecorder};

@@ -1,5 +1,6 @@
 //! Operation metrics and summaries.
 
+use qc_obs::Histogram;
 use serde::Serialize;
 
 use crate::time::SimTime;
@@ -24,6 +25,11 @@ pub struct OpStats {
     /// Operations forcibly aborted by an injected fault.
     pub aborted: u64,
     latencies_us: Vec<u64>,
+    /// Log-bucketed success-latency histogram (µs). Kept alongside the
+    /// raw samples: the samples give exact percentiles for reports, the
+    /// histogram gives O(1)-memory live percentiles for snapshots plus
+    /// exact count/sum/min/max for the observability reconciliation.
+    hist: Histogram,
 }
 
 impl OpStats {
@@ -33,6 +39,7 @@ impl OpStats {
         self.successes += 1;
         self.messages += messages;
         self.latencies_us.push(latency.as_micros());
+        self.hist.record(latency.as_micros());
     }
 
     /// Record a failed operation (final attempt timed out).
@@ -112,9 +119,17 @@ impl OpStats {
         self.unavailable += other.unavailable;
         self.aborted += other.aborted;
         self.latencies_us.extend_from_slice(&other.latencies_us);
+        self.hist.merge(&other.hist);
     }
 
-    /// Condensed summary for reports.
+    /// The log-bucketed success-latency histogram (microseconds).
+    pub fn latency_hist(&self) -> &Histogram {
+        &self.hist
+    }
+
+    /// Condensed summary for reports. The tail fields come from the
+    /// embedded histogram: `p999_ms` is bucketed (<0.8% relative error),
+    /// `max_ms` is exact.
     pub fn summary(&self) -> OpSummary {
         OpSummary {
             attempts: self.attempts,
@@ -124,6 +139,8 @@ impl OpStats {
             p50_ms: self.percentile_ms(50.0),
             p95_ms: self.percentile_ms(95.0),
             p99_ms: self.percentile_ms(99.0),
+            p999_ms: self.hist.p999() as f64 / 1_000.0,
+            max_ms: self.hist.max() as f64 / 1_000.0,
             messages_per_op: self.messages_per_op(),
             retries: self.retries,
             timeouts: self.timeouts,
@@ -150,6 +167,10 @@ pub struct OpSummary {
     pub p95_ms: f64,
     /// 99th-percentile latency (ms).
     pub p99_ms: f64,
+    /// 99.9th-percentile latency (ms), from the log-bucketed histogram.
+    pub p999_ms: f64,
+    /// Maximum success latency (ms), exact.
+    pub max_ms: f64,
     /// Mean messages per attempted operation.
     pub messages_per_op: f64,
     /// Extra attempts after failures.
@@ -173,6 +194,8 @@ impl Serialize for OpSummary {
                 .field("p50_ms", &self.p50_ms)
                 .field("p95_ms", &self.p95_ms)
                 .field("p99_ms", &self.p99_ms)
+                .field("p999_ms", &self.p999_ms)
+                .field("max_ms", &self.max_ms)
                 .field("messages_per_op", &self.messages_per_op)
                 .field("retries", &self.retries)
                 .field("timeouts", &self.timeouts)

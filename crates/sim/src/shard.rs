@@ -59,6 +59,10 @@ use rand::Rng;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 
+use qc_obs::{
+    EventKind, EventSink, ObsEvent, ObsOptions, ObsReport, OpRef, Phase, Snapshot,
+    SnapshotExporter,
+};
 use qc_replication::{
     AbortReason, LemmaChecker, ScheduleTrace, TmKind, TraceAction, TraceTid,
 };
@@ -138,6 +142,11 @@ pub struct MultiConfig {
     pub retry: RetryPolicy,
     /// Assert Lemmas 7/8 per item after every committed operation.
     pub monitor: bool,
+    /// Observability options. Each shard records privately (events and
+    /// snapshots tagged with the shard index) and the per-shard reports
+    /// are merged in shard-index order, so the aggregate
+    /// [`ShardReport::obs`] is bit-identical for any thread count.
+    pub obs: ObsOptions,
 }
 
 impl std::fmt::Debug for MultiConfig {
@@ -175,6 +184,7 @@ impl MultiConfig {
             faults: FaultPlan::new(),
             retry: RetryPolicy::default(),
             monitor: true,
+            obs: ObsOptions::disabled(),
         }
     }
 
@@ -218,6 +228,11 @@ pub struct ShardReport {
     pub item_commits: Vec<u64>,
     /// Final committed version number per global item.
     pub item_vns: Vec<u64>,
+    /// Observability recordings merged in shard-index order (empty unless
+    /// [`MultiConfig::obs`] enables something). Not part of
+    /// [`ShardReport::digest`], which hashes committed behaviour only;
+    /// [`ObsReport::digest`] covers the recordings themselves.
+    pub obs: ObsReport,
 }
 
 impl ShardReport {
@@ -292,6 +307,12 @@ struct PendingOp {
     attempt: u32,
     started: SimTime,
     messages: u64,
+    /// Per-phase simulated-µs accumulators across attempts (see sim.rs:
+    /// `gather + install + backoff` equals the op's end-to-end latency
+    /// exactly if it commits).
+    gather_us: u64,
+    install_us: u64,
+    backoff_us: u64,
 }
 
 struct PhaseOutcome {
@@ -308,6 +329,8 @@ struct ShardOutcome {
     items: Vec<(usize, u64, u64)>,
     /// Per-owned-item schedule traces (same order as `items`), when traced.
     traces: Option<Vec<(usize, ScheduleTrace)>>,
+    /// This shard's observability recordings.
+    obs: ObsReport,
 }
 
 /// One shard's event loop over its slice of the keyspace.
@@ -346,6 +369,12 @@ struct ShardSim<'a> {
     recorders: Option<Vec<TraceRecorder>>,
     metrics: Metrics,
     item_commits: Vec<u64>,
+    /// This shard's index, stamped on events and snapshots.
+    shard: u32,
+    /// Observability recordings (per `config.obs`).
+    obs: ObsReport,
+    /// Periodic snapshot schedule, when enabled.
+    snap: Option<SnapshotExporter>,
 }
 
 impl<'a> ShardSim<'a> {
@@ -400,6 +429,9 @@ impl<'a> ShardSim<'a> {
             recorders,
             metrics: Metrics::default(),
             item_commits: vec![0; local],
+            shard: shard as u32,
+            obs: ObsReport::new(&config.obs),
+            snap: config.obs.snapshot_every_us.map(SnapshotExporter::new),
         };
         for c in 0..cps {
             // Stagger client starts to avoid phase lock (same policy as the
@@ -425,6 +457,9 @@ impl<'a> ShardSim<'a> {
             if t > self.config.duration {
                 break;
             }
+            // Snapshot boundaries fire before the event at `t`, exactly as
+            // in the single-item simulator.
+            self.fire_snapshots_through(t);
             self.now = t;
             match e.unpack() {
                 Event::OpStart { client } => self.handle_op(client),
@@ -432,13 +467,14 @@ impl<'a> ShardSim<'a> {
                 Event::PlanFault { idx } => self.handle_plan_fault(idx),
             }
         }
+        self.fire_snapshots_through(self.config.duration);
+        self.now = self.config.duration;
         // Every owned item's stores must satisfy the lemmas at quiescence.
         if self.config.monitor {
             for item in 0..self.checkers.len() {
                 if let Err(v) = self.check_item(item) {
                     let g = self.global_items[item];
-                    self.metrics
-                        .record_violation(format!("end-of-run item={g}: {v}"));
+                    self.record_violation_observed(format!("end-of-run item={g}: {v}"), None);
                 }
             }
         }
@@ -460,7 +496,59 @@ impl<'a> ShardSim<'a> {
             metrics: self.metrics,
             items,
             traces,
+            obs: self.obs,
         }
+    }
+
+    /// Emit every due snapshot with boundary time ≤ `t`.
+    fn fire_snapshots_through(&mut self, t: SimTime) {
+        loop {
+            let due = match self.snap.as_mut() {
+                Some(s) => s.next_due(t.as_micros()),
+                None => return,
+            };
+            let Some(at_us) = due else { return };
+            let snap = Snapshot {
+                at_us,
+                shard: self.shard,
+                ops_done: self.metrics.reads.successes + self.metrics.writes.successes,
+                in_flight: self.pending.iter().filter(|p| p.is_some()).count() as u64,
+                violations: self.metrics.lemma_violations,
+                read_p50_us: self.metrics.reads.latency_hist().p50(),
+                read_p99_us: self.metrics.reads.latency_hist().p99(),
+                write_p50_us: self.metrics.writes.latency_hist().p50(),
+                write_p99_us: self.metrics.writes.latency_hist().p99(),
+            };
+            self.obs.snapshots.push(snap);
+            if self.obs.events.enabled() {
+                self.obs.events.emit(ObsEvent {
+                    at_us,
+                    shard: self.shard,
+                    kind: EventKind::Snapshot(snap),
+                });
+            }
+        }
+    }
+
+    /// Log a structured event at the current simulated instant.
+    fn emit_obs(&mut self, kind: EventKind) {
+        let at_us = self.now.as_micros();
+        self.obs.events.emit(ObsEvent {
+            at_us,
+            shard: self.shard,
+            kind,
+        });
+    }
+
+    /// Record a lemma violation in the metrics and the event log.
+    fn record_violation_observed(&mut self, description: String, op: Option<OpRef>) {
+        if self.obs.events.enabled() {
+            self.emit_obs(EventKind::Violation {
+                desc: description.clone(),
+                op,
+            });
+        }
+        self.metrics.record_violation(description);
     }
 
     /// Assert Lemmas 7 and 8(1a)/8(1b) against one item's stores.
@@ -476,7 +564,12 @@ impl<'a> ShardSim<'a> {
 
     fn handle_plan_fault(&mut self, idx: usize) {
         self.metrics.injected_faults += 1;
-        match self.plan.events()[idx].1 {
+        let (at, event) = self.plan.events()[idx];
+        if self.obs.events.enabled() {
+            let desc = event.text(at);
+            self.emit_obs(EventKind::Fault { desc });
+        }
+        match event {
             FaultEvent::Crash { site } => {
                 if self.up[site] {
                     self.up[site] = false;
@@ -496,8 +589,10 @@ impl<'a> ShardSim<'a> {
                 if self.config.monitor {
                     if let Err(v) = self.check_item(0) {
                         let now = self.now;
-                        self.metrics
-                            .record_violation(format!("t={now} corrupt injection: {v}"));
+                        self.record_violation_observed(
+                            format!("t={now} corrupt injection: {v}"),
+                            None,
+                        );
                     }
                 }
             }
@@ -652,6 +747,9 @@ impl<'a> ShardSim<'a> {
             attempt: 1,
             started: self.now,
             messages: 0,
+            gather_us: 0,
+            install_us: 0,
+            backoff_us: 0,
         });
         self.attempt_op(client);
     }
@@ -675,7 +773,7 @@ impl<'a> ShardSim<'a> {
 
     /// Run one attempt of local `client`'s pending operation.
     fn attempt_op(&mut self, client: usize) {
-        let op = match self.pending[client].take() {
+        let mut op = match self.pending[client].take() {
             Some(op) => op,
             None => return,
         };
@@ -731,6 +829,7 @@ impl<'a> ShardSim<'a> {
                 return;
             }
         };
+        op.gather_us += out1.elapsed.as_micros();
         if !out1.ok {
             self.finish_failed_attempt(client, op, out1.elapsed, out1.messages, false);
             return;
@@ -776,6 +875,7 @@ impl<'a> ShardSim<'a> {
                 return;
             }
         };
+        op.install_us += out2.elapsed.as_micros();
         let elapsed = out1.elapsed + out2.elapsed;
         let messages = out1.messages + out2.messages;
         if !out2.ok {
@@ -837,6 +937,24 @@ impl<'a> ShardSim<'a> {
             &mut self.metrics.writes
         };
         stats.record_success(total, messages);
+        if self.config.obs.spans {
+            // Exact reconciliation, as in the single-item simulator
+            // (see sim.rs `commit_op` and DESIGN.md §5.4).
+            debug_assert_eq!(
+                op.gather_us + op.install_us + op.backoff_us,
+                total.as_micros(),
+                "phase spans must reconcile exactly with end-to-end latency"
+            );
+            self.obs.spans.record(Phase::ReadGather, op.gather_us);
+            self.obs.spans.record(Phase::VnResolve, 0);
+            if !op.read {
+                self.obs.spans.record(Phase::WriteInstall, op.install_us);
+            }
+            self.obs.spans.record(Phase::CommitRound, 0);
+            if op.backoff_us > 0 {
+                self.obs.spans.record(Phase::RetryBackoff, op.backoff_us);
+            }
+        }
         self.item_commits[op.item] += 1;
         if self.config.monitor {
             let stores = &self.stores[op.item * self.n..(op.item + 1) * self.n];
@@ -858,10 +976,16 @@ impl<'a> ShardSim<'a> {
                 let kind = if op.read { "read" } else { "write" };
                 let g = self.global_items[op.item];
                 let c = self.client_base + client;
-                self.metrics.record_violation(format!(
-                    "t={} item={g} client={c} {kind}: {v}",
-                    self.now
-                ));
+                let desc = format!("t={} item={g} client={c} {kind}: {v}", self.now);
+                let op_ref = OpRef {
+                    client: c as u64,
+                    op: op.op_index,
+                    attempt: op.attempt,
+                    kind,
+                    vn,
+                    value,
+                };
+                self.record_violation_observed(desc, Some(op_ref));
             }
         }
         if let Workload::Closed { think } = self.config.workload {
@@ -901,6 +1025,10 @@ impl<'a> ShardSim<'a> {
             // Never reschedule at the current instant (see sim.rs).
             let delay = (attempt_elapsed + self.config.retry.backoff_before(op.attempt))
                 .max(SimTime(1));
+            // Everything past the attempt's own elapsed time is backoff
+            // (including the SimTime(1) floor), so phase spans reconcile
+            // exactly with end-to-end latency on eventual commit.
+            op.backoff_us += (delay - attempt_elapsed).as_micros();
             self.pending[client] = Some(op);
             self.schedule(delay, Event::Retry { client });
             return;
@@ -929,8 +1057,13 @@ fn merge_outcomes(
     let mut item_commits = vec![0u64; config.items];
     let mut item_vns = vec![0u64; config.items];
     let mut traces: Option<Vec<Option<ScheduleTrace>>> = None;
+    // `par_map` returns outcomes in input (shard-index) order regardless
+    // of thread count, so absorbing in iteration order keeps the merged
+    // ObsReport bit-identical across thread counts.
+    let mut obs = ObsReport::new(&config.obs);
     for out in outcomes {
         metrics.merge(&out.metrics);
+        obs.absorb(out.obs);
         for (g, commits, vn) in out.items {
             item_commits[g] = commits;
             item_vns[g] = vn;
@@ -953,6 +1086,7 @@ fn merge_outcomes(
             metrics,
             item_commits,
             item_vns,
+            obs,
         },
         traces,
     )

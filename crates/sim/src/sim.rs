@@ -54,6 +54,10 @@ use rand::Rng;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 
+use qc_obs::{
+    EventKind, EventSink, ObsEvent, ObsOptions, ObsReport, OpRef, Phase, Snapshot,
+    SnapshotExporter,
+};
 use qc_replication::{AbortReason, ScheduleTrace, TmKind, TraceAction, TraceTid};
 
 use crate::faults::{message_dropped, FaultEvent, FaultPlan, RetryPolicy};
@@ -108,6 +112,11 @@ pub struct SimConfig {
     pub monitor: bool,
     /// Record every committed operation in `Metrics::history`.
     pub record_history: bool,
+    /// Observability options: per-phase spans, structured event log,
+    /// periodic snapshots (all disabled by default; recording draws
+    /// nothing from the RNG stream, so an observed run is event-for-event
+    /// identical to an unobserved one).
+    pub obs: ObsOptions,
 }
 
 impl std::fmt::Debug for SimConfig {
@@ -141,6 +150,7 @@ impl SimConfig {
             retry: RetryPolicy::default(),
             monitor: true,
             record_history: false,
+            obs: ObsOptions::disabled(),
         }
     }
 }
@@ -194,6 +204,14 @@ struct PendingOp {
     started: SimTime,
     /// Messages accumulated by earlier failed attempts.
     messages: u64,
+    /// Simulated µs spent gathering read quorums, across all attempts.
+    gather_us: u64,
+    /// Simulated µs spent installing at write quorums, across attempts.
+    install_us: u64,
+    /// Simulated µs of retry backoff beyond the failed attempts' own
+    /// phase time (so `gather + install + backoff` is exactly the
+    /// operation's end-to-end latency if it commits).
+    backoff_us: u64,
 }
 
 /// The outcome of one simulated phase: completion time offset, message
@@ -228,6 +246,13 @@ pub struct Simulation {
     scratch: Vec<(SimTime, usize)>,
     probe: InvariantProbe,
     metrics: Metrics,
+    /// Observability recordings (spans/events/snapshots per `config.obs`).
+    obs: ObsReport,
+    /// Periodic snapshot schedule, when enabled.
+    snap: Option<SnapshotExporter>,
+    /// Shard tag stamped on events and snapshots (always 0 here; the
+    /// sharded simulator stamps real shard indices in its own loop).
+    shard_tag: u32,
 }
 
 impl Simulation {
@@ -261,6 +286,9 @@ impl Simulation {
             scratch: Vec::new(),
             probe: InvariantProbe::new(),
             metrics: Metrics::default(),
+            obs: ObsReport::new(&config.obs),
+            snap: config.obs.snapshot_every_us.map(SnapshotExporter::new),
+            shard_tag: 0,
             config,
         };
         for c in 0..sim.config.clients {
@@ -294,6 +322,18 @@ impl Simulation {
         self.metrics
     }
 
+    /// Run to completion, returning the metrics *and* the observability
+    /// report (spans, events, snapshots) recorded per `SimConfig::obs`.
+    ///
+    /// Observation is observational in the strict sense: it draws nothing
+    /// from the RNG stream and schedules no events, so the returned
+    /// metrics are bit-identical to what [`Simulation::run`] produces for
+    /// the same configuration.
+    pub fn run_observed(mut self) -> (Metrics, ObsReport) {
+        self.drive();
+        (self.metrics, self.obs)
+    }
+
     /// Run to completion with a schedule-trace sink attached, returning
     /// the metrics *and* the recorded run as an ordered I/O-automaton
     /// schedule (see [`crate::trace`]).
@@ -318,6 +358,10 @@ impl Simulation {
             if t > self.config.duration {
                 break;
             }
+            // Snapshot boundaries crossed by this clock advance fire
+            // before the event at `t` executes, so a snapshot reflects
+            // exactly the state at its boundary time.
+            self.fire_snapshots_through(t);
             self.now = t;
             match e.unpack() {
                 Event::OpStart { client } => self.handle_op(client),
@@ -328,11 +372,21 @@ impl Simulation {
                     if self.up[site] {
                         self.up[site] = false;
                         self.metrics.site_failures += 1;
+                        if self.obs.events.enabled() {
+                            self.emit_obs(EventKind::Fault {
+                                desc: format!("site-down:{site}"),
+                            });
+                        }
                     }
                     let repair = sample_exponential(self.config.mttr, &mut self.rng);
                     self.schedule(repair, Event::SiteUp { site });
                 }
                 Event::SiteUp { site } => {
+                    if !self.up[site] && self.obs.events.enabled() {
+                        self.emit_obs(EventKind::Fault {
+                            desc: format!("site-up:{site}"),
+                        });
+                    }
                     self.up[site] = true;
                     if let Some(mttf) = self.config.mttf {
                         let fail = sample_exponential(mttf, &mut self.rng);
@@ -342,17 +396,79 @@ impl Simulation {
                 }
             }
         }
+        // Boundaries between the last event and the end of the run.
+        self.fire_snapshots_through(self.config.duration);
+        self.now = self.config.duration;
         // The stores must satisfy the lemmas at quiescence too (this is
         // what catches a Corrupt injection that no later read observed).
         if self.config.monitor {
             if let Err(v) = self.probe.check_stores(&self.stores, &*self.config.quorum) {
-                self.metrics.record_violation(format!("end-of-run: {v}"));
+                self.record_violation_observed(format!("end-of-run: {v}"), None);
             }
         }
     }
 
+    /// Emit every due snapshot with boundary time ≤ `t` (state as of the
+    /// events processed so far).
+    fn fire_snapshots_through(&mut self, t: SimTime) {
+        loop {
+            let due = match self.snap.as_mut() {
+                Some(s) => s.next_due(t.as_micros()),
+                None => return,
+            };
+            let Some(at_us) = due else { return };
+            let snap = Snapshot {
+                at_us,
+                shard: self.shard_tag,
+                ops_done: self.metrics.reads.successes + self.metrics.writes.successes,
+                in_flight: self.pending.iter().filter(|p| p.is_some()).count() as u64,
+                violations: self.metrics.lemma_violations,
+                read_p50_us: self.metrics.reads.latency_hist().p50(),
+                read_p99_us: self.metrics.reads.latency_hist().p99(),
+                write_p50_us: self.metrics.writes.latency_hist().p50(),
+                write_p99_us: self.metrics.writes.latency_hist().p99(),
+            };
+            self.obs.snapshots.push(snap);
+            if self.obs.events.enabled() {
+                self.obs.events.emit(ObsEvent {
+                    at_us,
+                    shard: self.shard_tag,
+                    kind: EventKind::Snapshot(snap),
+                });
+            }
+        }
+    }
+
+    /// Log a structured event at the current simulated instant.
+    fn emit_obs(&mut self, kind: EventKind) {
+        let at_us = self.now.as_micros();
+        self.obs.events.emit(ObsEvent {
+            at_us,
+            shard: self.shard_tag,
+            kind,
+        });
+    }
+
+    /// Record a lemma violation in the metrics and, when the event log is
+    /// enabled, as a structured event carrying the offending op (if the
+    /// violation was detected at an op's commit).
+    fn record_violation_observed(&mut self, description: String, op: Option<OpRef>) {
+        if self.obs.events.enabled() {
+            self.emit_obs(EventKind::Violation {
+                desc: description.clone(),
+                op,
+            });
+        }
+        self.metrics.record_violation(description);
+    }
+
     fn handle_plan_fault(&mut self, idx: usize) {
         self.metrics.injected_faults += 1;
+        if self.obs.events.enabled() {
+            let (at, e) = self.config.faults.events()[idx];
+            let desc = e.text(at);
+            self.emit_obs(EventKind::Fault { desc });
+        }
         match self.config.faults.events()[idx].1 {
             FaultEvent::Crash { site } => {
                 if self.up[site] {
@@ -375,8 +491,8 @@ impl Simulation {
                 if self.config.monitor {
                     if let Err(v) = self.probe.check_stores(&self.stores, &*self.config.quorum)
                     {
-                        self.metrics
-                            .record_violation(format!("t={} corrupt injection: {v}", self.now));
+                        let desc = format!("t={} corrupt injection: {v}", self.now);
+                        self.record_violation_observed(desc, None);
                     }
                 }
             }
@@ -534,13 +650,16 @@ impl Simulation {
             attempt: 1,
             started: self.now,
             messages: 0,
+            gather_us: 0,
+            install_us: 0,
+            backoff_us: 0,
         });
         self.attempt_op(client);
     }
 
     /// Run one attempt of `client`'s pending operation.
     fn attempt_op(&mut self, client: usize) {
-        let op = match self.pending[client].take() {
+        let mut op = match self.pending[client].take() {
             Some(op) => op,
             None => return,
         };
@@ -600,6 +719,9 @@ impl Simulation {
                 return;
             }
         };
+        // Phase-span accounting (exact): every executed gather phase is
+        // read_gather time, whether or not the attempt goes on to commit.
+        op.gather_us += out1.elapsed.as_micros();
         if !out1.ok {
             self.finish_failed_attempt(client, op, out1.elapsed, out1.messages, false);
             return;
@@ -641,6 +763,7 @@ impl Simulation {
                 return;
             }
         };
+        op.install_us += out2.elapsed.as_micros();
         let elapsed = out1.elapsed + out2.elapsed;
         let messages = out1.messages + out2.messages;
         if !out2.ok {
@@ -704,6 +827,29 @@ impl Simulation {
             &mut self.metrics.writes
         };
         stats.record_success(total, messages);
+        if self.config.obs.spans {
+            // Exact reconciliation: gather + install + backoff == total by
+            // construction (see the PendingOp accumulator docs). The
+            // vn_resolve and commit_round phases take zero *simulated*
+            // time in this simulator — version resolution happens when the
+            // gather completes and the commit round is atomic — so they
+            // are recorded as zero-duration spans, one per committed op,
+            // keeping phase counts meaningful (DESIGN.md §5.4).
+            debug_assert_eq!(
+                op.gather_us + op.install_us + op.backoff_us,
+                total.as_micros(),
+                "phase spans must reconcile exactly with end-to-end latency"
+            );
+            self.obs.spans.record(Phase::ReadGather, op.gather_us);
+            self.obs.spans.record(Phase::VnResolve, 0);
+            if !op.read {
+                self.obs.spans.record(Phase::WriteInstall, op.install_us);
+            }
+            self.obs.spans.record(Phase::CommitRound, 0);
+            if op.backoff_us > 0 {
+                self.obs.spans.record(Phase::RetryBackoff, op.backoff_us);
+            }
+        }
         if self.config.record_history {
             self.metrics.history.push(CommitRecord {
                 client,
@@ -722,10 +868,16 @@ impl Simulation {
             };
             if let Err(v) = check {
                 let kind = if op.read { "read" } else { "write" };
-                self.metrics.record_violation(format!(
-                    "t={} client={client} {kind}: {v}",
-                    self.now
-                ));
+                let desc = format!("t={} client={client} {kind}: {v}", self.now);
+                let op_ref = OpRef {
+                    client: client as u64,
+                    op: op.op_index,
+                    attempt: op.attempt,
+                    kind,
+                    vn,
+                    value,
+                };
+                self.record_violation_observed(desc, Some(op_ref));
             }
         }
         self.schedule(
@@ -771,6 +923,9 @@ impl Simulation {
             // timestamp against the same dead sites.
             let delay = (attempt_elapsed + self.config.retry.backoff_before(op.attempt))
                 .max(SimTime(1));
+            // The attempt's own phase time is already in gather/install;
+            // only the extra sleep (including the 1 µs floor) is backoff.
+            op.backoff_us += (delay - attempt_elapsed).as_micros();
             self.pending[client] = Some(op);
             self.schedule(delay, Event::Retry { client });
             return;
@@ -811,6 +966,11 @@ pub fn run(config: SimConfig) -> Metrics {
 /// Convenience: build and run with schedule tracing in one call.
 pub fn run_traced(config: SimConfig) -> (Metrics, ScheduleTrace) {
     Simulation::new(config).run_traced()
+}
+
+/// Convenience: build and run with observability recording in one call.
+pub fn run_observed(config: SimConfig) -> (Metrics, ObsReport) {
+    Simulation::new(config).run_observed()
 }
 
 #[cfg(test)]

@@ -16,8 +16,8 @@ use std::path::PathBuf;
 use std::sync::Arc;
 
 use qc_sim::{
-    run_traced, trace_to_json, ContactPolicy, FaultPlan, LatencyModel, RetryPolicy, SimConfig,
-    SimTime,
+    run_observed, run_traced, trace_to_json, ContactPolicy, FaultPlan, LatencyModel,
+    ObsOptions, RetryPolicy, SimConfig, SimTime,
 };
 use quorum::Majority;
 
@@ -25,9 +25,7 @@ fn golden_path(name: &str) -> PathBuf {
     PathBuf::from(concat!(env!("CARGO_MANIFEST_DIR"), "/tests/golden")).join(name)
 }
 
-fn check(name: &str, config: SimConfig) {
-    let (_, trace) = run_traced(config);
-    let json = trace_to_json(&trace);
+fn compare(name: &str, json: String) {
     let path = golden_path(name);
     if std::env::var_os("UPDATE_GOLDEN").is_some() {
         std::fs::create_dir_all(path.parent().expect("golden dir")).expect("mkdir golden");
@@ -43,9 +41,14 @@ fn check(name: &str, config: SimConfig) {
     assert_eq!(
         json,
         expected,
-        "trace for {name} drifted from its snapshot; if intentional, \
+        "output for {name} drifted from its snapshot; if intentional, \
          regenerate with UPDATE_GOLDEN=1"
     );
+}
+
+fn check(name: &str, config: SimConfig) {
+    let (_, trace) = run_traced(config);
+    compare(name, trace_to_json(&trace));
 }
 
 fn small(seed: u64) -> SimConfig {
@@ -76,4 +79,21 @@ fn faulted_snapshot_is_stable() {
         FaultPlan::parse("crash@5:0;recover@14:0;abort@8:1").expect("fault plan parses");
     config.retry = RetryPolicy::retries(3, SimTime::from_millis(2));
     check("faulted_majority3_seed11.json", config);
+}
+
+/// The `qc-events-v1` JSONL event-log format is pinned byte for byte: a
+/// seeded faulted run (plan faults, a corrupt-injection violation, and
+/// periodic snapshots) must regenerate its event log exactly.
+#[test]
+fn event_log_format_is_stable() {
+    let mut config = small(13);
+    config.duration = SimTime::from_millis(40);
+    config.faults = FaultPlan::parse("crash@5:0;recover@14:0;abort@8:1;corrupt@20:1,999,77")
+        .expect("fault plan parses");
+    config.retry = RetryPolicy::retries(3, SimTime::from_millis(2));
+    config.obs = ObsOptions::full();
+    config.obs.snapshot_every_us = Some(10_000);
+    let (metrics, obs) = run_observed(config);
+    assert!(metrics.lemma_violations > 0, "scenario must emit violations");
+    compare("events_majority3_seed13.jsonl", obs.events_jsonl());
 }

@@ -1,0 +1,203 @@
+//! Integration tests for the observability layer (`qc_obs`) as wired
+//! into both simulators:
+//!
+//! * observation is invisible — an observed run commits exactly the
+//!   operations of an unobserved one (metrics digests equal);
+//! * per-phase spans reconcile *exactly* with end-to-end latency under
+//!   LAN, WAN, and fault/retry workloads;
+//! * the merged sharded `ObsReport` (spans, event log, snapshots) is
+//!   bit-identical across OS thread counts;
+//! * the snapshot exporter fires on every simulated boundary;
+//! * fault firings and lemma violations surface as structured events,
+//!   with the offending operation attached at commit-time detections.
+
+use std::sync::Arc;
+
+use qc_sim::{
+    run, run_observed, run_sharded, EventKind, FaultPlan, LatencyModel,
+    MultiConfig, ObsOptions, RetryPolicy, SimConfig, SimTime,
+};
+use quorum::Majority;
+
+fn base(latency: LatencyModel) -> SimConfig {
+    let mut c = SimConfig::new(Arc::new(Majority::new(5)));
+    c.clients = 4;
+    c.read_fraction = 0.6;
+    c.latency = latency;
+    c.duration = SimTime::from_secs(3);
+    c.seed = 42;
+    c
+}
+
+fn faulted(latency: LatencyModel) -> SimConfig {
+    let mut c = base(latency);
+    c.faults = FaultPlan::new()
+        .crash_at(SimTime::from_millis(800), 0)
+        .crash_at(SimTime::from_millis(820), 1)
+        .crash_at(SimTime::from_millis(840), 2)
+        .recover_at(SimTime::from_millis(1400), 0)
+        .recover_at(SimTime::from_millis(1400), 1)
+        .recover_at(SimTime::from_millis(1400), 2)
+        .drop_window(SimTime::from_millis(1800), SimTime::from_millis(300), 250);
+    c.retry = RetryPolicy::retries(6, SimTime::from_millis(10));
+    c
+}
+
+/// The sum over phase histograms must equal the sum over end-to-end
+/// success latencies — not within a tolerance, exactly (gather + install
+/// + backoff partitions each committed op's latency by construction).
+fn assert_exact_reconciliation(config: SimConfig) {
+    let (m, obs) = run_observed(config);
+    assert!(
+        m.reads.successes + m.writes.successes > 0,
+        "workload committed nothing; reconciliation would be vacuous"
+    );
+    let e2e = m.reads.latency_hist().sum() + m.writes.latency_hist().sum();
+    assert_eq!(obs.spans.total_us(), e2e, "phase spans drifted from latency");
+}
+
+#[test]
+fn observation_is_invisible_single_sim() {
+    for latency in [LatencyModel::lan(), LatencyModel::wan()] {
+        let plain = run(base(latency));
+        let mut c = base(latency);
+        c.obs = ObsOptions::full();
+        let (observed, obs) = run_observed(c);
+        assert_eq!(plain.digest(), observed.digest());
+        assert!(!obs.spans.is_empty());
+    }
+}
+
+#[test]
+fn spans_reconcile_exactly_lan() {
+    let mut c = base(LatencyModel::lan());
+    c.obs.spans = true;
+    assert_exact_reconciliation(c);
+}
+
+#[test]
+fn spans_reconcile_exactly_wan() {
+    let mut c = base(LatencyModel::wan());
+    c.obs.spans = true;
+    assert_exact_reconciliation(c);
+}
+
+#[test]
+fn spans_reconcile_exactly_under_faults_and_retries() {
+    let mut c = faulted(LatencyModel::lan());
+    c.obs = ObsOptions::full();
+    let (m, obs) = run_observed(c);
+    assert!(
+        m.reads.retries + m.writes.retries > 0,
+        "scenario must exercise the retry/backoff path"
+    );
+    let e2e = m.reads.latency_hist().sum() + m.writes.latency_hist().sum();
+    assert_eq!(obs.spans.total_us(), e2e);
+    assert!(
+        obs.spans.hist(qc_sim::Phase::RetryBackoff).count() > 0,
+        "retries should have produced backoff spans"
+    );
+}
+
+fn sharded_config() -> MultiConfig {
+    let mut c = MultiConfig::new(Arc::new(Majority::new(3)));
+    c.items = 8;
+    c.shards = 4;
+    c.clients_per_shard = 2;
+    c.read_fraction = 0.5;
+    c.duration = SimTime::from_millis(900);
+    c.seed = 7;
+    c.faults = FaultPlan::new()
+        .crash_at(SimTime::from_millis(300), 0)
+        .recover_at(SimTime::from_millis(500), 0);
+    c.retry = RetryPolicy::retries(3, SimTime::from_millis(5));
+    c.obs = ObsOptions::full();
+    // The default snapshot period (1 s) is longer than this run.
+    c.obs.snapshot_every_us = Some(200_000);
+    c
+}
+
+#[test]
+fn sharded_obs_is_bit_identical_across_thread_counts() {
+    let c = sharded_config();
+    let base = run_sharded(&c, 1);
+    assert!(!base.obs.spans.is_empty());
+    assert!(!base.obs.snapshots.is_empty());
+    for threads in [2, 4] {
+        let r = run_sharded(&c, threads);
+        assert_eq!(r.metrics.digest(), base.metrics.digest());
+        assert_eq!(r.obs.digest(), base.obs.digest(), "{threads} threads");
+        assert_eq!(r.obs.events_jsonl(), base.obs.events_jsonl());
+        assert_eq!(r.obs.snapshots_json(), base.obs.snapshots_json());
+    }
+}
+
+#[test]
+fn sharded_observation_is_invisible() {
+    let mut plain = sharded_config();
+    plain.obs = ObsOptions::disabled();
+    let a = run_sharded(&plain, 2);
+    let b = run_sharded(&sharded_config(), 2);
+    assert_eq!(a.metrics.digest(), b.metrics.digest());
+    assert!(a.obs.is_empty());
+    assert!(!b.obs.is_empty());
+}
+
+#[test]
+fn snapshot_exporter_fires_on_every_boundary() {
+    let mut c = base(LatencyModel::lan());
+    c.duration = SimTime::from_secs(2);
+    c.obs.snapshot_every_us = Some(250_000);
+    let (_, obs) = run_observed(c);
+    let ats: Vec<u64> = obs.snapshots.iter().map(|s| s.at_us).collect();
+    let expected: Vec<u64> = (1..=8).map(|k| k * 250_000).collect();
+    assert_eq!(ats, expected, "one snapshot per simulated boundary");
+    // Ops-done is monotone along the run and ends near the final count.
+    for w in obs.snapshots.windows(2) {
+        assert!(w[0].ops_done <= w[1].ops_done);
+    }
+    assert!(obs.snapshots.last().expect("nonempty").ops_done > 0);
+}
+
+#[test]
+fn fault_firings_become_events() {
+    let mut c = faulted(LatencyModel::lan());
+    c.obs = ObsOptions::full();
+    let (m, obs) = run_observed(c);
+    let faults: Vec<_> = obs
+        .events
+        .events()
+        .filter(|e| matches!(e.kind, EventKind::Fault { .. }))
+        .collect();
+    assert_eq!(faults.len() as u64, m.injected_faults);
+    let jsonl = obs.events_jsonl();
+    assert!(jsonl.contains(r#""event":"fault""#));
+    assert!(jsonl.contains("crash@"), "plan grammar in fault events");
+}
+
+#[test]
+fn violations_become_events_with_offending_op() {
+    let mut c = base(LatencyModel::lan());
+    c.faults = FaultPlan::new().corrupt_at(SimTime::from_secs(1), 1, 9_999_999, 42);
+    c.obs = ObsOptions::full();
+    let (m, obs) = run_observed(c);
+    assert!(m.lemma_violations > 0, "corruption must trip the monitor");
+    let violations: Vec<_> = obs
+        .events
+        .events()
+        .filter_map(|e| match &e.kind {
+            EventKind::Violation { op, .. } => Some(op),
+            _ => None,
+        })
+        .collect();
+    assert_eq!(violations.len() as u64, m.lemma_violations);
+    // The injection-time sweep has no op; any client that later commits a
+    // read of the corrupted value is reported *with* the op attached.
+    assert!(
+        violations.iter().any(|op| op.is_some()),
+        "no commit-time violation carried its operation"
+    );
+    let jsonl = obs.events_jsonl();
+    assert!(jsonl.contains(r#""event":"violation""#));
+    assert!(jsonl.contains(r#""op":{"#), "OpRef serialized");
+}

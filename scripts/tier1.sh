@@ -14,10 +14,14 @@ cargo build --release --workspace
 echo "==> cargo test (PROPTEST_CASES=$PROPTEST_CASES)"
 cargo test -q --workspace
 
-echo "==> simulator fault/determinism suites"
-cargo test -q -p qc-sim --test determinism --test faults --test fault_props
+echo "==> simulator fault/determinism/observability suites"
+cargo test -q -p qc-sim --test determinism --test faults --test fault_props \
+  --test obs --test metrics_props
 
 echo "==> cargo clippy -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
+# The observability crate is in the workspace, but pin it explicitly so a
+# future workspace exclusion cannot silently drop it from the gate.
+cargo clippy -p qc-obs --all-targets -- -D warnings
 
 echo "tier1: OK"
