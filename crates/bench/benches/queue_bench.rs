@@ -1,0 +1,80 @@
+//! Criterion benches for the event-queue implementations: the calendar
+//! queue (the simulators' default) against the binary-heap oracle, under
+//! the classic *hold* model — a steady-state queue of N pending events
+//! where each iteration pops the minimum and schedules a successor at
+//! `popped time + delay`. That is exactly the simulators' traffic
+//! pattern, and the delay distribution is the variable that separates the
+//! two implementations:
+//!
+//! * **near-future** — uniform 200–600 µs, the LAN round-trip band: every
+//!   event lands within a bucket-day or two of the virtual clock, the
+//!   calendar's O(1) enqueue/dequeue sweet spot.
+//! * **wan-tail** — a 90/10 mix of 0.5–2 ms body and 100 ms–5 s tail,
+//!   modelling WAN retries and repair timers: events spread over a long
+//!   horizon, stressing bucket-day scanning and width adaptation.
+//! * **same-instant** — delays of 0/1 µs, the batched-delivery flood case
+//!   ordered almost entirely by `seq`.
+//!
+//! The recorded ops/s land in `results/BENCH_hotpath.json` (`event_queue`
+//! section) via `exp_throughput`; this bench is the interactive view.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use qc_sim::{CalendarQueue, EventQueue, HeapQueue, SimTime};
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+/// One sampled inter-event delay (µs) for the named distribution.
+fn delay(dist: &str, rng: &mut ChaCha8Rng) -> u64 {
+    match dist {
+        "near-future" => rng.gen_range(200..600),
+        "wan-tail" => {
+            if rng.gen_range(0u32..10) == 0 {
+                rng.gen_range(100_000..5_000_000)
+            } else {
+                rng.gen_range(500..2_000)
+            }
+        }
+        _ => rng.gen_range(0..2), // same-instant floods
+    }
+}
+
+/// Run the hold loop: pop the minimum, reschedule at `t + delay`.
+fn hold<Q: EventQueue<u64>>(q: &mut Q, seq: &mut u64, dist: &str, rng: &mut ChaCha8Rng) -> u64 {
+    let (t, _, payload) = q.pop().expect("hold queue never drains");
+    *seq += 1;
+    q.push(t + SimTime(delay(dist, rng)), *seq, payload);
+    payload
+}
+
+fn prefill<Q: EventQueue<u64>>(q: &mut Q, n: u64, dist: &str, rng: &mut ChaCha8Rng) -> u64 {
+    for seq in 0..n {
+        q.push(SimTime(delay(dist, rng)), seq, seq);
+    }
+    n
+}
+
+fn bench_hold(c: &mut Criterion) {
+    for dist in ["near-future", "wan-tail", "same-instant"] {
+        let mut g = c.benchmark_group(format!("queue_hold/{dist}"));
+        // 16 pending events is the simulators' own load (clients + site
+        // timers); the larger sizes show how the structures scale.
+        for size in [16u64, 256, 4096] {
+            g.bench_with_input(BenchmarkId::new("calendar", size), &size, |b, &size| {
+                let mut rng = ChaCha8Rng::seed_from_u64(7);
+                let mut q = CalendarQueue::new();
+                let mut seq = prefill(&mut q, size, dist, &mut rng);
+                b.iter(|| hold(&mut q, &mut seq, dist, &mut rng));
+            });
+            g.bench_with_input(BenchmarkId::new("heap", size), &size, |b, &size| {
+                let mut rng = ChaCha8Rng::seed_from_u64(7);
+                let mut q = HeapQueue::new();
+                let mut seq = prefill(&mut q, size, dist, &mut rng);
+                b.iter(|| hold(&mut q, &mut seq, dist, &mut rng));
+            });
+        }
+        g.finish();
+    }
+}
+
+criterion_group!(benches, bench_hold);
+criterion_main!(benches);

@@ -143,7 +143,10 @@ fn hotpath_batch() -> Vec<SimConfig> {
                 c.read_fraction = rf;
                 c.contact = ContactPolicy::MinimalQuorum;
                 c.think_time = SimTime::from_millis(0);
-                c.duration = SimTime::from_secs(20);
+                // Must track exp_throughput's SIM_SECS: the batch is only a
+                // valid comparison against thread_scaling[0].wall_secs if
+                // the cells simulate the same duration.
+                c.duration = SimTime::from_secs(60);
                 c.seed = 23 + 1_000 * (k + 1);
                 batch.push(c);
             }

@@ -12,9 +12,10 @@
 //! per-seed runs fan out over [`qc_sim::par_map`].
 //!
 //! Also writes `results/BENCH_hotpath.json`: hot-path throughput numbers
-//! (simulator ops/sec, explorer schedules/sec with checkpointed vs
-//! full-replay state reconstruction, sweep-runner thread scaling) for
-//! before/after comparisons.
+//! (simulator ops/sec under both event-queue implementations, the
+//! event-queue hold-model microbench, explorer schedules/sec with
+//! checkpointed vs full-replay state reconstruction, sweep-runner thread
+//! scaling at 1/2/4/8 threads) for before/after comparisons.
 
 use std::sync::Arc;
 use std::time::Instant;
@@ -31,13 +32,39 @@ use qc_replication::{
 };
 use qc_sim::{
     check_trace, default_threads, par_map, run, run_batch, run_observed, run_sharded,
-    run_traced, ContactPolicy, FaultPlan, ItemDist, Metrics, MultiConfig, SimConfig, SimTime,
-    Workload,
+    run_traced, ContactPolicy, EventQueue, FaultPlan, ItemDist, Metrics, MultiConfig,
+    QueueImpl, QueueKind, SimConfig, SimTime, Workload,
 };
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
 use quorum::{Majority, QuorumSpec, Rowa};
 use serde_json::JsonObject;
 
-const SIM_SECS: u64 = 20;
+// 60 simulated seconds keeps each cell's wall time around 100ms, long
+// enough that per-run setup (arena/queue construction, page faults)
+// amortizes out of the ops/wall-second rate; at 20s the fixed cost was a
+// double-digit percentage of the measurement.
+const SIM_SECS: u64 = 60;
+
+/// Run a cell `BENCH_TRIALS` times and report the fastest wall time. The
+/// metrics are identical across trials (the simulator is deterministic),
+/// so trials only de-noise the wall-clock rate: min is the standard
+/// estimator for a noise floor that is strictly additive.
+const BENCH_TRIALS: usize = 3;
+
+fn run_timed(c: &SimConfig) -> (Metrics, f64) {
+    let mut best: Option<(Metrics, f64)> = None;
+    for _ in 0..BENCH_TRIALS {
+        let start = Instant::now();
+        let m = run(c.clone());
+        let wall = start.elapsed().as_secs_f64();
+        best = match best {
+            Some((pm, pw)) if pw <= wall => Some((pm, pw)),
+            _ => Some((m, wall)),
+        };
+    }
+    best.expect("BENCH_TRIALS > 0")
+}
 
 fn sim_grid(faults: &FaultPlan, seed: u64, secs: u64) -> Vec<(String, f64, SimConfig)> {
     let systems: Vec<Arc<dyn QuorumSpec + Send + Sync>> =
@@ -57,6 +84,49 @@ fn sim_grid(faults: &FaultPlan, seed: u64, secs: u64) -> Vec<(String, f64, SimCo
         }
     }
     grid
+}
+
+/// One sampled inter-event delay (µs) for the event-queue hold model —
+/// the same distributions as `benches/queue_bench.rs`, so the JSON rows
+/// and the interactive bench agree.
+fn hold_delay(dist: &str, rng: &mut ChaCha8Rng) -> u64 {
+    match dist {
+        "near-future" => rng.gen_range(200..600),
+        "wan-tail" => {
+            if rng.gen_range(0u32..10) == 0 {
+                rng.gen_range(100_000..5_000_000)
+            } else {
+                rng.gen_range(500..2_000)
+            }
+        }
+        _ => rng.gen_range(0..2), // same-instant floods
+    }
+}
+
+/// Hold-model cost of one pop+reschedule on a steady-state queue of
+/// `size` pending events, in ns/op: batches of 10k ops until 100 ms of
+/// wall clock has accumulated.
+fn hold_ns_per_op(kind: QueueKind, dist: &str, size: u64) -> f64 {
+    let mut rng = ChaCha8Rng::seed_from_u64(7);
+    let mut q: QueueImpl<u64> = QueueImpl::new(kind);
+    for seq in 0..size {
+        q.push(SimTime(hold_delay(dist, &mut rng)), seq, seq);
+    }
+    let mut seq = size;
+    let mut ops = 0u64;
+    let start = Instant::now();
+    loop {
+        for _ in 0..10_000 {
+            let (t, _, payload) = q.pop().expect("hold queue never drains");
+            seq += 1;
+            q.push(t + SimTime(hold_delay(dist, &mut rng)), seq, payload);
+        }
+        ops += 10_000;
+        let elapsed = start.elapsed();
+        if elapsed.as_millis() >= 100 {
+            return elapsed.as_nanos() as f64 / ops as f64;
+        }
+    }
 }
 
 /// The seed scope used for the explorer throughput numbers: one write then
@@ -184,11 +254,7 @@ fn main() {
         }
         None => {
             let configs: Vec<SimConfig> = grid.iter().map(|(_, _, c)| c.clone()).collect();
-            par_map(configs, threads, |_, c| {
-                let start = Instant::now();
-                let m = run(c);
-                (m, start.elapsed().as_secs_f64())
-            })
+            par_map(configs, threads, |_, c| run_timed(&c))
         }
     };
     let mut sim_rows = Vec::new();
@@ -216,6 +282,7 @@ fn main() {
             JsonObject::new()
                 .field("quorum", label.as_str())
                 .field("read_fraction", rf)
+                .field("event_queue", "calendar")
                 .field("ops_per_sim_sec", &ops)
                 .field("ops_per_wall_sec", &wall_ops)
                 .field("wall_secs", wall)
@@ -223,6 +290,46 @@ fn main() {
         );
     }
     rule(&widths);
+
+    // Heap-oracle pass: the same grid with the event queue forced to the
+    // binary-heap implementation. Both implementations pop the identical
+    // (time, seq) order, so the metrics must be bit-identical — asserted
+    // below on the plain path — and the wall-throughput delta isolates
+    // what the calendar queue itself contributes.
+    let heap_configs: Vec<SimConfig> = grid
+        .iter()
+        .map(|(_, _, c)| {
+            let mut c = c.clone();
+            c.queue = QueueKind::Heap;
+            c
+        })
+        .collect();
+    let plain_run = trace_dir_flag().is_none() && !obs.enabled();
+    let heap_timed: Vec<(Metrics, f64)> = par_map(heap_configs, threads, |_, c| run_timed(&c));
+    for (((label, rf, _), (m_cal, _)), (m, wall)) in
+        grid.iter().zip(&timed).zip(&heap_timed)
+    {
+        if plain_run {
+            assert_eq!(
+                format!("{m_cal:?}"),
+                format!("{m:?}"),
+                "{label} rf={rf}: heap oracle diverged from calendar queue"
+            );
+        }
+        let ops = m.throughput_ops_per_sec(SimTime::from_secs(secs));
+        let committed = m.reads.successes + m.writes.successes;
+        let wall_ops = committed as f64 / wall.max(1e-9);
+        sim_rows.push(
+            JsonObject::new()
+                .field("quorum", label.as_str())
+                .field("read_fraction", rf)
+                .field("event_queue", "heap")
+                .field("ops_per_sim_sec", &ops)
+                .field("ops_per_wall_sec", &wall_ops)
+                .field("wall_secs", wall)
+                .build(),
+        );
+    }
 
     // Optional sharded multi-item section: `--items N [--zipf THETA]`
     // runs the sharded simulator over an N-item keyspace (8 shards, or one
@@ -293,9 +400,7 @@ fn main() {
             .collect()
     };
     let mut wall1 = None;
-    let mut thread_counts = vec![1usize, 2, threads.max(2)];
-    thread_counts.dedup();
-    for t in thread_counts {
+    for t in [1usize, 2, 4, 8] {
         let configs = batch();
         let cells = configs.len();
         let start = Instant::now();
@@ -311,6 +416,25 @@ fn main() {
                 .field("speedup", &(w1 / wall.max(1e-9)))
                 .build(),
         );
+    }
+
+    // Event-queue hold model: ns per pop+reschedule for both queue
+    // implementations across delay distributions and queue sizes. The
+    // simulators themselves run in the near-future/16 cell.
+    let mut queue_rows = Vec::new();
+    for dist in ["near-future", "wan-tail", "same-instant"] {
+        for size in [16u64, 256, 4096] {
+            let cal = hold_ns_per_op(QueueKind::Calendar, dist, size);
+            let heap = hold_ns_per_op(QueueKind::Heap, dist, size);
+            queue_rows.push(
+                JsonObject::new()
+                    .field("distribution", dist)
+                    .field("size", &size)
+                    .field("calendar_ns_per_op", &cal)
+                    .field("heap_ns_per_op", &heap)
+                    .build(),
+            );
+        }
     }
 
     // Explorer throughput: checkpointed state reconstruction vs the
@@ -346,6 +470,7 @@ fn main() {
         .field("cores", &threads)
         .field("sim_duration_secs", &secs)
         .field_raw("simulator", &serde_json::array_raw(sim_rows))
+        .field_raw("event_queue", &serde_json::array_raw(queue_rows))
         .field_raw("thread_scaling", &serde_json::array_raw(scaling_rows))
         .field_raw("explorer", &serde_json::array_raw(explorer_rows))
         .build();

@@ -218,9 +218,25 @@ impl<V: Clone + PartialEq + fmt::Debug> LemmaChecker<V> {
         I: IntoIterator<Item = (usize, u64, &'a V)>,
         Q: FnOnce(ReplicaSet) -> bool,
     {
-        let states: Vec<(usize, u64, &V)> = states.into_iter().collect();
+        // One allocation-free pass: this runs after every committed
+        // operation of a simulation, so it must not materialize the state
+        // iterator. Everything the three lemma clauses need folds into
+        // three accumulators, then the clauses are evaluated in the
+        // original order (Lemma 7, 8(1a), 8(1b) — first offender in
+        // iteration order), so the reported violation is unchanged.
+        let mut max_replica_vn = 0u64;
+        let mut holders = ReplicaSet::new();
+        let mut mismatch: Option<(usize, u64, &V)> = None;
+        for (r, vn, v) in states {
+            max_replica_vn = max_replica_vn.max(vn);
+            if vn == self.current_vn {
+                holders.insert(r);
+                if mismatch.is_none() && *v != self.logical {
+                    mismatch = Some((r, vn, v));
+                }
+            }
+        }
         // Lemma 7.
-        let max_replica_vn = states.iter().map(|&(_, vn, _)| vn).max().unwrap_or(0);
         if max_replica_vn != self.current_vn {
             return Err(LemmaViolation::Lemma7 {
                 max_replica_vn,
@@ -229,26 +245,19 @@ impl<V: Clone + PartialEq + fmt::Debug> LemmaChecker<V> {
         }
         if even_point {
             // Lemma 8(1a).
-            let holders: ReplicaSet = states
-                .iter()
-                .filter(|&&(_, vn, _)| vn == self.current_vn)
-                .map(|&(r, _, _)| r)
-                .collect();
             if !is_write_quorum(holders) {
                 return Err(LemmaViolation::Lemma8a {
                     current_vn: self.current_vn,
                 });
             }
             // Lemma 8(1b).
-            for &(r, vn, v) in &states {
-                if vn == self.current_vn && *v != self.logical {
-                    return Err(LemmaViolation::Lemma8b {
-                        replica: r,
-                        vn,
-                        value: format!("{v:?}"),
-                        logical: format!("{:?}", self.logical),
-                    });
-                }
+            if let Some((r, vn, v)) = mismatch {
+                return Err(LemmaViolation::Lemma8b {
+                    replica: r,
+                    vn,
+                    value: format!("{v:?}"),
+                    logical: format!("{:?}", self.logical),
+                });
             }
         }
         Ok(())

@@ -47,4 +47,7 @@ mod spec;
 
 pub use config::{CompiledConfiguration, Configuration, ConfigurationError};
 pub use replica_set::ReplicaSet;
-pub use spec::{to_configuration, Grid, Majority, QuorumHealth, QuorumSpec, Rowa, TreeQuorum, Weighted};
+pub use spec::{
+    to_configuration, Grid, Majority, QuorumHealth, QuorumSpec, Rowa, Thresholds, TreeQuorum,
+    Weighted,
+};

@@ -43,6 +43,24 @@ impl QuorumHealth {
     }
 }
 
+/// The pure-threshold form of a quorum system: a set is a read-quorum iff
+/// it contains at least `read_size` of replicas `0..n`, and a write-quorum
+/// iff it contains at least `write_size`.
+///
+/// Returned by [`QuorumSpec::thresholds`] for systems whose predicates are
+/// exactly counts (ROWA is `read_size = 1`, `write_size = n`; [`Majority`]
+/// is its configured sizes). Hot loops use it to answer quorum questions
+/// as one mask-and-popcount with no virtual call.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Thresholds {
+    /// Number of replicas.
+    pub n: usize,
+    /// Minimum in-range members of a read-quorum.
+    pub read_size: usize,
+    /// Minimum in-range members of a write-quorum.
+    pub write_size: usize,
+}
+
 /// A quorum system over replicas `0..n`, in predicate form.
 ///
 /// The required predicates operate on [`ReplicaSet`] bitsets — the form the
@@ -99,6 +117,24 @@ pub trait QuorumSpec: std::fmt::Debug {
     /// A (small) write-quorum contained in `available`, if any.
     fn find_write_quorum(&self, available: &BTreeSet<usize>) -> Option<BTreeSet<usize>> {
         self.find_write_quorum_bits(to_bits(available)).map(Into::into)
+    }
+
+    /// The threshold form of this system, when its quorum predicates are
+    /// exactly "at least `k` members of `0..n`" counts: a set is a
+    /// read-(write-)quorum iff it contains at least `read_size`
+    /// (`write_size`) of the replicas. Hot loops (the simulators' phase
+    /// assembly, contact selection, and feasibility probes) use this to
+    /// evaluate membership as an inline mask-and-popcount instead of a
+    /// virtual call per probe.
+    ///
+    /// Returning `Some` is a contract: the thresholds must agree *exactly*
+    /// with `is_read_quorum_bits` / `is_write_quorum_bits`, and the greedy
+    /// ascending-drop shrink of `find_*_quorum_bits` must equal
+    /// `keep_highest(k)` of the in-range members (true for any pure
+    /// threshold predicate). The default is `None`: callers fall back to
+    /// the predicate methods.
+    fn thresholds(&self) -> Option<Thresholds> {
+        None
     }
 
     /// Quorum-loss detection: what this system can still do when only
@@ -190,6 +226,15 @@ impl QuorumSpec for Rowa {
         available.is_superset(full).then_some(full)
     }
 
+    // Read-one / write-all is the degenerate threshold pair (1, n).
+    fn thresholds(&self) -> Option<Thresholds> {
+        Some(Thresholds {
+            n: self.n,
+            read_size: 1,
+            write_size: self.n,
+        })
+    }
+
     fn label(&self) -> String {
         "rowa".into()
     }
@@ -277,6 +322,14 @@ impl QuorumSpec for Majority {
     fn find_write_quorum_bits(&self, available: ReplicaSet) -> Option<ReplicaSet> {
         let live = available.intersection(ReplicaSet::full(self.n));
         (live.len() >= self.write_size).then(|| live.keep_highest(self.write_size))
+    }
+
+    fn thresholds(&self) -> Option<Thresholds> {
+        Some(Thresholds {
+            n: self.n,
+            read_size: self.read_size,
+            write_size: self.write_size,
+        })
     }
 
     fn label(&self) -> String {
@@ -764,6 +817,48 @@ mod tests {
                 assert_eq!(h.can_write(), s.is_write_quorum_bits(live), "{}", s.label());
             }
         }
+    }
+
+    #[test]
+    fn thresholds_agree_with_predicates_and_finds_exhaustively() {
+        // The `thresholds()` contract: counting in-range members must give
+        // the same membership answers as the predicate methods, and
+        // `keep_highest(k)` of the in-range members must equal the greedy
+        // shrink behind `find_*_quorum_bits`, over every subset of 0..n
+        // (plus out-of-range bits, which must be ignored).
+        let specs: Vec<Box<dyn QuorumSpec>> = vec![
+            Box::new(Rowa::new(1)),
+            Box::new(Rowa::new(5)),
+            Box::new(Majority::new(5)),
+            Box::new(Majority::with_sizes(6, 2, 5)),
+        ];
+        for s in &specs {
+            let t = s.thresholds().expect("threshold systems expose thresholds");
+            assert_eq!(t.n, s.n(), "{}", s.label());
+            for mask in 0u32..(1 << (s.n() + 2)) {
+                let set = ReplicaSet::from_bits(mask as u128);
+                let live = set.intersection(ReplicaSet::full(t.n));
+                let k = live.len();
+                assert_eq!(k >= t.read_size, s.is_read_quorum_bits(set), "{}", s.label());
+                assert_eq!(k >= t.write_size, s.is_write_quorum_bits(set), "{}", s.label());
+                assert_eq!(
+                    (k >= t.read_size).then(|| live.keep_highest(t.read_size)),
+                    s.find_read_quorum_bits(set),
+                    "{}",
+                    s.label()
+                );
+                assert_eq!(
+                    (k >= t.write_size).then(|| live.keep_highest(t.write_size)),
+                    s.find_write_quorum_bits(set),
+                    "{}",
+                    s.label()
+                );
+            }
+        }
+        // Non-threshold systems must decline rather than approximate.
+        assert!(Grid::new(2, 3).thresholds().is_none());
+        assert!(TreeQuorum::new(9).thresholds().is_none());
+        assert!(Weighted::new(vec![2, 1, 1, 1], 3, 3).thresholds().is_none());
     }
 
     #[test]

@@ -1,0 +1,138 @@
+//! Structure-of-arrays DM store arena shared by both simulators.
+//!
+//! A DM's state is a `(version number, value)` pair per site per item. The
+//! simulators used to keep these as `Vec<(u64, u64)>` — array-of-structs —
+//! but the hot path is *asymmetric*: version-number discovery scans the
+//! version numbers of a whole responder set and touches a value only at
+//! the running maximum, and the lemma sweep compares version numbers
+//! first. Splitting the pair into two parallel arrays packs twice as many
+//! version numbers per cache line for those scans.
+//!
+//! Layout: slot `item * n + site` (the sharded simulator's flat-arena
+//! convention; the single-item simulator is the `items == 1` special
+//! case).
+
+use std::ops::Range;
+
+/// Structure-of-arrays `(vn, value)` store arena, indexed `item·n + site`.
+#[derive(Clone, Debug)]
+pub struct DmArena {
+    vns: Vec<u64>,
+    vals: Vec<u64>,
+}
+
+impl DmArena {
+    /// An arena of `slots` stores, all at `(vn 0, value 0)`.
+    #[must_use]
+    pub fn new(slots: usize) -> Self {
+        DmArena {
+            vns: vec![0; slots],
+            vals: vec![0; slots],
+        }
+    }
+
+    /// Number of store slots.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.vns.len()
+    }
+
+    /// Whether the arena has no slots.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.vns.is_empty()
+    }
+
+    /// The version number at `slot`.
+    #[inline]
+    #[must_use]
+    pub fn vn(&self, slot: usize) -> u64 {
+        self.vns[slot]
+    }
+
+    /// The `(vn, value)` pair at `slot`.
+    #[inline]
+    #[must_use]
+    pub fn get(&self, slot: usize) -> (u64, u64) {
+        (self.vns[slot], self.vals[slot])
+    }
+
+    /// Install `(vn, value)` at `slot`.
+    #[inline]
+    pub fn set(&mut self, slot: usize, vn: u64, value: u64) {
+        self.vns[slot] = vn;
+        self.vals[slot] = value;
+    }
+
+    /// The discovery fold: the `(vn, value)` of the *last* maximum version
+    /// among `sites` offset by `base` — exactly the
+    /// `max_by_key(|(vn, _)| vn)` semantics the AoS code had (ties keep
+    /// the later site), reading values only when the maximum advances.
+    /// `(0, 0)` for an empty set.
+    #[inline]
+    #[must_use]
+    pub fn discover(&self, base: usize, sites: impl IntoIterator<Item = usize>) -> (u64, u64) {
+        let mut vn = 0u64;
+        let mut val = 0u64;
+        let mut any = false;
+        for s in sites {
+            let v = self.vns[base + s];
+            if !any || v >= vn {
+                vn = v;
+                val = self.vals[base + s];
+                any = true;
+            }
+        }
+        (vn, val)
+    }
+
+    /// Iterate `(site, vn, &value)` over one item's slots — the shape
+    /// [`LemmaChecker::check_states`](qc_replication::LemmaChecker)
+    /// consumes. `range` is in arena slots; sites are renumbered from 0.
+    pub fn states(&self, range: Range<usize>) -> impl Iterator<Item = (usize, u64, &u64)> + '_ {
+        let base = range.start;
+        range.map(move |i| (i - base, self.vns[i], &self.vals[i]))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn set_get_roundtrip() {
+        let mut a = DmArena::new(6);
+        assert_eq!(a.len(), 6);
+        assert_eq!(a.get(4), (0, 0));
+        a.set(4, 3, 99);
+        assert_eq!(a.get(4), (3, 99));
+        assert_eq!(a.vn(4), 3);
+        assert_eq!(a.get(3), (0, 0));
+    }
+
+    #[test]
+    fn discover_matches_max_by_key_semantics() {
+        let mut a = DmArena::new(8);
+        // Item 1 (base 4, n = 4): vns 2, 5, 5, 1 — ties on the max must
+        // keep the *later* site, as Iterator::max_by_key does.
+        a.set(4, 2, 10);
+        a.set(5, 5, 20);
+        a.set(6, 5, 30);
+        a.set(7, 1, 40);
+        let sites = [0usize, 1, 2, 3];
+        let aos: Vec<(u64, u64)> = sites.iter().map(|&s| a.get(4 + s)).collect();
+        let expect = aos.iter().copied().max_by_key(|&(vn, _)| vn).unwrap();
+        assert_eq!(a.discover(4, sites), expect);
+        assert_eq!(a.discover(4, sites), (5, 30));
+        assert_eq!(a.discover(4, []), (0, 0));
+    }
+
+    #[test]
+    fn states_renumbers_sites_per_item() {
+        let mut a = DmArena::new(6);
+        a.set(3, 7, 70);
+        let got: Vec<(usize, u64, u64)> =
+            a.states(3..6).map(|(s, vn, &v)| (s, vn, v)).collect();
+        assert_eq!(got, vec![(0, 7, 70), (1, 0, 0), (2, 0, 0)]);
+    }
+}

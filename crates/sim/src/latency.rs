@@ -46,7 +46,11 @@ impl LatencyModel {
     }
 
     /// Sample one latency.
-    pub fn sample(&self, rng: &mut dyn rand::RngCore) -> SimTime {
+    ///
+    /// Generic (rather than `&mut dyn RngCore`) so the per-message hot
+    /// path monomorphizes over the simulator's concrete RNG and the draw
+    /// inlines instead of paying an indirect call per word.
+    pub fn sample<R: rand::RngCore + ?Sized>(&self, rng: &mut R) -> SimTime {
         match *self {
             LatencyModel::Fixed(t) => t,
             LatencyModel::Uniform { lo, hi } => {
@@ -74,7 +78,7 @@ impl LatencyModel {
 }
 
 /// Sample an exponential duration with the given mean.
-pub fn sample_exponential(mean: SimTime, rng: &mut dyn rand::RngCore) -> SimTime {
+pub fn sample_exponential<R: rand::RngCore + ?Sized>(mean: SimTime, rng: &mut R) -> SimTime {
     let u: f64 = rng.gen_range(f64::EPSILON..1.0);
     let t = -(u.ln()) * mean.as_micros() as f64;
     SimTime(t.clamp(1.0, 1e15) as u64)

@@ -26,20 +26,25 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod arena;
 mod faults;
 mod latency;
 mod metrics;
 mod par;
 mod probe;
+pub mod queue;
 mod shard;
 #[allow(clippy::module_inception)]
 mod sim;
+mod slab;
 mod time;
 pub mod trace;
 
+pub use arena::DmArena;
 pub use faults::{message_dropped, FaultEvent, FaultPlan, RetryPolicy};
 pub use latency::{sample_exponential, LatencyModel};
 pub use metrics::{CommitRecord, Metrics, OpStats, OpSummary, MAX_RECORDED_VIOLATIONS};
+pub use queue::{CalendarQueue, EventQueue, HeapQueue, QueueImpl, QueueKind};
 pub use par::{default_threads, par_map, run_batch};
 pub use probe::InvariantProbe;
 pub use shard::{

@@ -260,6 +260,19 @@ impl Metrics {
         }
     }
 
+    /// Record a lemma violation from pre-formatted arguments, rendering
+    /// the description only if it will actually be retained (past the
+    /// [`MAX_RECORDED_VIOLATIONS`] cap, only the counter moves). This is
+    /// the simulator-facing entry point: the non-violating hot path never
+    /// allocates a description, and a violation storm formats at most the
+    /// first few.
+    pub fn record_violation_args(&mut self, description: std::fmt::Arguments<'_>) {
+        self.lemma_violations += 1;
+        if self.violations.len() < MAX_RECORDED_VIOLATIONS {
+            self.violations.push(description.to_string());
+        }
+    }
+
     /// Fold another run's metrics into this one: counters sum, latency
     /// samples and histories append, violation descriptions keep the cap.
     ///

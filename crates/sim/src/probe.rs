@@ -22,6 +22,7 @@
 use qc_replication::{LemmaChecker, LemmaViolation, ScheduleTrace};
 use quorum::QuorumSpec;
 
+use crate::arena::DmArena;
 use crate::trace::TraceRecorder;
 
 /// Feeds committed simulated operations into the Lemma 7/8 checks.
@@ -134,6 +135,85 @@ impl InvariantProbe {
     ) -> Result<(), LemmaViolation> {
         self.checker.check_read(&value)?;
         self.check_stores(stores, quorum)
+    }
+
+    /// Lemma 8(2) alone: a committed read must return the logical state.
+    ///
+    /// Split out from [`on_read_commit_arena`](Self::on_read_commit_arena)
+    /// so the simulator can memoize the store re-check separately (the
+    /// store scan depends only on the history digest and the store
+    /// contents, while this clause depends on the read's value).
+    ///
+    /// # Errors
+    ///
+    /// [`LemmaViolation::Lemma8Read`] when the value is not the logical
+    /// state.
+    pub fn check_read_value(&self, value: u64) -> Result<(), LemmaViolation> {
+        self.checker.check_read(&value)
+    }
+
+    /// Digest a committed write into the history (`current-vn` advances by
+    /// exactly one) without re-checking the stores.
+    ///
+    /// # Errors
+    ///
+    /// [`LemmaViolation::WriteVn`] on a non-monotonic version number; the
+    /// checker state is left unchanged in that case.
+    pub fn commit_write_digest(&mut self, vn: u64, value: u64) -> Result<(), LemmaViolation> {
+        self.checker.commit_write(vn, value)
+    }
+
+    /// [`check_stores`](Self::check_stores) over one item's slots of a SoA
+    /// [`DmArena`] (`base..base + n`), without materializing pairs.
+    ///
+    /// # Errors
+    ///
+    /// The first violated lemma.
+    pub fn check_arena(
+        &self,
+        arena: &DmArena,
+        base: usize,
+        n: usize,
+        quorum: &dyn QuorumSpec,
+    ) -> Result<(), LemmaViolation> {
+        self.checker.check_states(arena.states(base..base + n), true, |holders| {
+            quorum.is_write_quorum_bits(holders)
+        })
+    }
+
+    /// [`on_write_commit`](Self::on_write_commit) against a [`DmArena`].
+    ///
+    /// # Errors
+    ///
+    /// The first violated lemma (including a non-monotonic write version).
+    pub fn on_write_commit_arena(
+        &mut self,
+        vn: u64,
+        value: u64,
+        arena: &DmArena,
+        base: usize,
+        n: usize,
+        quorum: &dyn QuorumSpec,
+    ) -> Result<(), LemmaViolation> {
+        self.checker.commit_write(vn, value)?;
+        self.check_arena(arena, base, n, quorum)
+    }
+
+    /// [`on_read_commit`](Self::on_read_commit) against a [`DmArena`].
+    ///
+    /// # Errors
+    ///
+    /// The first violated lemma.
+    pub fn on_read_commit_arena(
+        &self,
+        value: u64,
+        arena: &DmArena,
+        base: usize,
+        n: usize,
+        quorum: &dyn QuorumSpec,
+    ) -> Result<(), LemmaViolation> {
+        self.checker.check_read(&value)?;
+        self.check_arena(arena, base, n, quorum)
     }
 }
 

@@ -1,0 +1,542 @@
+//! Pending-event queues for the discrete-event loops.
+//!
+//! Both simulators (`sim.rs`, `shard.rs`) drive a loop of timestamped
+//! events ordered by `(time, seq)` — `seq` is a per-simulation push counter
+//! that makes the order total, so FIFO among same-instant events. The queue
+//! is the innermost data structure of the whole workspace: every message
+//! round trip, retry backoff and site repair passes through one push and
+//! one pop.
+//!
+//! Two implementations sit behind the [`EventQueue`] trait:
+//!
+//! * [`CalendarQueue`] — the default. An indexed calendar queue (Brown
+//!   1988): a power-of-two array of buckets, each a "day" of `width`
+//!   simulated microseconds; an event at time `t` lives in bucket
+//!   `(t / width) mod nbuckets`. Enqueue is O(1) (append to the day's
+//!   bucket); dequeue scans forward from the current virtual day and, on
+//!   first touch of a dirty bucket, sorts it descending so the bucket's
+//!   minimum pops from the `Vec` tail in O(1). The bucket count doubles or
+//!   halves on load-factor thresholds and the width is re-derived from the
+//!   observed event-time span, keeping ~one event per bucket-day for the
+//!   dominant near-future timers. A full-year scan with no hit (a sparse
+//!   horizon, e.g. only repair timers seconds away) falls back to a direct
+//!   min search over all buckets.
+//! * [`HeapQueue`] — the `BinaryHeap` the simulators shipped with, kept as
+//!   the *slow-path oracle* (the same strategy PR 1 used for `FullReplay`):
+//!   the property suite replays arbitrary interleaved push/pop sequences
+//!   against it and the determinism suites can be forced onto it wholesale.
+//!
+//! Selection: [`QueueKind::from_env`] reads `QC_EVENT_QUEUE`
+//! (`heap` / `calendar`); the configs' `queue` field defaults from it, so
+//! CI runs the whole determinism surface once per implementation. Both
+//! implementations pop in **bit-identical** `(time, seq)` order — the
+//! property suite (`tests/queue_props.rs`) and the cross-implementation
+//! digest tests pin this, which is what makes the calendar queue
+//! observationally invisible under every pinned digest and golden trace.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use crate::time::SimTime;
+
+/// The interface both simulators drive their event loop through.
+///
+/// Entries are `(time, seq, event)`; `seq` values must be unique per queue
+/// (the simulators use a monotone push counter), which makes the pop order
+/// total and implementation-independent.
+pub trait EventQueue<E: Copy> {
+    /// Enqueue an event at `time` with tiebreak `seq`.
+    fn push(&mut self, time: SimTime, seq: u64, event: E);
+
+    /// Remove and return the minimum entry by `(time, seq)`.
+    fn pop(&mut self) -> Option<(SimTime, u64, E)>;
+
+    /// Remove and return the minimum entry only if its time equals `time`
+    /// — the batched-delivery primitive: one clock advance drains every
+    /// event at the current instant without re-entering the full dequeue
+    /// path between them.
+    fn pop_at(&mut self, time: SimTime) -> Option<(u64, E)>;
+
+    /// The timestamp of the minimum entry (None when empty). Takes `&mut`
+    /// because the calendar queue may sort a bucket to answer.
+    fn next_time(&mut self) -> Option<SimTime>;
+
+    /// Number of queued events.
+    fn len(&self) -> usize;
+
+    /// Whether the queue is empty.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// Which [`EventQueue`] implementation a simulation uses.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum QueueKind {
+    /// The indexed calendar queue (default fast path).
+    #[default]
+    Calendar,
+    /// The binary-heap oracle.
+    Heap,
+}
+
+impl QueueKind {
+    /// Read the implementation choice from the `QC_EVENT_QUEUE`
+    /// environment variable: `heap` (any case) forces the oracle,
+    /// everything else (including unset) selects the calendar queue.
+    #[must_use]
+    pub fn from_env() -> Self {
+        match std::env::var("QC_EVENT_QUEUE") {
+            Ok(v) if v.eq_ignore_ascii_case("heap") => QueueKind::Heap,
+            _ => QueueKind::Calendar,
+        }
+    }
+}
+
+/// The binary-heap implementation — the pre-calendar event queue, retained
+/// verbatim as the correctness oracle.
+#[derive(Clone, Debug, Default)]
+pub struct HeapQueue<E> {
+    heap: BinaryHeap<Reverse<HeapEntry<E>>>,
+}
+
+#[derive(Clone, Debug)]
+struct HeapEntry<E> {
+    time: u64,
+    seq: u64,
+    event: E,
+}
+
+// Ordering ignores the payload: `seq` is unique, so `(time, seq)` is
+// already total and `E` needs no `Ord` bound.
+impl<E> PartialEq for HeapEntry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        (self.time, self.seq) == (other.time, other.seq)
+    }
+}
+
+impl<E> Eq for HeapEntry<E> {}
+
+impl<E> PartialOrd for HeapEntry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<E> Ord for HeapEntry<E> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.time, self.seq).cmp(&(other.time, other.seq))
+    }
+}
+
+impl<E: Copy> HeapQueue<E> {
+    /// An empty heap queue.
+    #[must_use]
+    pub fn new() -> Self {
+        HeapQueue {
+            heap: BinaryHeap::new(),
+        }
+    }
+}
+
+impl<E: Copy> EventQueue<E> for HeapQueue<E> {
+    fn push(&mut self, time: SimTime, seq: u64, event: E) {
+        self.heap.push(Reverse(HeapEntry {
+            time: time.as_micros(),
+            seq,
+            event,
+        }));
+    }
+
+    fn pop(&mut self) -> Option<(SimTime, u64, E)> {
+        self.heap
+            .pop()
+            .map(|Reverse(e)| (SimTime(e.time), e.seq, e.event))
+    }
+
+    fn pop_at(&mut self, time: SimTime) -> Option<(u64, E)> {
+        match self.heap.peek() {
+            Some(Reverse(e)) if e.time == time.as_micros() => {
+                let Reverse(e) = self.heap.pop().expect("peeked above");
+                Some((e.seq, e.event))
+            }
+            _ => None,
+        }
+    }
+
+    fn next_time(&mut self) -> Option<SimTime> {
+        self.heap.peek().map(|Reverse(e)| SimTime(e.time))
+    }
+
+    fn len(&self) -> usize {
+        self.heap.len()
+    }
+}
+
+/// Smallest bucket count the calendar shrinks down to.
+const MIN_BUCKETS: usize = 8;
+/// Widest bucket the resize policy will pick (µs) — keeps the
+/// `(t / width) * width` arithmetic far from overflow.
+const MAX_WIDTH: u64 = 1 << 40;
+
+/// An indexed calendar queue over `(time, seq)`-ordered events.
+///
+/// See the module docs for the design; the resize policy is: grow
+/// (double) when `len > 2·nbuckets`, shrink (halve, floor
+/// [`MIN_BUCKETS`]) when `len < nbuckets / 4`, and on every resize
+/// re-derive the bucket width as the mean gap `span / len` of the events
+/// present (clamped to `[1, MAX_WIDTH]`).
+#[derive(Clone, Debug)]
+pub struct CalendarQueue<E> {
+    /// `buckets[b]` holds events with `(t / width) % nbuckets == b`,
+    /// sorted descending by `(time, seq)` when `clean[b]`.
+    buckets: Vec<Vec<(u64, u64, E)>>,
+    clean: Vec<bool>,
+    /// `nbuckets - 1`; bucket count is a power of two.
+    mask: usize,
+    /// Bucket width in simulated µs (≥ 1).
+    width: u64,
+    len: usize,
+    /// Monotone lower bound on the next pop time (the virtual clock):
+    /// every queued event has `time >= floor`.
+    floor: u64,
+}
+
+impl<E: Copy> Default for CalendarQueue<E> {
+    fn default() -> Self {
+        CalendarQueue::new()
+    }
+}
+
+impl<E: Copy> CalendarQueue<E> {
+    /// An empty calendar queue with the initial geometry
+    /// ([`MIN_BUCKETS`] buckets of 256 µs — roughly one LAN round trip per
+    /// day, immediately re-derived once the load factor moves).
+    #[must_use]
+    pub fn new() -> Self {
+        CalendarQueue {
+            buckets: (0..MIN_BUCKETS).map(|_| Vec::new()).collect(),
+            clean: vec![true; MIN_BUCKETS],
+            mask: MIN_BUCKETS - 1,
+            width: 256,
+            len: 0,
+            floor: 0,
+        }
+    }
+
+    /// Current bucket count (for the resize-boundary tests).
+    #[must_use]
+    pub fn nbuckets(&self) -> usize {
+        self.buckets.len()
+    }
+
+    /// Current bucket width in µs (for the resize-boundary tests).
+    #[must_use]
+    pub fn width(&self) -> u64 {
+        self.width
+    }
+
+    #[inline]
+    fn bucket_of(&self, t: u64) -> usize {
+        ((t / self.width) as usize) & self.mask
+    }
+
+    #[inline]
+    fn ensure_sorted(&mut self, b: usize) {
+        if !self.clean[b] {
+            // Descending by (time, seq): the bucket minimum is the tail.
+            self.buckets[b].sort_unstable_by_key(|e| std::cmp::Reverse((e.0, e.1)));
+            self.clean[b] = true;
+        }
+    }
+
+    /// Locate the minimum entry: `(time, bucket)`. Scans one full year
+    /// from `floor`, then falls back to a direct min search (sparse
+    /// horizon). Also advances `floor` to the found minimum — safe because
+    /// nothing earlier can exist.
+    fn locate_min(&mut self) -> Option<(u64, usize)> {
+        if self.len == 0 {
+            return None;
+        }
+        let nb = self.buckets.len();
+        let mut b = self.bucket_of(self.floor);
+        // End of bucket `b`'s current day window.
+        let mut top = (self.floor / self.width)
+            .saturating_add(1)
+            .saturating_mul(self.width);
+        for _ in 0..nb {
+            self.ensure_sorted(b);
+            if let Some(&(t, _, _)) = self.buckets[b].last() {
+                if t < top {
+                    self.floor = t;
+                    return Some((t, b));
+                }
+            }
+            b = (b + 1) & self.mask;
+            top = top.saturating_add(self.width);
+        }
+        // Nothing within one calendar year of `floor`: direct search.
+        let mut best: Option<(u64, u64, usize)> = None;
+        for b in 0..nb {
+            self.ensure_sorted(b);
+            if let Some(&(t, seq, _)) = self.buckets[b].last() {
+                if best.is_none_or(|(bt, bs, _)| (t, seq) < (bt, bs)) {
+                    best = Some((t, seq, b));
+                }
+            }
+        }
+        let (t, _, b) = best.expect("len > 0 but no bucket minimum");
+        self.floor = t;
+        Some((t, b))
+    }
+
+    fn resize(&mut self, nbuckets: usize) {
+        let mut entries: Vec<(u64, u64, E)> = Vec::with_capacity(self.len);
+        for b in &mut self.buckets {
+            entries.append(b);
+        }
+        // Bucket width from the *median* inter-event gap of a sorted
+        // sample, aiming at a few events per bucket-day. The median (not
+        // the mean `span / len`) is what makes skewed horizons work: under
+        // a 90/10 LAN-body/WAN-tail mix the mean gap is dominated by the
+        // far tail and would lump the entire dense body into one hot
+        // bucket, degrading every pop to a resort of that bucket. A
+        // same-instant flood degenerates to width 1 (equal times share a
+        // day no matter what).
+        let width = if entries.len() >= 2 {
+            let step = (entries.len() / 64).max(1);
+            let mut sample: Vec<u64> = entries.iter().step_by(step).map(|&(t, _, _)| t).collect();
+            sample.sort_unstable();
+            let mut gaps: Vec<u64> = sample.windows(2).map(|w| w[1] - w[0]).collect();
+            gaps.sort_unstable();
+            let median = gaps[gaps.len() / 2];
+            median.saturating_mul(4).clamp(1, MAX_WIDTH)
+        } else {
+            self.width
+        };
+        self.buckets = (0..nbuckets).map(|_| Vec::new()).collect();
+        self.clean = vec![true; nbuckets];
+        self.mask = nbuckets - 1;
+        self.width = width;
+        for (t, seq, e) in entries {
+            let b = self.bucket_of(t);
+            self.buckets[b].push((t, seq, e));
+            self.clean[b] = self.buckets[b].len() <= 1;
+        }
+    }
+
+    #[inline]
+    fn take_from(&mut self, b: usize) -> (u64, u64, E) {
+        let entry = self.buckets[b].pop().expect("located bucket is nonempty");
+        self.len -= 1;
+        if self.buckets.len() > MIN_BUCKETS && self.len < self.buckets.len() / 4 {
+            self.resize(self.buckets.len() / 2);
+        }
+        entry
+    }
+}
+
+impl<E: Copy> EventQueue<E> for CalendarQueue<E> {
+    fn push(&mut self, time: SimTime, seq: u64, event: E) {
+        let t = time.as_micros();
+        debug_assert!(t >= self.floor, "events cannot be scheduled in the past");
+        let b = self.bucket_of(t);
+        self.buckets[b].push((t, seq, event));
+        // A one-element bucket is trivially sorted; appending to a longer
+        // one usually is not — resolve lazily at first pop touch.
+        self.clean[b] = self.buckets[b].len() <= 1;
+        self.len += 1;
+        if self.len > 2 * self.buckets.len() {
+            self.resize(self.buckets.len() * 2);
+        }
+    }
+
+    fn pop(&mut self) -> Option<(SimTime, u64, E)> {
+        let (_, b) = self.locate_min()?;
+        let (t, seq, e) = self.take_from(b);
+        Some((SimTime(t), seq, e))
+    }
+
+    fn pop_at(&mut self, time: SimTime) -> Option<(u64, E)> {
+        match self.locate_min() {
+            Some((t, b)) if t == time.as_micros() => {
+                let (_, seq, e) = self.take_from(b);
+                Some((seq, e))
+            }
+            _ => None,
+        }
+    }
+
+    fn next_time(&mut self) -> Option<SimTime> {
+        self.locate_min().map(|(t, _)| SimTime(t))
+    }
+
+    fn len(&self) -> usize {
+        self.len
+    }
+}
+
+/// The queue a simulation actually drives: static dispatch over the two
+/// implementations (no per-event virtual call).
+#[derive(Clone, Debug)]
+pub enum QueueImpl<E> {
+    /// The calendar fast path.
+    Calendar(CalendarQueue<E>),
+    /// The heap oracle.
+    Heap(HeapQueue<E>),
+}
+
+impl<E: Copy> QueueImpl<E> {
+    /// An empty queue of the given kind.
+    #[must_use]
+    pub fn new(kind: QueueKind) -> Self {
+        match kind {
+            QueueKind::Calendar => QueueImpl::Calendar(CalendarQueue::new()),
+            QueueKind::Heap => QueueImpl::Heap(HeapQueue::new()),
+        }
+    }
+}
+
+impl<E: Copy> EventQueue<E> for QueueImpl<E> {
+    #[inline]
+    fn push(&mut self, time: SimTime, seq: u64, event: E) {
+        match self {
+            QueueImpl::Calendar(q) => q.push(time, seq, event),
+            QueueImpl::Heap(q) => q.push(time, seq, event),
+        }
+    }
+
+    #[inline]
+    fn pop(&mut self) -> Option<(SimTime, u64, E)> {
+        match self {
+            QueueImpl::Calendar(q) => q.pop(),
+            QueueImpl::Heap(q) => q.pop(),
+        }
+    }
+
+    #[inline]
+    fn pop_at(&mut self, time: SimTime) -> Option<(u64, E)> {
+        match self {
+            QueueImpl::Calendar(q) => q.pop_at(time),
+            QueueImpl::Heap(q) => q.pop_at(time),
+        }
+    }
+
+    #[inline]
+    fn next_time(&mut self) -> Option<SimTime> {
+        match self {
+            QueueImpl::Calendar(q) => q.next_time(),
+            QueueImpl::Heap(q) => q.next_time(),
+        }
+    }
+
+    #[inline]
+    fn len(&self) -> usize {
+        match self {
+            QueueImpl::Calendar(q) => q.len(),
+            QueueImpl::Heap(q) => q.len(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn drain<E: Copy, Q: EventQueue<E>>(q: &mut Q) -> Vec<(u64, u64)> {
+        let mut out = Vec::new();
+        while let Some((t, s, _)) = q.pop() {
+            out.push((t.as_micros(), s));
+        }
+        out
+    }
+
+    #[test]
+    fn both_pop_in_time_seq_order() {
+        let mut cal = CalendarQueue::new();
+        let mut heap = HeapQueue::new();
+        let times = [500u64, 100, 100, 7_000_000, 100, 42, 500, 99_999];
+        for (seq, &t) in times.iter().enumerate() {
+            cal.push(SimTime(t), seq as u64, ());
+            heap.push(SimTime(t), seq as u64, ());
+        }
+        let c = drain(&mut cal);
+        let h = drain(&mut heap);
+        assert_eq!(c, h);
+        let mut sorted = c.clone();
+        sorted.sort_unstable();
+        assert_eq!(c, sorted);
+    }
+
+    #[test]
+    fn pop_at_only_takes_the_current_instant() {
+        let mut q = CalendarQueue::new();
+        q.push(SimTime(10), 1, "a");
+        q.push(SimTime(10), 2, "b");
+        q.push(SimTime(11), 3, "c");
+        assert_eq!(q.next_time(), Some(SimTime(10)));
+        assert_eq!(q.pop_at(SimTime(10)), Some((1, "a")));
+        assert_eq!(q.pop_at(SimTime(10)), Some((2, "b")));
+        assert_eq!(q.pop_at(SimTime(10)), None);
+        assert_eq!(q.pop_at(SimTime(11)), Some((3, "c")));
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn same_instant_pushes_during_a_batch_pop_in_seq_order() {
+        let mut q = CalendarQueue::new();
+        q.push(SimTime(10), 1, 1u32);
+        q.push(SimTime(10), 2, 2);
+        assert_eq!(q.pop_at(SimTime(10)), Some((1, 1)));
+        // An event scheduled *at* the instant being drained must pop after
+        // the already-queued ones (higher seq).
+        q.push(SimTime(10), 3, 3);
+        assert_eq!(q.pop_at(SimTime(10)), Some((2, 2)));
+        assert_eq!(q.pop_at(SimTime(10)), Some((3, 3)));
+        assert_eq!(q.pop_at(SimTime(10)), None);
+    }
+
+    #[test]
+    fn grows_and_shrinks_on_load_factor() {
+        let mut q: CalendarQueue<()> = CalendarQueue::new();
+        assert_eq!(q.nbuckets(), MIN_BUCKETS);
+        for i in 0..1_000u64 {
+            q.push(SimTime(i * 37), i, ());
+        }
+        assert!(q.nbuckets() >= 512, "grew to {}", q.nbuckets());
+        let mut last = 0;
+        for _ in 0..996 {
+            let (t, _, ()) = q.pop().unwrap();
+            assert!(t.as_micros() >= last);
+            last = t.as_micros();
+        }
+        assert!(q.nbuckets() <= MIN_BUCKETS * 2, "shrank to {}", q.nbuckets());
+    }
+
+    #[test]
+    fn sparse_horizon_falls_back_to_direct_search() {
+        let mut q = CalendarQueue::new();
+        // Force a tiny width, then queue events years apart.
+        for i in 0..32u64 {
+            q.push(SimTime(i), i, ());
+        }
+        for i in 0..32u64 {
+            assert_eq!(q.pop(), Some((SimTime(i), i, ())));
+        }
+        q.push(SimTime(40_000_000_000), 100, ());
+        q.push(SimTime(90_000_000_000), 101, ());
+        assert_eq!(q.pop(), Some((SimTime(40_000_000_000), 100, ())));
+        assert_eq!(q.pop(), Some((SimTime(90_000_000_000), 101, ())));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn env_selects_the_kind() {
+        // Default (unset or anything but "heap") is the calendar queue.
+        assert_eq!(QueueKind::default(), QueueKind::Calendar);
+        let q: QueueImpl<u8> = QueueImpl::new(QueueKind::Heap);
+        assert!(matches!(q, QueueImpl::Heap(_)));
+        let q: QueueImpl<u8> = QueueImpl::new(QueueKind::Calendar);
+        assert!(matches!(q, QueueImpl::Calendar(_)));
+    }
+}

@@ -44,12 +44,23 @@
 //! failed attempts back off exponentially and re-sample the site state, so
 //! an operation that loses its quorum mid-flight degrades into a delayed
 //! success once sites recover.
+//!
+//! # Hot path
+//!
+//! The event loop runs on the [`EventQueue`] machinery of
+//! [`crate::queue`] (indexed calendar queue by default, binary-heap oracle
+//! behind `QC_EVENT_QUEUE=heap`), drains every same-instant event per
+//! clock advance, keeps per-op state in a pre-sized [`OpSlab`], the DM
+//! stores in the SoA [`DmArena`], and the live-site set as a `u128`
+//! bitset — the steady-state committed-op path allocates nothing (pinned
+//! by `tests/alloc_steady.rs`). All of it is observationally invisible:
+//! the pop order `(time, seq)` and the RNG draw order are unchanged, so
+//! every pinned determinism digest and golden trace predates this layout.
 
-use std::cmp::Reverse;
-use std::collections::BinaryHeap;
+use std::fmt;
 use std::sync::Arc;
 
-use quorum::{QuorumSpec, ReplicaSet};
+use quorum::{QuorumSpec, ReplicaSet, Thresholds};
 use rand::Rng;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
@@ -58,12 +69,15 @@ use qc_obs::{
     EventKind, EventSink, ObsEvent, ObsOptions, ObsReport, OpRef, Phase, Snapshot,
     SnapshotExporter,
 };
-use qc_replication::{AbortReason, ScheduleTrace, TmKind, TraceAction, TraceTid};
+use qc_replication::{AbortReason, LemmaViolation, ScheduleTrace, TmKind, TraceAction, TraceTid};
 
+use crate::arena::DmArena;
 use crate::faults::{message_dropped, FaultEvent, FaultPlan, RetryPolicy};
 use crate::latency::{sample_exponential, LatencyModel};
 use crate::metrics::{CommitRecord, Metrics};
 use crate::probe::InvariantProbe;
+use crate::queue::{EventQueue, QueueImpl, QueueKind};
+use crate::slab::{OpSlab, PendingOp};
 use crate::trace::TraceRecorder;
 use crate::time::SimTime;
 
@@ -117,6 +131,10 @@ pub struct SimConfig {
     /// nothing from the RNG stream, so an observed run is event-for-event
     /// identical to an unobserved one).
     pub obs: ObsOptions,
+    /// Event-queue implementation (defaults from `QC_EVENT_QUEUE`; both
+    /// pop in identical order, so this never changes results — only
+    /// wall-clock speed).
+    pub queue: QueueKind,
 }
 
 impl std::fmt::Debug for SimConfig {
@@ -151,6 +169,7 @@ impl SimConfig {
             monitor: true,
             record_history: false,
             obs: ObsOptions::disabled(),
+            queue: QueueKind::from_env(),
         }
     }
 }
@@ -164,8 +183,9 @@ enum Event {
     Retry { client: usize },
 }
 
-// BinaryHeap needs Ord; wrap the event.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+// The queue stores a compact packed form; `(time, seq)` alone orders
+// events, so the payload needs no `Ord`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 struct EventBox(u8, usize);
 
 impl EventBox {
@@ -190,30 +210,6 @@ impl EventBox {
     }
 }
 
-/// A logical operation in flight for one client (possibly across retries).
-#[derive(Clone, Copy, Debug)]
-struct PendingOp {
-    read: bool,
-    /// The value a write installs (unique per operation).
-    value: u64,
-    /// Client-local operation number (coordinate for drop coins).
-    op_index: u64,
-    /// 1-based attempt number.
-    attempt: u32,
-    /// When the operation (attempt 1) started.
-    started: SimTime,
-    /// Messages accumulated by earlier failed attempts.
-    messages: u64,
-    /// Simulated µs spent gathering read quorums, across all attempts.
-    gather_us: u64,
-    /// Simulated µs spent installing at write quorums, across attempts.
-    install_us: u64,
-    /// Simulated µs of retry backoff beyond the failed attempts' own
-    /// phase time (so `gather + install + backoff` is exactly the
-    /// operation's end-to-end latency if it commits).
-    backoff_us: u64,
-}
-
 /// The outcome of one simulated phase: completion time offset, message
 /// count, and the responding quorum (empty on timeout).
 struct PhaseOutcome {
@@ -223,28 +219,47 @@ struct PhaseOutcome {
     ok: bool,
 }
 
+/// Sentinel for "no stochastic crash scheduled".
+const NO_CRASH: SimTime = SimTime(u64::MAX);
+
 /// The simulator state.
 pub struct Simulation {
     config: SimConfig,
+    /// Sites (`quorum.n()`).
+    n: usize,
     rng: ChaCha8Rng,
     now: SimTime,
-    queue: BinaryHeap<Reverse<(SimTime, u64, EventBox)>>,
+    queue: QueueImpl<EventBox>,
     seq: u64,
-    up: Vec<bool>,
-    /// Per-site replica store: `(version number, value)` — the DM state.
-    stores: Vec<(u64, u64)>,
-    /// Next scheduled stochastic crash per site (for straddle detection).
-    stoch_next_down: Vec<Option<SimTime>>,
+    /// Live sites, as a bitset (`full(n)` when healthy).
+    up: ReplicaSet,
+    /// Per-site replica stores — the DM state, SoA layout.
+    stores: DmArena,
+    /// Next scheduled stochastic crash per site (for straddle detection;
+    /// [`NO_CRASH`] when none).
+    stoch_next_down: Vec<SimTime>,
     /// Planned crash times per site, ascending (for straddle detection).
     plan_crashes: Vec<Vec<SimTime>>,
     /// A pending forced abort per client.
     abort_flag: Vec<bool>,
-    pending: Vec<Option<PendingOp>>,
+    /// Per-client in-flight operation state, interned for the whole run.
+    pending: OpSlab,
     op_counter: Vec<u64>,
     /// Scratch buffer for phase responses, reused across phases so the hot
     /// path allocates nothing per operation.
     scratch: Vec<(SimTime, usize)>,
     probe: InvariantProbe,
+    /// Memoized outcome of the probe's store re-check (Lemmas 7/8(1a)/
+    /// 8(1b)). The check is a pure function of the history digest and the
+    /// store contents, so between mutations — write installs, corrupt
+    /// injections, committed-write digests — its outcome is replayed
+    /// instead of re-scanned. Cleared at every mutation site.
+    arena_check: Option<Result<(), LemmaViolation>>,
+    /// Threshold form of the quorum system, when it has one (ROWA and
+    /// Majority do). The per-phase membership probes and per-op contact
+    /// selection then run as inline popcounts instead of virtual calls;
+    /// `None` falls back to the `dyn QuorumSpec` predicates.
+    th: Option<Thresholds>,
     metrics: Metrics,
     /// Observability recordings (spans/events/snapshots per `config.obs`).
     obs: ObsReport,
@@ -272,19 +287,22 @@ impl Simulation {
             .map(|s| config.faults.crash_times_for(s).collect())
             .collect();
         let mut sim = Simulation {
+            n,
             rng,
             now: SimTime::ZERO,
-            queue: BinaryHeap::new(),
+            queue: QueueImpl::new(config.queue),
             seq: 0,
-            up: vec![true; n],
-            stores: vec![(0, 0); n],
-            stoch_next_down: vec![None; n],
+            up: ReplicaSet::full(n),
+            stores: DmArena::new(n),
+            stoch_next_down: vec![NO_CRASH; n],
             plan_crashes,
             abort_flag: vec![false; config.clients],
-            pending: vec![None; config.clients],
+            pending: OpSlab::new(config.clients),
             op_counter: vec![0; config.clients],
             scratch: Vec::new(),
             probe: InvariantProbe::new(),
+            arena_check: None,
+            th: config.quorum.thresholds(),
             metrics: Metrics::default(),
             obs: ObsReport::new(&config.obs),
             snap: config.obs.snapshot_every_us.map(SnapshotExporter::new),
@@ -299,7 +317,7 @@ impl Simulation {
         if let Some(mttf) = sim.config.mttf {
             for s in 0..n {
                 let t = sample_exponential(mttf, &mut sim.rng);
-                sim.stoch_next_down[s] = Some(t);
+                sim.stoch_next_down[s] = t;
                 sim.schedule(t, Event::SiteDown { site: s });
             }
         }
@@ -312,8 +330,7 @@ impl Simulation {
 
     fn schedule(&mut self, delay: SimTime, e: Event) {
         self.seq += 1;
-        self.queue
-            .push(Reverse((self.now + delay, self.seq, EventBox::pack(e))));
+        self.queue.push(self.now + delay, self.seq, EventBox::pack(e));
     }
 
     /// Run to completion, consuming the simulator and returning metrics.
@@ -353,8 +370,43 @@ impl Simulation {
         (self.metrics, trace)
     }
 
+    fn dispatch(&mut self, e: EventBox) {
+        match e.unpack() {
+            Event::OpStart { client } => self.handle_op(client),
+            Event::Retry { client } => self.attempt_op(client),
+            Event::PlanFault { idx } => self.handle_plan_fault(idx),
+            Event::SiteDown { site } => {
+                self.stoch_next_down[site] = NO_CRASH;
+                if self.up.contains(site) {
+                    self.up.remove(site);
+                    self.metrics.site_failures += 1;
+                    if self.obs.events.enabled() {
+                        self.emit_obs(EventKind::Fault {
+                            desc: format!("site-down:{site}"),
+                        });
+                    }
+                }
+                let repair = sample_exponential(self.config.mttr, &mut self.rng);
+                self.schedule(repair, Event::SiteUp { site });
+            }
+            Event::SiteUp { site } => {
+                if !self.up.contains(site) && self.obs.events.enabled() {
+                    self.emit_obs(EventKind::Fault {
+                        desc: format!("site-up:{site}"),
+                    });
+                }
+                self.up.insert(site);
+                if let Some(mttf) = self.config.mttf {
+                    let fail = sample_exponential(mttf, &mut self.rng);
+                    self.stoch_next_down[site] = self.now + fail;
+                    self.schedule(fail, Event::SiteDown { site });
+                }
+            }
+        }
+    }
+
     fn drive(&mut self) {
-        while let Some(Reverse((t, _, e))) = self.queue.pop() {
+        while let Some((t, _, e)) = self.queue.pop() {
             if t > self.config.duration {
                 break;
             }
@@ -363,37 +415,13 @@ impl Simulation {
             // exactly the state at its boundary time.
             self.fire_snapshots_through(t);
             self.now = t;
-            match e.unpack() {
-                Event::OpStart { client } => self.handle_op(client),
-                Event::Retry { client } => self.attempt_op(client),
-                Event::PlanFault { idx } => self.handle_plan_fault(idx),
-                Event::SiteDown { site } => {
-                    self.stoch_next_down[site] = None;
-                    if self.up[site] {
-                        self.up[site] = false;
-                        self.metrics.site_failures += 1;
-                        if self.obs.events.enabled() {
-                            self.emit_obs(EventKind::Fault {
-                                desc: format!("site-down:{site}"),
-                            });
-                        }
-                    }
-                    let repair = sample_exponential(self.config.mttr, &mut self.rng);
-                    self.schedule(repair, Event::SiteUp { site });
-                }
-                Event::SiteUp { site } => {
-                    if !self.up[site] && self.obs.events.enabled() {
-                        self.emit_obs(EventKind::Fault {
-                            desc: format!("site-up:{site}"),
-                        });
-                    }
-                    self.up[site] = true;
-                    if let Some(mttf) = self.config.mttf {
-                        let fail = sample_exponential(mttf, &mut self.rng);
-                        self.stoch_next_down[site] = Some(self.now + fail);
-                        self.schedule(fail, Event::SiteDown { site });
-                    }
-                }
+            self.dispatch(e);
+            // Batched delivery: drain every remaining event at `t` —
+            // including ones the handlers above schedule *at* `t` — before
+            // re-entering the full dequeue path. `pop_at` keeps the exact
+            // `(time, seq)` order, so this is pure amortization.
+            while let Some((_, e)) = self.queue.pop_at(t) {
+                self.dispatch(e);
             }
         }
         // Boundaries between the last event and the end of the run.
@@ -402,8 +430,22 @@ impl Simulation {
         // The stores must satisfy the lemmas at quiescence too (this is
         // what catches a Corrupt injection that no later read observed).
         if self.config.monitor {
-            if let Err(v) = self.probe.check_stores(&self.stores, &*self.config.quorum) {
-                self.record_violation_observed(format!("end-of-run: {v}"), None);
+            if let Err(v) = self.arena_check_memo() {
+                self.record_violation_observed(format_args!("end-of-run: {v}"), None);
+            }
+        }
+    }
+
+    /// The probe's store re-check, memoized (see the `arena_check` field).
+    fn arena_check_memo(&mut self) -> Result<(), LemmaViolation> {
+        match &self.arena_check {
+            Some(r) => r.clone(),
+            None => {
+                let r = self
+                    .probe
+                    .check_arena(&self.stores, 0, self.n, &*self.config.quorum);
+                self.arena_check = Some(r.clone());
+                r
             }
         }
     }
@@ -421,7 +463,7 @@ impl Simulation {
                 at_us,
                 shard: self.shard_tag,
                 ops_done: self.metrics.reads.successes + self.metrics.writes.successes,
-                in_flight: self.pending.iter().filter(|p| p.is_some()).count() as u64,
+                in_flight: self.pending.in_flight(),
                 violations: self.metrics.lemma_violations,
                 read_p50_us: self.metrics.reads.latency_hist().p50(),
                 read_p99_us: self.metrics.reads.latency_hist().p99(),
@@ -452,14 +494,21 @@ impl Simulation {
     /// Record a lemma violation in the metrics and, when the event log is
     /// enabled, as a structured event carrying the offending op (if the
     /// violation was detected at an op's commit).
-    fn record_violation_observed(&mut self, description: String, op: Option<OpRef>) {
+    ///
+    /// Takes pre-formatted arguments, not a `String`: the description is
+    /// rendered only where it is actually retained (the capped metrics
+    /// list, the event log), so no call path is forced to allocate first.
+    fn record_violation_observed(&mut self, description: fmt::Arguments<'_>, op: Option<OpRef>) {
         if self.obs.events.enabled() {
+            let desc = description.to_string();
             self.emit_obs(EventKind::Violation {
-                desc: description.clone(),
+                desc: desc.clone(),
                 op,
             });
+            self.metrics.record_violation(desc);
+        } else {
+            self.metrics.record_violation_args(description);
         }
-        self.metrics.record_violation(description);
     }
 
     fn handle_plan_fault(&mut self, idx: usize) {
@@ -471,28 +520,31 @@ impl Simulation {
         }
         match self.config.faults.events()[idx].1 {
             FaultEvent::Crash { site } => {
-                if self.up[site] {
-                    self.up[site] = false;
+                if self.up.contains(site) {
+                    self.up.remove(site);
                     self.metrics.site_failures += 1;
                 }
             }
             FaultEvent::Recover { site } => {
-                self.up[site] = true;
+                self.up.insert(site);
             }
             FaultEvent::AbortClient { client } => {
                 self.abort_flag[client] = true;
             }
             FaultEvent::Corrupt { site, vn, value } => {
-                self.stores[site] = (vn, value);
+                self.stores.set(site, vn, value);
+                self.arena_check = None;
                 // Sweep immediately: a later write's install can overwrite
                 // the corrupted entry before any committed operation (or
                 // the end-of-run sweep) would look at it, so detection at
                 // injection time is the only seed-independent guarantee.
                 if self.config.monitor {
-                    if let Err(v) = self.probe.check_stores(&self.stores, &*self.config.quorum)
-                    {
-                        let desc = format!("t={} corrupt injection: {v}", self.now);
-                        self.record_violation_observed(desc, None);
+                    if let Err(v) = self.arena_check_memo() {
+                        let now = self.now;
+                        self.record_violation_observed(
+                            format_args!("t={now} corrupt injection: {v}"),
+                            None,
+                        );
                     }
                 }
             }
@@ -503,7 +555,7 @@ impl Simulation {
     }
 
     fn live_set(&self) -> ReplicaSet {
-        (0..self.up.len()).filter(|&s| self.up[s]).collect()
+        self.up
     }
 
     /// Whether any fault condition is active right now — a site down, or
@@ -511,52 +563,41 @@ impl Simulation {
     /// reader can separate healthy-period actions from faulted-period
     /// ones.
     fn faulted_now(&self) -> bool {
-        self.up.iter().any(|u| !u)
+        self.up != ReplicaSet::full(self.n)
             || self.config.faults.drop_permille_at(self.now) > 0
             || self.config.faults.delay_extra_at(self.now) > SimTime::ZERO
-    }
-
-    /// Record one trace action at the current instant (no-op without an
-    /// attached sink). Tracing never touches the RNG stream, so traced and
-    /// untraced runs are event-for-event identical.
-    fn emit(&mut self, tid: TraceTid, action: TraceAction, faulted: bool) {
-        let now = self.now;
-        if let Some(sink) = self.probe.sink_mut() {
-            sink.record(now, tid, action, faulted);
-        }
     }
 
     /// Whether `site` (up now) crashes at or before `t` — the straddle
     /// check: a response arriving at `t` is lost if the site's next
     /// stochastic or planned crash lands first.
     fn site_crashes_by(&self, site: usize, t: SimTime) -> bool {
-        if let Some(down) = self.stoch_next_down[site] {
-            if down <= t {
-                return true;
-            }
+        if self.stoch_next_down[site] <= t {
+            return true;
         }
         let planned = &self.plan_crashes[site];
         let i = planned.partition_point(|&c| c <= self.now);
         i < planned.len() && planned[i] <= t
     }
 
-    /// Simulate one quorum-gathering phase from the current site state.
+    /// Simulate one quorum-gathering phase from the current site state
+    /// (`write_phase` selects the quorum predicate).
     ///
     /// `targets` are contacted (one request + one response each if live;
     /// requests to dead sites are sent and lost); the phase completes at
-    /// the earliest time the responder set satisfies `is_quorum`. Messages
-    /// may be dropped by an active drop window, delayed by an active delay
-    /// window, and responses are lost when the site crashes before the
-    /// response would arrive.
+    /// the earliest time the responder set satisfies the quorum predicate.
+    /// Messages may be dropped by an active drop window, delayed by an
+    /// active delay window, and responses are lost when the site crashes
+    /// before the response would arrive.
     fn phase(
         &mut self,
         targets: ReplicaSet,
         client: usize,
         op_index: u64,
         attempt: u32,
-        phase_no: u8,
-        is_quorum: &dyn Fn(ReplicaSet) -> bool,
+        write_phase: bool,
     ) -> PhaseOutcome {
+        let phase_no: u8 = if write_phase { 2 } else { 1 };
         let drop_permille = self.config.faults.drop_permille_at(self.now);
         let delay_extra = self.config.faults.delay_extra_at(self.now);
         let seed = self.config.seed;
@@ -565,7 +606,7 @@ impl Simulation {
         let mut messages = 0u64;
         for s in targets {
             messages += 1; // request
-            if !self.up[s] {
+            if !self.up.contains(s) {
                 continue;
             }
             if message_dropped(seed, client, op_index, attempt, phase_no, s, false, drop_permille)
@@ -604,7 +645,7 @@ impl Simulation {
                 break;
             }
             have.insert(s);
-            if is_quorum(have) {
+            if self.is_quorum(have, write_phase) {
                 outcome = PhaseOutcome {
                     elapsed: t,
                     messages,
@@ -618,13 +659,45 @@ impl Simulation {
         outcome
     }
 
+    /// Whether `have` includes the relevant quorum: the phase loop's
+    /// membership probe, taken through [`Thresholds`] as a popcount when
+    /// the quorum system has one (it agrees exactly with the predicates —
+    /// asserted exhaustively in the quorum crate).
+    #[inline]
+    fn is_quorum(&self, have: ReplicaSet, write: bool) -> bool {
+        match self.th {
+            Some(t) => {
+                let k = have.intersection(ReplicaSet::full(t.n)).len();
+                k >= if write { t.write_size } else { t.read_size }
+            }
+            None if write => self.config.quorum.is_write_quorum_bits(have),
+            None => self.config.quorum.is_read_quorum_bits(have),
+        }
+    }
+
+    /// Minimal quorum inside `available`, matching
+    /// `find_*_quorum_bits` bit-for-bit: for threshold systems the greedy
+    /// ascending-drop shrink keeps exactly the highest `k` live members.
+    #[inline]
+    fn find_quorum(&self, available: ReplicaSet, write: bool) -> Option<ReplicaSet> {
+        match self.th {
+            Some(t) => {
+                let k = if write { t.write_size } else { t.read_size };
+                let live = available.intersection(ReplicaSet::full(t.n));
+                (live.len() >= k).then(|| live.keep_highest(k))
+            }
+            None if write => self.config.quorum.find_write_quorum_bits(available),
+            None => self.config.quorum.find_read_quorum_bits(available),
+        }
+    }
+
     fn read_targets(&mut self) -> Option<ReplicaSet> {
         let live = self.live_set();
         match self.config.contact {
             // Contacting a site known to be down buys nothing: it cannot
             // respond, so it can never help assemble the quorum.
             ContactPolicy::AllLive => Some(live),
-            ContactPolicy::MinimalQuorum => self.config.quorum.find_read_quorum_bits(live),
+            ContactPolicy::MinimalQuorum => self.find_quorum(live, false),
         }
     }
 
@@ -632,7 +705,7 @@ impl Simulation {
         let live = self.live_set();
         match self.config.contact {
             ContactPolicy::AllLive => Some(live),
-            ContactPolicy::MinimalQuorum => self.config.quorum.find_write_quorum_bits(live),
+            ContactPolicy::MinimalQuorum => self.find_quorum(live, true),
         }
     }
 
@@ -643,23 +716,14 @@ impl Simulation {
         self.op_counter[client] += 1;
         // A value unique across the run, so histories identify writes.
         let value = client as u64 * 1_000_000 + op_index + 1;
-        self.pending[client] = Some(PendingOp {
-            read: is_read,
-            value,
-            op_index,
-            attempt: 1,
-            started: self.now,
-            messages: 0,
-            gather_us: 0,
-            install_us: 0,
-            backoff_us: 0,
-        });
+        self.pending
+            .put(client, PendingOp::begin(0, is_read, value, op_index, self.now));
         self.attempt_op(client);
     }
 
     /// Run one attempt of `client`'s pending operation.
     fn attempt_op(&mut self, client: usize) {
-        let mut op = match self.pending[client].take() {
+        let mut op = match self.pending.take(client) {
             Some(op) => op,
             None => return,
         };
@@ -693,27 +757,32 @@ impl Simulation {
         // Fail fast when the live sites cannot possibly hold the quorums
         // this operation needs (writes also need a read quorum for
         // version discovery).
-        let health = self.config.quorum.quorum_health(self.live_set());
-        let feasible = if op.read {
-            health.can_read()
-        } else {
-            health.can_read() && health.can_write()
+        let feasible = match self.th {
+            Some(t) => {
+                let k = self.live_set().intersection(ReplicaSet::full(t.n)).len();
+                if op.read {
+                    k >= t.read_size
+                } else {
+                    k >= t.read_size && k >= t.write_size
+                }
+            }
+            None => {
+                let health = self.config.quorum.quorum_health(self.live_set());
+                if op.read {
+                    health.can_read()
+                } else {
+                    health.can_read() && health.can_write()
+                }
+            }
         };
         if !feasible {
             self.finish_failed_attempt(client, op, SimTime::ZERO, 0, true);
             return;
         }
 
-        let quorum = Arc::clone(&self.config.quorum);
-
         // Phase 1 (both kinds): version-number discovery at a read-quorum.
         let out1 = match self.read_targets() {
-            Some(targets) => {
-                let q = Arc::clone(&quorum);
-                self.phase(targets, client, op.op_index, op.attempt, 1, &move |s| {
-                    q.is_read_quorum_bits(s)
-                })
-            }
+            Some(targets) => self.phase(targets, client, op.op_index, op.attempt, false),
             None => {
                 self.finish_failed_attempt(client, op, SimTime::ZERO, 0, true);
                 return;
@@ -726,12 +795,7 @@ impl Simulation {
             self.finish_failed_attempt(client, op, out1.elapsed, out1.messages, false);
             return;
         }
-        let (dvn, dval) = out1
-            .responders
-            .iter()
-            .map(|s| self.stores[s])
-            .max_by_key(|&(vn, _)| vn)
-            .unwrap_or((0, 0));
+        let (dvn, dval) = self.stores.discover(0, out1.responders);
 
         if op.read {
             if self.probe.has_sink() {
@@ -739,7 +803,7 @@ impl Simulation {
                 let faulted = self.faulted_now();
                 self.emit(tid, TraceAction::Create { kind: TmKind::Read }, faulted);
                 for s in out1.responders {
-                    let (vn, value) = self.stores[s];
+                    let (vn, value) = self.stores.get(s);
                     self.emit(tid, TraceAction::ReadDm { site: s, vn, value }, faulted);
                 }
                 self.emit(tid, TraceAction::RequestCommit { vn: dvn, value: dval }, faulted);
@@ -752,12 +816,7 @@ impl Simulation {
         // Phase 2 (writes): install at a write-quorum. A failed phase
         // installs nothing (atomic commit round).
         let out2 = match self.write_targets() {
-            Some(targets) => {
-                let q = Arc::clone(&quorum);
-                self.phase(targets, client, op.op_index, op.attempt, 2, &move |s| {
-                    q.is_write_quorum_bits(s)
-                })
-            }
+            Some(targets) => self.phase(targets, client, op.op_index, op.attempt, true),
             None => {
                 self.finish_failed_attempt(client, op, out1.elapsed, out1.messages, true);
                 return;
@@ -778,7 +837,7 @@ impl Simulation {
             let faulted = self.faulted_now();
             self.emit(tid, TraceAction::Create { kind: TmKind::Write }, faulted);
             for s in out1.responders {
-                let (vn, value) = self.stores[s];
+                let (vn, value) = self.stores.get(s);
                 self.emit(tid, TraceAction::ReadDm { site: s, vn, value }, faulted);
             }
             for s in out2.responders {
@@ -803,9 +862,20 @@ impl Simulation {
             self.emit(tid, TraceAction::Commit, faulted);
         }
         for s in out2.responders {
-            self.stores[s] = (new_vn, op.value);
+            self.stores.set(s, new_vn, op.value);
         }
+        self.arena_check = None;
         self.commit_op(client, op, elapsed, messages, new_vn, op.value);
+    }
+
+    /// Record one trace action at the current instant (no-op without an
+    /// attached sink). Tracing never touches the RNG stream, so traced and
+    /// untraced runs are event-for-event identical.
+    fn emit(&mut self, tid: TraceTid, action: TraceAction, faulted: bool) {
+        let now = self.now;
+        if let Some(sink) = self.probe.sink_mut() {
+            sink.record(now, tid, action, faulted);
+        }
     }
 
     /// Commit the pending operation: record metrics/history, assert the
@@ -859,16 +929,21 @@ impl Simulation {
             });
         }
         if self.config.monitor {
+            // Same clauses and first-offender order as the probe's
+            // `on_{read,write}_commit_arena`, with the store re-check
+            // memoized: a committed read mutates nothing, so between
+            // writes every read replays the last outcome. A committed
+            // write digests into the history first (dropping the memo —
+            // its inputs changed) and re-scans.
             let check = if op.read {
-                self.probe
-                    .on_read_commit(value, &self.stores, &*self.config.quorum)
+                self.probe.check_read_value(value)
             } else {
-                self.probe
-                    .on_write_commit(vn, value, &self.stores, &*self.config.quorum)
-            };
+                self.arena_check = None;
+                self.probe.commit_write_digest(vn, value)
+            }
+            .and_then(|()| self.arena_check_memo());
             if let Err(v) = check {
                 let kind = if op.read { "read" } else { "write" };
-                let desc = format!("t={} client={client} {kind}: {v}", self.now);
                 let op_ref = OpRef {
                     client: client as u64,
                     op: op.op_index,
@@ -877,7 +952,11 @@ impl Simulation {
                     vn,
                     value,
                 };
-                self.record_violation_observed(desc, Some(op_ref));
+                let now = self.now;
+                self.record_violation_observed(
+                    format_args!("t={now} client={client} {kind}: {v}"),
+                    Some(op_ref),
+                );
             }
         }
         self.schedule(
@@ -926,7 +1005,7 @@ impl Simulation {
             // The attempt's own phase time is already in gather/install;
             // only the extra sleep (including the 1 µs floor) is backoff.
             op.backoff_us += (delay - attempt_elapsed).as_micros();
-            self.pending[client] = Some(op);
+            self.pending.put(client, op);
             self.schedule(delay, Event::Retry { client });
             return;
         }
@@ -1051,6 +1130,19 @@ mod tests {
     }
 
     #[test]
+    fn heap_oracle_and_calendar_queue_agree_exactly() {
+        for (mttf, rf) in [(None, 0.9), (Some(SimTime::from_secs(3)), 0.5)] {
+            let mut cal = base(Arc::new(Majority::new(5)));
+            cal.queue = QueueKind::Calendar;
+            cal.mttf = mttf;
+            cal.read_fraction = rf;
+            let mut heap = cal.clone();
+            heap.queue = QueueKind::Heap;
+            assert_eq!(run(cal).digest(), run(heap).digest());
+        }
+    }
+
+    #[test]
     fn minimal_quorum_contact_halves_read_messages() {
         let mut all = base(Arc::new(Majority::new(5)));
         all.contact = ContactPolicy::AllLive;
@@ -1067,13 +1159,12 @@ mod tests {
     #[test]
     fn all_live_skips_down_sites() {
         let mut sim = Simulation::new(base(Arc::new(Majority::new(5))));
-        sim.up[0] = false;
-        sim.up[3] = false;
+        sim.up.remove(0);
+        sim.up.remove(3);
         let targets = sim.read_targets().unwrap();
         assert_eq!(targets.iter().collect::<Vec<_>>(), vec![1, 2, 4]);
         // 3 requests + 3 responses — no messages wasted on dead sites.
-        let q = Arc::clone(&sim.config.quorum);
-        let out = sim.phase(targets, 0, 0, 1, 1, &move |s| q.is_read_quorum_bits(s));
+        let out = sim.phase(targets, 0, 0, 1, false);
         assert!(out.ok);
         assert_eq!(out.messages, 6);
         assert_eq!(out.responders.len(), 3);
@@ -1179,15 +1270,7 @@ mod tests {
         c.faults = FaultPlan::new().crash_at(SimTime(100), 2);
         let mut sim = Simulation::new(c);
         sim.now = SimTime(50);
-        let q = Arc::clone(&sim.config.quorum);
-        let out = sim.phase(
-            ReplicaSet::full(3),
-            0,
-            0,
-            1,
-            1,
-            &move |s| q.is_read_quorum_bits(s),
-        );
+        let out = sim.phase(ReplicaSet::full(3), 0, 0, 1, false);
         // Sites 0 and 1 respond (quorum); site 2's response is lost.
         assert!(out.ok);
         assert!(!out.responders.contains(2));

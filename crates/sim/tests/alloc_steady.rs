@@ -1,0 +1,85 @@
+//! Pins the hot-path allocation contract: the steady-state committed-op
+//! path of the simulator allocates nothing per operation.
+//!
+//! Per-op state is interned in the `OpSlab`, the phase response buffer is
+//! reused, the DM stores live in the pre-sized SoA arena, and violation
+//! descriptions are formatted lazily — so the only allocation that scales
+//! with operation count at all is the amortized doubling of the
+//! `latencies_us` sample vectors (part of the pinned metrics digest, so
+//! it cannot be removed). That is logarithmic: a run with tens of
+//! thousands more operations may perform at most a handful more
+//! allocations.
+//!
+//! The test compares total allocator calls between a short and a long run
+//! and bounds the delta by a small constant. One `#[test]` per process:
+//! the counting allocator is global, so parallel tests would pollute each
+//! other's counts.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use qc_sim::{Metrics, QueueKind, SimConfig, SimTime, Simulation};
+use quorum::Majority;
+
+struct CountingAlloc;
+
+static ALLOC_CALLS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOC_CALLS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOC_CALLS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+/// Allocator calls made *inside* `Simulation::run` (construction excluded:
+/// the slab, arena, and fault tables are deliberately allocated up front).
+fn drive_counted(secs: u64, queue: QueueKind) -> (u64, Metrics) {
+    let mut config = SimConfig::new(Arc::new(Majority::new(5)));
+    config.duration = SimTime::from_secs(secs);
+    config.queue = queue;
+    let sim = Simulation::new(config);
+    let before = ALLOC_CALLS.load(Ordering::Relaxed);
+    let metrics = sim.run();
+    let after = ALLOC_CALLS.load(Ordering::Relaxed);
+    (after - before, metrics)
+}
+
+#[test]
+fn committed_op_path_allocates_sublinearly() {
+    // Warm-up run so one-time lazy init (TLS, rand tables, …) is paid.
+    drive_counted(1, QueueKind::Calendar);
+
+    let (short_allocs, short_m) = drive_counted(2, QueueKind::Calendar);
+    let (long_allocs, long_m) = drive_counted(12, QueueKind::Calendar);
+
+    let short_ops = short_m.reads.successes + short_m.writes.successes;
+    let long_ops = long_m.reads.successes + long_m.writes.successes;
+    assert!(
+        long_ops > short_ops + 10_000,
+        "workload too small to be meaningful: {short_ops} vs {long_ops} ops"
+    );
+
+    // ~6× the operations may cost only the latency-vector doublings and
+    // stray bucket growth — a constant, nowhere near linear in ops.
+    let delta = long_allocs.saturating_sub(short_allocs);
+    assert!(
+        delta <= 64,
+        "hot path allocates per-op: {delta} extra allocator calls for \
+         {} extra committed ops (short run {short_allocs}, long run {long_allocs})",
+        long_ops - short_ops
+    );
+}

@@ -1,0 +1,141 @@
+//! Property-based equivalence of the calendar event queue against the
+//! binary-heap oracle: under arbitrary interleaved push/pop sequences,
+//! same-timestamp floods, and load factors that force bucket resizes in
+//! both directions, the two implementations pop a bit-identical
+//! `(time, seq, event)` sequence. This is the property the simulators'
+//! determinism contract rests on — if it holds, swapping queue
+//! implementations can never change a digest.
+//!
+//! Case budget: `PROPTEST_CASES` (see `scripts/tier1.sh`), default 256.
+
+use proptest::prelude::*;
+use qc_sim::{CalendarQueue, EventQueue, HeapQueue, SimTime};
+
+/// One scripted queue operation: `Some(delay)` pushes at
+/// `last popped time + delay` (the simulators only ever schedule into the
+/// future — `CalendarQueue` documents and asserts this precondition);
+/// `None` pops.
+type Op = Option<u64>;
+
+/// Run the same script against both queues and assert every intermediate
+/// pop (and the final drain) matches exactly.
+fn check_equivalence(script: &[Op]) {
+    let mut cal: CalendarQueue<u32> = CalendarQueue::new();
+    let mut heap: HeapQueue<u32> = HeapQueue::new();
+    let mut seq = 0u64;
+    let mut now = 0u64;
+    for op in script {
+        match *op {
+            Some(delay) => {
+                seq += 1;
+                // The payload encodes the push so a mismatch is loud.
+                cal.push(SimTime(now.saturating_add(delay)), seq, seq as u32);
+                heap.push(SimTime(now.saturating_add(delay)), seq, seq as u32);
+            }
+            None => {
+                assert_eq!(cal.next_time(), heap.next_time());
+                let popped = heap.pop();
+                assert_eq!(cal.pop(), popped);
+                if let Some((t, _, _)) = popped {
+                    now = t.as_micros();
+                }
+            }
+        }
+        assert_eq!(cal.len(), heap.len());
+    }
+    while let Some(popped) = heap.pop() {
+        assert_eq!(cal.pop(), Some(popped));
+    }
+    assert_eq!(cal.pop(), None);
+    assert_eq!(cal.len(), 0);
+}
+
+/// An interleaved script over a given delay range: `Some` (push) ratio
+/// 2:1 over `None` (pop), so queues grow, shrink, and drain.
+fn script_strategy(max_delay: u64, len: usize) -> impl Strategy<Value = Vec<Op>> {
+    prop::collection::vec(
+        (0u64..3, 0u64..=max_delay).prop_map(|(k, d)| (k > 0).then_some(d)),
+        0..len,
+    )
+}
+
+proptest! {
+    /// Arbitrary interleavings over a realistic event horizon.
+    #[test]
+    fn pops_match_heap_oracle(script in script_strategy(10_000_000, 400)) {
+        check_equivalence(&script);
+    }
+
+    /// Same-timestamp floods: many events land on very few distinct
+    /// instants, so ordering is decided almost entirely by `seq`.
+    #[test]
+    fn same_instant_floods_pop_in_seq_order(script in script_strategy(3, 400)) {
+        check_equivalence(&script);
+    }
+
+    /// Extreme sparse horizons (times up to ~35 years of simulated µs)
+    /// exercise the calendar's direct-search fallback and the saturating
+    /// virtual-clock arithmetic.
+    #[test]
+    fn sparse_horizons_match(script in script_strategy(u64::MAX / 16, 200)) {
+        check_equivalence(&script);
+    }
+
+    /// Bucket-resize boundaries: grow far past the initial 8 buckets,
+    /// then drain through every shrink threshold, popping along the way.
+    #[test]
+    fn resize_boundaries_preserve_order(
+        times in prop::collection::vec(0u64..5_000_000, 100..600),
+        drain_step in 1usize..8,
+    ) {
+        let mut script: Vec<Op> = times.iter().map(|&t| Some(t)).collect();
+        // Interleave pops every `drain_step` pushes on the way down, so
+        // shrink decisions happen mid-script rather than only at the end.
+        let mut i = drain_step;
+        while i < script.len() {
+            script.insert(i, None);
+            i += drain_step + 1;
+        }
+        check_equivalence(&script);
+    }
+
+    /// `pop_at` (the batched-delivery primitive) agrees between the two
+    /// implementations: after a pop at `t`, both drain the same residue at
+    /// `t` in the same order, even when new same-instant entries are
+    /// pushed mid-batch.
+    #[test]
+    fn pop_at_batches_match(
+        times in prop::collection::vec(0u64..16, 1..200),
+        extra in prop::collection::vec(0u64..16, 0..20),
+    ) {
+        let mut cal: CalendarQueue<u32> = CalendarQueue::new();
+        let mut heap: HeapQueue<u32> = HeapQueue::new();
+        let mut seq = 0u64;
+        for &t in &times {
+            seq += 1;
+            cal.push(SimTime(t), seq, seq as u32);
+            heap.push(SimTime(t), seq, seq as u32);
+        }
+        let mut extra = extra.into_iter();
+        while let Some(popped) = heap.pop() {
+            prop_assert_eq!(cal.pop(), Some(popped));
+            let t = popped.0;
+            // Mid-batch same-instant pushes must surface in this batch,
+            // in seq order.
+            if let Some(dt) = extra.next() {
+                seq += 1;
+                cal.push(t + SimTime(dt), seq, seq as u32);
+                heap.push(t + SimTime(dt), seq, seq as u32);
+            }
+            loop {
+                let a = cal.pop_at(t);
+                let b = heap.pop_at(t);
+                prop_assert_eq!(a, b);
+                if a.is_none() {
+                    break;
+                }
+            }
+        }
+        prop_assert_eq!(cal.pop(), None);
+    }
+}

@@ -18,6 +18,14 @@ echo "==> simulator fault/determinism/observability suites"
 cargo test -q -p qc-sim --test determinism --test faults --test fault_props \
   --test obs --test metrics_props
 
+echo "==> determinism suites under the heap event-queue oracle"
+# The calendar queue is the default; forcing the binary-heap oracle through
+# the same pinned-digest and shard-digest suites proves the two
+# implementations are observationally identical (same pop order, same
+# metrics bits) — any divergence fails the pinned digests immediately.
+QC_EVENT_QUEUE=heap cargo test -q -p qc-sim --test determinism \
+  --test shard_determinism --test golden
+
 echo "==> cargo clippy -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 # The observability crate is in the workspace, but pin it explicitly so a

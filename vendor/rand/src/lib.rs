@@ -122,15 +122,22 @@ fn uniform_u128<R: RngCore + ?Sized>(rng: &mut R, span: u128) -> u128 {
         if s == 0 {
             return rng.next_u64() as u128; // span == 2^64
         }
-        // Lemire: m = x * s; accept unless low word falls in the biased zone.
-        let zone = s.wrapping_neg() % s; // 2^64 mod s
-        loop {
-            let x = rng.next_u64();
-            let m = (x as u128) * (s as u128);
-            if (m as u64) >= zone {
-                return m >> 64;
+        // Lemire: m = x * s; accept unless the low word falls in the
+        // biased zone. The zone is strictly below `s`, so a low word of
+        // `s` or more accepts without ever computing the zone — that
+        // defers the 64-bit division to the ~s/2^64 of draws that might
+        // actually be biased (Lemire 2019, §4), with a draw-for-draw
+        // identical consumption of the underlying stream.
+        let x = rng.next_u64();
+        let mut m = (x as u128) * (s as u128);
+        if (m as u64) < s {
+            let zone = s.wrapping_neg() % s; // 2^64 mod s
+            while (m as u64) < zone {
+                let x = rng.next_u64();
+                m = (x as u128) * (s as u128);
             }
         }
+        m >> 64
     } else {
         // Rejection sample full 128-bit words.
         loop {
