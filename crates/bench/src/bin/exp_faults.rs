@@ -28,7 +28,7 @@ use qc_bench::{
 };
 use qc_sim::{
     check_trace, default_threads, par_map, run, run_batch, run_observed, run_traced,
-    ContactPolicy, FaultPlan, Metrics, RetryPolicy, SimConfig, SimTime,
+    ContactPolicy, FaultPlan, Metrics, ReconfigPolicy, RetryPolicy, SimConfig, SimTime,
 };
 use quorum::{Majority, QuorumSpec, Rowa};
 use serde_json::JsonObject;
@@ -58,6 +58,7 @@ fn cell(
     seed: u64,
     attempts: u32,
     secs: u64,
+    dynamic: bool,
 ) -> SimConfig {
     let mut c = SimConfig::new(Arc::clone(q));
     c.contact = ContactPolicy::AllLive;
@@ -68,7 +69,18 @@ fn cell(
     c.seed = seed;
     c.faults = plan.clone();
     c.retry = RetryPolicy::retries(attempts, SimTime::from_millis(10));
+    if dynamic {
+        c.reconfig = ReconfigPolicy::reactive();
+    }
     c
+}
+
+fn mode_name(dynamic: bool) -> &'static str {
+    if dynamic {
+        "dynamic"
+    } else {
+        "static"
+    }
 }
 
 fn main() {
@@ -91,23 +103,33 @@ fn main() {
     let systems: Vec<Arc<dyn QuorumSpec + Send + Sync>> =
         vec![Arc::new(Rowa::new(5)), Arc::new(Majority::new(5))];
     let budgets = [1u32, 4];
+    let modes = [false, true];
 
-    let cells: Vec<(Arc<dyn QuorumSpec + Send + Sync>, u32)> = systems
-        .iter()
-        .flat_map(|q| budgets.iter().map(|&a| (Arc::clone(q), a)))
-        .collect();
+    let mut cells: Vec<(Arc<dyn QuorumSpec + Send + Sync>, u32, bool)> = Vec::new();
+    for q in &systems {
+        for &a in &budgets {
+            for &d in &modes {
+                cells.push((Arc::clone(q), a, d));
+            }
+        }
+    }
     let metrics: Vec<Metrics> = match &trace_dir {
         Some(dir) => {
             // Traced runs are serial, but the recorded metrics are
             // bit-identical to the parallel sweep's; every trace must
-            // replay through the Theorem 10 conformance checker.
+            // replay through the (generation-aware) Theorem 10
+            // conformance checker.
             std::fs::create_dir_all(dir).expect("create --trace-dir");
             cells
                 .iter()
-                .map(|(q, attempts)| {
-                    let (m, trace) = run_traced(cell(q, &plan, seed, *attempts, secs));
-                    let name =
-                        format!("faults_{}_a{attempts}.json", trace_file_stem(&q.label()));
+                .map(|(q, attempts, dynamic)| {
+                    let (m, trace) =
+                        run_traced(cell(q, &plan, seed, *attempts, secs, *dynamic));
+                    let name = format!(
+                        "faults_{}_a{attempts}_{}.json",
+                        trace_file_stem(&q.label()),
+                        mode_name(*dynamic)
+                    );
                     let path = dump_trace(dir, &name, &trace);
                     let report = check_trace(&trace, q.as_ref()).unwrap_or_else(|d| {
                         panic!("{name}: trace failed conformance: {d}")
@@ -127,8 +149,8 @@ fn main() {
             let options = obs.options();
             let grid: Vec<SimConfig> = cells
                 .iter()
-                .map(|(q, a)| {
-                    let mut c = cell(q, &plan, seed, *a, secs);
+                .map(|(q, a, d)| {
+                    let mut c = cell(q, &plan, seed, *a, secs, *d);
                     c.obs = options;
                     c
                 })
@@ -136,8 +158,12 @@ fn main() {
             let outs = par_map(grid, default_threads(), |_, c| run_observed(c));
             outs.into_iter()
                 .zip(&cells)
-                .map(|((m, report), (q, attempts))| {
-                    let stem = format!("faults_{}_a{attempts}", trace_file_stem(&q.label()));
+                .map(|((m, report), (q, attempts, dynamic))| {
+                    let stem = format!(
+                        "faults_{}_a{attempts}_{}",
+                        trace_file_stem(&q.label()),
+                        mode_name(*dynamic)
+                    );
                     obs.dump(&stem, &report);
                     m
                 })
@@ -146,7 +172,7 @@ fn main() {
         None => {
             let grid: Vec<SimConfig> = cells
                 .iter()
-                .map(|(q, a)| cell(q, &plan, seed, *a, secs))
+                .map(|(q, a, d)| cell(q, &plan, seed, *a, secs, *d))
                 .collect();
             run_batch(grid, default_threads())
         }
@@ -155,11 +181,12 @@ fn main() {
         println!();
     }
 
-    let widths = [14, 9, 10, 10, 8, 8, 8, 8, 8, 6];
+    let widths = [14, 9, 8, 10, 10, 8, 8, 8, 8, 8, 6, 6];
     row(
         &[
             "quorum".into(),
             "attempts".into(),
+            "mode".into(),
             "read av".into(),
             "write av".into(),
             "unavail".into(),
@@ -167,58 +194,114 @@ fn main() {
             "retries".into(),
             "aborted".into(),
             "dropped".into(),
+            "recfg".into(),
             "viol".into(),
         ],
         &widths,
     );
     rule(&widths);
 
+    // The headline comparison: reconfiguration must close most of the
+    // write-availability gap the outages open under static ROWA, and the
+    // dynamic column must be non-degenerate (the trigger actually fired).
+    let mut rowa_write_av = Vec::new();
+
     let mut cells_json = Vec::new();
     let mut iter = metrics.iter();
     for q in &systems {
         for &attempts in &budgets {
-            let m = iter.next().expect("one metrics per grid cell");
-            assert_eq!(
-                m.lemma_violations, 0,
-                "in-model faults must never trip the monitor: {:?}",
-                m.violations
-            );
-            row(
-                &[
-                    q.label(),
-                    format!("{attempts}"),
-                    format!("{:.4}", m.reads.availability()),
-                    format!("{:.4}", m.writes.availability()),
-                    format!("{}", m.reads.unavailable + m.writes.unavailable),
-                    format!("{}", m.reads.timeouts + m.writes.timeouts),
-                    format!("{}", m.reads.retries + m.writes.retries),
-                    format!("{}", m.reads.aborted + m.writes.aborted),
-                    format!("{}", m.dropped_messages),
-                    format!("{}", m.lemma_violations),
-                ],
-                &widths,
-            );
-            cells_json.push(
-                JsonObject::new()
-                    .field("quorum", q.label().as_str())
-                    .field("attempts", &attempts)
-                    .field_raw(
-                        "reads",
-                        &serde_json::to_string(&m.reads.summary()).expect("summary serializes"),
-                    )
-                    .field_raw(
-                        "writes",
-                        &serde_json::to_string(&m.writes.summary()).expect("summary serializes"),
-                    )
-                    .field("dropped_messages", &m.dropped_messages)
-                    .field("forced_aborts", &m.forced_aborts)
-                    .field("injected_faults", &m.injected_faults)
-                    .field("site_failures", &m.site_failures)
-                    .field("lemma_violations", &m.lemma_violations)
-                    .build(),
-            );
+            for &dynamic in &modes {
+                let m = iter.next().expect("one metrics per grid cell");
+                assert_eq!(
+                    m.lemma_violations, 0,
+                    "in-model faults must never trip the monitor: {:?}",
+                    m.violations
+                );
+                // ROWA is the system the outages actually starve, so its
+                // dynamic cells must reconfigure. Majority tolerates the
+                // plan without a single failure signal, and a trigger that
+                // fired anyway would be churn, not repair.
+                if dynamic && q.label().starts_with("rowa") {
+                    assert!(
+                        m.reconfigurations > 0,
+                        "{} a{attempts}: dynamic cell is degenerate — the reactive \
+                         trigger never fired",
+                        q.label()
+                    );
+                }
+                if q.label().starts_with("rowa") {
+                    rowa_write_av.push((attempts, dynamic, m.writes.availability()));
+                }
+                row(
+                    &[
+                        q.label(),
+                        format!("{attempts}"),
+                        mode_name(dynamic).into(),
+                        format!("{:.4}", m.reads.availability()),
+                        format!("{:.4}", m.writes.availability()),
+                        format!("{}", m.reads.unavailable + m.writes.unavailable),
+                        format!("{}", m.reads.timeouts + m.writes.timeouts),
+                        format!("{}", m.reads.retries + m.writes.retries),
+                        format!("{}", m.reads.aborted + m.writes.aborted),
+                        format!("{}", m.dropped_messages),
+                        format!("{}", m.reconfigurations),
+                        format!("{}", m.lemma_violations),
+                    ],
+                    &widths,
+                );
+                cells_json.push(
+                    JsonObject::new()
+                        .field("quorum", q.label().as_str())
+                        .field("attempts", &attempts)
+                        .field("mode", mode_name(dynamic))
+                        .field_raw(
+                            "reads",
+                            &serde_json::to_string(&m.reads.summary())
+                                .expect("summary serializes"),
+                        )
+                        .field_raw(
+                            "writes",
+                            &serde_json::to_string(&m.writes.summary())
+                                .expect("summary serializes"),
+                        )
+                        .field("dropped_messages", &m.dropped_messages)
+                        .field("forced_aborts", &m.forced_aborts)
+                        .field("injected_faults", &m.injected_faults)
+                        .field("site_failures", &m.site_failures)
+                        .field("reconfigurations", &m.reconfigurations)
+                        .field("reconfig_failures", &m.reconfig_failures)
+                        .field("stale_rejections", &m.stale_rejections)
+                        .field("lemma_violations", &m.lemma_violations)
+                        .build(),
+                );
+            }
         }
         rule(&widths);
+    }
+
+    // On the pinned default scenario the static ROWA cells sit near 0.56
+    // write availability (two staggered outages under read-one/write-all);
+    // the reactive trigger must lift every dynamic ROWA cell to >= 0.85.
+    for &(attempts, dynamic, av) in &rowa_write_av {
+        if dynamic {
+            let static_av = rowa_write_av
+                .iter()
+                .find(|&&(a, d, _)| a == attempts && !d)
+                .map(|&(_, _, av)| av)
+                .expect("matching static cell");
+            assert!(
+                av > static_av,
+                "rowa a{attempts}: dynamic write availability {av:.4} did not \
+                 improve on static {static_av:.4}"
+            );
+            if secs == DURATION_SECS && flag_value("--faults").is_none() {
+                assert!(
+                    av >= 0.85,
+                    "rowa a{attempts}: dynamic write availability {av:.4} < 0.85 \
+                     on the pinned scenario"
+                );
+            }
+        }
     }
 
     // Negative control: corrupt one replica's store mid-run. The monitor
@@ -228,7 +311,7 @@ fn main() {
     let corrupt =
         FaultPlan::new().corrupt_at(SimTime(secs * 1_000_000 / 2), 2, 999_999, 77);
     let m = if let Some(dir) = &trace_dir {
-        let (m, trace) = run_traced(cell(&systems[1], &corrupt, seed, 1, secs));
+        let (m, trace) = run_traced(cell(&systems[1], &corrupt, seed, 1, secs, false));
         let path = dump_trace(dir, "faults_negative_control.json", &trace);
         let d = check_trace(&trace, systems[1].as_ref())
             .expect_err("negative control failed: corrupted trace passed conformance");
@@ -241,13 +324,13 @@ fn main() {
         // The negative control is the interesting event log: the corrupt
         // injection and every violation it causes (with the offending op
         // attached at commit-time detections) land in it.
-        let mut c = cell(&systems[1], &corrupt, seed, 1, secs);
+        let mut c = cell(&systems[1], &corrupt, seed, 1, secs, false);
         c.obs = obs.options();
         let (m, report) = run_observed(c);
         obs.dump("faults_negative_control", &report);
         m
     } else {
-        run(cell(&systems[1], &corrupt, seed, 1, secs))
+        run(cell(&systems[1], &corrupt, seed, 1, secs, false))
     };
     assert!(
         m.lemma_violations > 0,
@@ -280,9 +363,11 @@ fn main() {
 
     println!(
         "\nExpected shape: retries recover most availability lost to the two \
-         outages; ROWA writes suffer more than majority under a single site \
-         crash; the drop window costs messages, not correctness; monitors stay \
-         green for every in-model fault and fire on the out-of-model corruption."
+         outages; static ROWA writes suffer more than majority under a single \
+         site crash, and the reactive reconfiguration trigger closes most of \
+         that gap in the dynamic cells; the drop window costs messages, not \
+         correctness; monitors stay green for every in-model fault and fire on \
+         the out-of-model corruption."
     );
     println!(
         "Reproduce: cargo run --release -p qc-bench --bin exp_faults \

@@ -36,7 +36,7 @@ use ioa::{Component, OpClass, Schedule, System};
 use nested_txn::{
     AccessKind, AccessSpec, ObjectId, ReadWriteObject, SerialScheduler, Tid, TxnOp, Value,
 };
-use quorum::{QuorumSpec, ReplicaSet};
+use quorum::{QuorumFamily, QuorumSpec, ReplicaSet};
 
 use crate::invariants::{LemmaChecker, LemmaViolation};
 use crate::item::ItemId;
@@ -51,6 +51,11 @@ pub enum TmKind {
     /// A write-TM: discovers the current version at a read quorum, then
     /// installs `(vn + 1, value)` at a write quorum.
     Write,
+    /// A reconfigure-TM (paper §4): discovers the current configuration
+    /// and data at quorums of the *old* configuration, installs the new
+    /// `(generation, members)` at a configuration write quorum of the old
+    /// members, and refreshes the data at a write quorum of the new ones.
+    Reconfig,
 }
 
 impl fmt::Display for TmKind {
@@ -58,6 +63,7 @@ impl fmt::Display for TmKind {
         match self {
             TmKind::Read => write!(f, "read"),
             TmKind::Write => write!(f, "write"),
+            TmKind::Reconfig => write!(f, "reconfig"),
         }
     }
 }
@@ -71,6 +77,9 @@ pub enum AbortReason {
     Unavailable,
     /// A quorum existed but did not assemble within the timeout.
     Timeout,
+    /// The attempt ran against a superseded generation and was rejected;
+    /// the operation retries under the newly discovered configuration.
+    Stale,
 }
 
 impl fmt::Display for AbortReason {
@@ -79,6 +88,7 @@ impl fmt::Display for AbortReason {
             AbortReason::Forced => write!(f, "forced"),
             AbortReason::Unavailable => write!(f, "unavailable"),
             AbortReason::Timeout => write!(f, "timeout"),
+            AbortReason::Stale => write!(f, "stale"),
         }
     }
 }
@@ -130,6 +140,24 @@ pub enum TraceAction {
         /// The installed value.
         value: u64,
     },
+    /// A performed configuration read at a replica: the DM returned its
+    /// stored generation number.
+    ReadCfg {
+        /// The replica site.
+        site: usize,
+        /// The generation the site's configuration store held.
+        gen: u64,
+    },
+    /// A performed configuration install at a replica: the DM adopted the
+    /// new `(generation, members)` pair.
+    WriteCfg {
+        /// The replica site.
+        site: usize,
+        /// The installed generation number.
+        gen: u64,
+        /// The installed member set.
+        members: ReplicaSet,
+    },
     /// `REQUEST-COMMIT(T, v)`: the TM announces its result.
     RequestCommit {
         /// The version the operation committed at (discovered maximum for
@@ -160,6 +188,12 @@ impl fmt::Display for TraceAction {
             }
             TraceAction::WriteDm { site, vn, value } => {
                 write!(f, "WRITE-DM(site {site}, vn {vn}, value {value})")
+            }
+            TraceAction::ReadCfg { site, gen } => {
+                write!(f, "READ-CFG(site {site}, gen {gen})")
+            }
+            TraceAction::WriteCfg { site, gen, members } => {
+                write!(f, "WRITE-CFG(site {site}, gen {gen}, members {members})")
             }
             TraceAction::RequestCommit { vn, value } => {
                 write!(f, "REQUEST-COMMIT(vn {vn}, value {value})")
@@ -222,6 +256,14 @@ pub enum DivergenceKind {
     NoReadQuorum,
     /// A committed write's installs do not cover a write quorum.
     NoWriteQuorum,
+    /// A committed operation's configuration reads do not cover a
+    /// configuration read quorum of its generation's members.
+    NoConfigReadQuorum,
+    /// A new configuration was installed without reaching a configuration
+    /// write quorum of the *old* configuration (the Goldman–Lynch rule).
+    NoConfigWriteQuorum,
+    /// A committed operation ran against a superseded generation.
+    StaleGeneration,
     /// Lemma 7 or 8 fails at a commit point (or at end of trace).
     Lemma(LemmaViolation),
     /// The Theorem 10 projection was refused by serial system **A**.
@@ -250,6 +292,17 @@ impl fmt::Display for Divergence {
             }
             DivergenceKind::NoWriteQuorum => {
                 write!(f, "installs do not cover a write quorum")
+            }
+            DivergenceKind::NoConfigReadQuorum => {
+                write!(f, "configuration reads do not cover a configuration read quorum")
+            }
+            DivergenceKind::NoConfigWriteQuorum => write!(
+                f,
+                "the new configuration did not reach a configuration write quorum of the \
+                 old configuration"
+            ),
+            DivergenceKind::StaleGeneration => {
+                write!(f, "operation committed against a superseded generation")
             }
             DivergenceKind::Lemma(v) => write!(f, "{v}"),
             DivergenceKind::Replay(why) => write!(f, "{why}"),
@@ -293,6 +346,10 @@ struct Block {
     kind: TmKind,
     reads: Vec<Rep>,
     writes: Vec<Rep>,
+    /// Configuration reads: `(site, generation)`.
+    cfg_reads: Vec<(usize, u64)>,
+    /// Configuration installs: `(site, generation, members)`.
+    cfg_writes: Vec<(usize, u64, ReplicaSet)>,
     rc: Option<(usize, u64, u64)>,
 }
 
@@ -338,14 +395,39 @@ pub fn check_trace(
     }
     let mut stores: Vec<(u64, u64)> = vec![(0, trace.initial); trace.sites];
     let mut checker: LemmaChecker<u64> = LemmaChecker::new(trace.initial);
-    let check_stores =
-        |checker: &LemmaChecker<u64>, stores: &[(u64, u64)]| -> Result<(), LemmaViolation> {
-            checker.check_states(
-                stores.iter().enumerate().map(|(s, (vn, v))| (s, *vn, v)),
-                true,
-                |holders| quorum.is_write_quorum_bits(holders),
-            )
-        };
+
+    // Dynamic-configuration state. Generation 0 is the full replica set
+    // under the run's static quorum system; each committed reconfigure-TM
+    // appends the next generation's member set. A trace that never touches
+    // a configuration store stays at generation 0 and is checked exactly as
+    // before.
+    let family = QuorumFamily::of(quorum);
+    let full = ReplicaSet::full(trace.sites);
+    let mut cfg_stores: Vec<(u64, ReplicaSet)> = vec![(0, full); trace.sites];
+    let mut configs: Vec<ReplicaSet> = vec![full];
+    let mut cur_gen: u64 = 0;
+
+    // Lemma 8(1a)'s write-quorum predicate: the static system's at
+    // generation 0, the family rule over the current members once a
+    // reconfiguration has committed.
+    let check_stores = |checker: &LemmaChecker<u64>,
+                        stores: &[(u64, u64)],
+                        cur_gen: u64,
+                        members: ReplicaSet|
+     -> Result<(), LemmaViolation> {
+        checker.check_states(
+            stores.iter().enumerate().map(|(s, (vn, v))| (s, *vn, v)),
+            true,
+            |holders| {
+                if cur_gen == 0 {
+                    quorum.is_write_quorum_bits(holders)
+                } else {
+                    let fam = family.expect("generations only advance under a quorum family");
+                    holders.intersection(members).len() >= fam.write_size(members.len())
+                }
+            },
+        )
+    };
 
     let mut open: Option<Block> = None;
     let mut committed = 0usize;
@@ -374,6 +456,8 @@ pub fn check_trace(
                     kind,
                     reads: Vec::new(),
                     writes: Vec::new(),
+                    cfg_reads: Vec::new(),
+                    cfg_writes: Vec::new(),
                     rc: None,
                 });
             }
@@ -391,7 +475,7 @@ pub fn check_trace(
                         ))
                     }
                 };
-                if !b.writes.is_empty() {
+                if !b.writes.is_empty() || !b.cfg_writes.is_empty() {
                     return Err(diverge(
                         i,
                         ev,
@@ -442,7 +526,7 @@ pub fn check_trace(
                         ))
                     }
                 };
-                if b.kind != TmKind::Write {
+                if b.kind == TmKind::Read {
                     return Err(diverge(
                         i,
                         ev,
@@ -480,7 +564,11 @@ pub fn check_trace(
                     }
                 } else {
                     let dvn = b.reads.iter().map(|r| r.vn).max().unwrap_or(0);
-                    if vn != dvn + 1 {
+                    // A write-TM advances the version; a reconfigure-TM
+                    // *refreshes* the discovered version at the new members
+                    // (the data does not change, only its placement).
+                    let expect = if b.kind == TmKind::Reconfig { dvn } else { dvn + 1 };
+                    if vn != expect {
                         return Err(diverge(
                             i,
                             ev,
@@ -492,6 +580,152 @@ pub fn check_trace(
                 }
                 stores[site] = (vn, value);
                 b.writes.push(Rep { site, vn, value });
+            }
+            TraceAction::ReadCfg { site, gen } => {
+                erased += 1;
+                if family.is_none() {
+                    return Err(diverge(
+                        i,
+                        ev,
+                        DivergenceKind::Malformed(format!(
+                            "configuration access under non-resizable quorum system {}",
+                            quorum.label()
+                        )),
+                    ));
+                }
+                let b = match open.as_mut() {
+                    Some(b) if b.tid == ev.tid && b.rc.is_none() => b,
+                    _ => {
+                        return Err(diverge(
+                            i,
+                            ev,
+                            DivergenceKind::Malformed(
+                                "READ-CFG outside its transaction manager's run".into(),
+                            ),
+                        ))
+                    }
+                };
+                if !b.writes.is_empty() || !b.cfg_writes.is_empty() {
+                    return Err(diverge(
+                        i,
+                        ev,
+                        DivergenceKind::Malformed("READ-CFG after the install phase began".into()),
+                    ));
+                }
+                if site >= trace.sites {
+                    return Err(diverge(
+                        i,
+                        ev,
+                        DivergenceKind::Malformed(format!(
+                            "site {site} out of range (n = {})",
+                            trace.sites
+                        )),
+                    ));
+                }
+                if b.cfg_reads.iter().any(|&(s, _)| s == site) {
+                    return Err(diverge(
+                        i,
+                        ev,
+                        DivergenceKind::Malformed(format!("duplicate READ-CFG at site {site}")),
+                    ));
+                }
+                if cfg_stores[site].0 != gen {
+                    return Err(diverge(
+                        i,
+                        ev,
+                        DivergenceKind::Malformed(format!(
+                            "READ-CFG recorded gen {gen} but the site's configuration store \
+                             holds gen {}",
+                            cfg_stores[site].0
+                        )),
+                    ));
+                }
+                b.cfg_reads.push((site, gen));
+            }
+            TraceAction::WriteCfg { site, gen, members } => {
+                erased += 1;
+                if family.is_none() {
+                    return Err(diverge(
+                        i,
+                        ev,
+                        DivergenceKind::Malformed(format!(
+                            "configuration access under non-resizable quorum system {}",
+                            quorum.label()
+                        )),
+                    ));
+                }
+                let b = match open.as_mut() {
+                    Some(b) if b.tid == ev.tid && b.rc.is_none() => b,
+                    _ => {
+                        return Err(diverge(
+                            i,
+                            ev,
+                            DivergenceKind::Malformed(
+                                "WRITE-CFG outside its transaction manager's run".into(),
+                            ),
+                        ))
+                    }
+                };
+                if b.kind != TmKind::Reconfig {
+                    return Err(diverge(
+                        i,
+                        ev,
+                        DivergenceKind::Malformed("WRITE-CFG outside a reconfigure-TM".into()),
+                    ));
+                }
+                if site >= trace.sites {
+                    return Err(diverge(
+                        i,
+                        ev,
+                        DivergenceKind::Malformed(format!(
+                            "site {site} out of range (n = {})",
+                            trace.sites
+                        )),
+                    ));
+                }
+                if members.is_empty() || members.iter().any(|s| s >= trace.sites) {
+                    return Err(diverge(
+                        i,
+                        ev,
+                        DivergenceKind::Malformed(format!(
+                            "WRITE-CFG installs invalid member set {members} (n = {})",
+                            trace.sites
+                        )),
+                    ));
+                }
+                if b.cfg_writes.iter().any(|&(s, _, _)| s == site) {
+                    return Err(diverge(
+                        i,
+                        ev,
+                        DivergenceKind::Malformed(format!("duplicate WRITE-CFG at site {site}")),
+                    ));
+                }
+                if let Some(&(_, g0, m0)) = b.cfg_writes.first() {
+                    if (g0, m0) != (gen, members) {
+                        return Err(diverge(
+                            i,
+                            ev,
+                            DivergenceKind::Malformed(format!(
+                                "inconsistent configuration install: (gen {gen}, members \
+                                 {members}) after (gen {g0}, members {m0})"
+                            )),
+                        ));
+                    }
+                } else {
+                    let old_gen = b.cfg_reads.iter().map(|&(_, g)| g).max().unwrap_or(0);
+                    if gen != old_gen + 1 {
+                        return Err(diverge(
+                            i,
+                            ev,
+                            DivergenceKind::Malformed(format!(
+                                "installed generation {gen} but discovery saw maximum \
+                                 generation {old_gen}"
+                            )),
+                        ));
+                    }
+                }
+                cfg_stores[site] = (gen, members);
+                b.cfg_writes.push((site, gen, members));
             }
             TraceAction::RequestCommit { vn, value } => {
                 let b = match open.as_mut() {
@@ -513,8 +747,47 @@ pub fn check_trace(
                         DivergenceKind::Malformed("duplicate REQUEST-COMMIT".into()),
                     ));
                 }
+                // Generation gate, checked before any quorum question: a
+                // block runs at the maximum generation its configuration
+                // reads discovered (generation 0 when it read none, the
+                // static case). An uninstalled generation is malformed; a
+                // superseded one is the stale-rejection divergence. On a
+                // faithful trace a *structurally valid* stale block cannot
+                // exist — its configuration-read majority would intersect
+                // the majority that installed the next generation — so
+                // `StaleGeneration` fires only on mutated traces.
+                let block_gen = b.cfg_reads.iter().map(|&(_, g)| g).max().unwrap_or(0);
+                if block_gen > cur_gen {
+                    return Err(diverge(
+                        i,
+                        ev,
+                        DivergenceKind::Malformed(format!(
+                            "REQUEST-COMMIT at generation {block_gen}, which was never \
+                             installed (current generation {cur_gen})"
+                        )),
+                    ));
+                }
+                if block_gen < cur_gen {
+                    return Err(diverge(i, ev, DivergenceKind::StaleGeneration));
+                }
+                let members = configs[block_gen as usize];
+                let dynamic = !b.cfg_reads.is_empty() || b.kind == TmKind::Reconfig;
+                if dynamic {
+                    let cfg_read_set: ReplicaSet = b.cfg_reads.iter().map(|&(s, _)| s).collect();
+                    if cfg_read_set.intersection(members).len()
+                        < QuorumFamily::config_quorum_size(members.len())
+                    {
+                        return Err(diverge(i, ev, DivergenceKind::NoConfigReadQuorum));
+                    }
+                }
                 let read_set: ReplicaSet = b.reads.iter().map(|r| r.site).collect();
-                if !quorum.is_read_quorum_bits(read_set) {
+                let read_ok = if dynamic {
+                    let fam = family.expect("dynamic blocks carry configuration reads");
+                    read_set.intersection(members).len() >= fam.read_size(members.len())
+                } else {
+                    quorum.is_read_quorum_bits(read_set)
+                };
+                if !read_ok {
                     return Err(diverge(i, ev, DivergenceKind::NoReadQuorum));
                 }
                 let dvn = b.reads.iter().map(|r| r.vn).max().unwrap_or(0);
@@ -542,7 +815,13 @@ pub fn check_trace(
                     }
                     TmKind::Write => {
                         let write_set: ReplicaSet = b.writes.iter().map(|w| w.site).collect();
-                        if b.writes.is_empty() || !quorum.is_write_quorum_bits(write_set) {
+                        let write_ok = if dynamic {
+                            let fam = family.expect("dynamic blocks carry configuration reads");
+                            write_set.intersection(members).len() >= fam.write_size(members.len())
+                        } else {
+                            quorum.is_write_quorum_bits(write_set)
+                        };
+                        if b.writes.is_empty() || !write_ok {
                             return Err(diverge(i, ev, DivergenceKind::NoWriteQuorum));
                         }
                         let w = b.writes[0];
@@ -554,6 +833,55 @@ pub fn check_trace(
                                     "REQUEST-COMMIT (vn {vn}, value {value}) differs from \
                                      the install (vn {}, value {})",
                                     w.vn, w.value
+                                )),
+                            ));
+                        }
+                    }
+                    TmKind::Reconfig => {
+                        // Goldman–Lynch: the new configuration reaches a
+                        // configuration write quorum of the *old* members.
+                        let Some(&(_, new_gen, new_members)) = b.cfg_writes.first() else {
+                            return Err(diverge(i, ev, DivergenceKind::NoConfigWriteQuorum));
+                        };
+                        let cfg_write_set: ReplicaSet =
+                            b.cfg_writes.iter().map(|&(s, _, _)| s).collect();
+                        if cfg_write_set.intersection(members).len()
+                            < QuorumFamily::config_quorum_size(members.len())
+                        {
+                            return Err(diverge(i, ev, DivergenceKind::NoConfigWriteQuorum));
+                        }
+                        // The data refresh reaches a write quorum of the
+                        // *new* members, carrying the discovered state.
+                        let fam = family.expect("reconfigure blocks require a family");
+                        let write_set: ReplicaSet = b.writes.iter().map(|w| w.site).collect();
+                        if write_set.intersection(new_members).len()
+                            < fam.write_size(new_members.len())
+                        {
+                            return Err(diverge(i, ev, DivergenceKind::NoWriteQuorum));
+                        }
+                        if let Some(w) = b.writes.first() {
+                            if w.vn != dvn
+                                || !b.reads.iter().any(|r| r.vn == dvn && r.value == w.value)
+                            {
+                                return Err(diverge(
+                                    i,
+                                    ev,
+                                    DivergenceKind::Malformed(format!(
+                                        "reconfiguration refreshed (vn {}, value {}) but \
+                                         discovery saw maximum vn {dvn}",
+                                        w.vn, w.value
+                                    )),
+                                ));
+                            }
+                        }
+                        if vn != new_gen || value != new_members.bits() as u64 {
+                            return Err(diverge(
+                                i,
+                                ev,
+                                DivergenceKind::Malformed(format!(
+                                    "reconfiguration REQUEST-COMMIT (vn {vn}, value {value}) \
+                                     differs from the installed configuration (gen {new_gen}, \
+                                     members {new_members})"
                                 )),
                             ));
                         }
@@ -586,8 +914,18 @@ pub fn check_trace(
                     TmKind::Write => checker
                         .commit_write(vn, value)
                         .map_err(|v| diverge(i, ev, DivergenceKind::Lemma(v)))?,
+                    TmKind::Reconfig => {
+                        // A reconfiguration changes no logical state — the
+                        // committed history (and the lemma checker) is
+                        // untouched. The next generation becomes current.
+                        let (_, new_gen, new_members) =
+                            *b.cfg_writes.first().expect("checked at REQUEST-COMMIT");
+                        debug_assert_eq!(new_gen, cur_gen + 1);
+                        cur_gen = new_gen;
+                        configs.push(new_members);
+                    }
                 }
-                check_stores(&checker, &stores)
+                check_stores(&checker, &stores, cur_gen, configs[cur_gen as usize])
                     .map_err(|v| diverge(i, ev, DivergenceKind::Lemma(v)))?;
                 committed += 1;
             }
@@ -613,7 +951,7 @@ pub fn check_trace(
             DivergenceKind::Malformed(format!("trace ends inside {}'s run", b.tid)),
         ));
     }
-    check_stores(&checker, &stores)
+    check_stores(&checker, &stores, cur_gen, configs[cur_gen as usize])
         .map_err(|v| end_diverge(trace.events.len(), DivergenceKind::Lemma(v)))?;
 
     // Theorem 10: erase the replica accesses and replay the candidate
@@ -678,6 +1016,12 @@ pub fn project_trace(trace: &ScheduleTrace) -> (Schedule<TxnOp>, Vec<usize>) {
                     .take_if(|o| o.0 == ev.tid)
                     .and_then(|(_, kind, ev_create, rc)| rc.map(|rc| (kind, ev_create, rc)));
                 if let Some((kind, ev_create, (value, ev_rc))) = done {
+                    // Reconfigure-TMs change no logical state: Theorem 10's
+                    // projection erases them entirely, so a dynamic trace
+                    // projects to the same serial α as its static twin.
+                    if kind == TmKind::Reconfig {
+                        continue;
+                    }
                     let tid = Tid::root().child(k);
                     k += 1;
                     let (spec, result) = match kind {
@@ -686,6 +1030,7 @@ pub fn project_trace(trace: &ScheduleTrace) -> (Schedule<TxnOp>, Vec<usize>) {
                             AccessSpec::write(A_OBJECT, Value::Int(value as i64)),
                             Value::Nil,
                         ),
+                        TmKind::Reconfig => unreachable!("erased above"),
                     };
                     alpha.push(TxnOp::RequestCreate {
                         tid: tid.clone(),
@@ -709,12 +1054,13 @@ pub fn project_trace(trace: &ScheduleTrace) -> (Schedule<TxnOp>, Vec<usize>) {
                 }
             }
             TraceAction::Abort { kind, .. } => {
-                if open.is_none() {
+                if open.is_none() && kind != TmKind::Reconfig {
                     let tid = Tid::root().child(k);
                     k += 1;
                     let spec = match kind {
                         TmKind::Read => AccessSpec::read(A_OBJECT),
                         TmKind::Write => AccessSpec::write(A_OBJECT, Value::Nil),
+                        TmKind::Reconfig => unreachable!("erased above"),
                     };
                     alpha.push(TxnOp::RequestCreate {
                         tid: tid.clone(),
@@ -726,7 +1072,10 @@ pub fn project_trace(trace: &ScheduleTrace) -> (Schedule<TxnOp>, Vec<usize>) {
                     src.push(i);
                 }
             }
-            TraceAction::ReadDm { .. } | TraceAction::WriteDm { .. } => {}
+            TraceAction::ReadDm { .. }
+            | TraceAction::WriteDm { .. }
+            | TraceAction::ReadCfg { .. }
+            | TraceAction::WriteCfg { .. } => {}
         }
     }
     (alpha, src)
@@ -1010,6 +1359,9 @@ pub fn trace_from_schedule(
                         let (vn, v) = install.unwrap_or((0, o.param.unwrap_or(0)));
                         TraceAction::RequestCommit { vn, value: v }
                     }
+                    TmKind::Reconfig => {
+                        unreachable!("the schedule adapter produces only read/write TMs")
+                    }
                 };
                 o.buf.push(TraceEvent {
                     at_us: i as u64,
@@ -1063,7 +1415,7 @@ mod tests {
     use super::*;
     use crate::spec::{ConfigChoice, ItemSpec, SystemSpec, UserSpec, UserStep};
     use crate::theorem10::{run_system_b, RunOptions};
-    use quorum::Majority;
+    use quorum::{Majority, Rowa};
 
     fn ev(tid: TraceTid, action: TraceAction) -> TraceEvent {
         TraceEvent {
@@ -1311,6 +1663,205 @@ mod tests {
         let d = check_trace(&t, &config).unwrap_err();
         assert!(matches!(d.kind, DivergenceKind::Lemma(_)), "{d}");
         assert_eq!(d.event, 9, "stale read detected at its COMMIT: {d}");
+    }
+
+    /// A reconfigure-then-write-then-read run over ROWA(3): generation 1
+    /// shrinks the membership to {0, 1}, and the later data ops run (and
+    /// are quorum-checked) under the new configuration.
+    ///
+    /// Event indices: reconfig TM 0–9 (REQUEST-COMMIT at 8), write TM
+    /// 10–17 (REQUEST-COMMIT at 16), read TM 18–23.
+    fn dynamic_trace() -> ScheduleTrace {
+        let rt = tid(0);
+        let wt = tid(1);
+        let rd = tid(2);
+        let members: ReplicaSet = [0usize, 1].into_iter().collect();
+        let mut t = ScheduleTrace::new("rowa(3)", 3, 0);
+        t.events = vec![
+            // Reconfigure-TM: discover gen 0 at a config majority of the
+            // full membership, install gen 1 = {0, 1} at an old-config
+            // write quorum, refresh the data at the new members.
+            ev(
+                rt,
+                TraceAction::Create {
+                    kind: TmKind::Reconfig,
+                },
+            ),
+            ev(rt, TraceAction::ReadCfg { site: 0, gen: 0 }),
+            ev(rt, TraceAction::ReadCfg { site: 1, gen: 0 }),
+            ev(
+                rt,
+                TraceAction::ReadDm {
+                    site: 0,
+                    vn: 0,
+                    value: 0,
+                },
+            ),
+            ev(
+                rt,
+                TraceAction::WriteCfg {
+                    site: 0,
+                    gen: 1,
+                    members,
+                },
+            ),
+            ev(
+                rt,
+                TraceAction::WriteCfg {
+                    site: 1,
+                    gen: 1,
+                    members,
+                },
+            ),
+            ev(
+                rt,
+                TraceAction::WriteDm {
+                    site: 0,
+                    vn: 0,
+                    value: 0,
+                },
+            ),
+            ev(
+                rt,
+                TraceAction::WriteDm {
+                    site: 1,
+                    vn: 0,
+                    value: 0,
+                },
+            ),
+            ev(
+                rt,
+                TraceAction::RequestCommit {
+                    vn: 1,
+                    value: members.bits() as u64,
+                },
+            ),
+            ev(rt, TraceAction::Commit),
+            // Write-TM at generation 1.
+            ev(
+                wt,
+                TraceAction::Create {
+                    kind: TmKind::Write,
+                },
+            ),
+            ev(wt, TraceAction::ReadCfg { site: 0, gen: 1 }),
+            ev(wt, TraceAction::ReadCfg { site: 1, gen: 1 }),
+            ev(
+                wt,
+                TraceAction::ReadDm {
+                    site: 0,
+                    vn: 0,
+                    value: 0,
+                },
+            ),
+            ev(
+                wt,
+                TraceAction::WriteDm {
+                    site: 0,
+                    vn: 1,
+                    value: 7,
+                },
+            ),
+            ev(
+                wt,
+                TraceAction::WriteDm {
+                    site: 1,
+                    vn: 1,
+                    value: 7,
+                },
+            ),
+            ev(wt, TraceAction::RequestCommit { vn: 1, value: 7 }),
+            ev(wt, TraceAction::Commit),
+            // Read-TM at generation 1.
+            ev(rd, TraceAction::Create { kind: TmKind::Read }),
+            ev(rd, TraceAction::ReadCfg { site: 0, gen: 1 }),
+            ev(rd, TraceAction::ReadCfg { site: 1, gen: 1 }),
+            ev(
+                rd,
+                TraceAction::ReadDm {
+                    site: 1,
+                    vn: 1,
+                    value: 7,
+                },
+            ),
+            ev(rd, TraceAction::RequestCommit { vn: 1, value: 7 }),
+            ev(rd, TraceAction::Commit),
+        ];
+        t
+    }
+
+    #[test]
+    fn reconfiguring_trace_conforms_and_projects_without_the_reconfig() {
+        let report = check_trace(&dynamic_trace(), &Rowa::new(3)).expect("conforms");
+        assert_eq!(report.committed, 3);
+        assert_eq!(report.aborted, 0);
+        // Every READ/WRITE-DM and READ/WRITE-CFG is erased.
+        assert_eq!(report.erased, 15);
+        assert_eq!(report.events, 24);
+        assert_eq!(report.max_vn, 1);
+        // CREATE(T0) + 4 ops for each committed *data* TM; the
+        // reconfigure-TM leaves no trace in α.
+        assert_eq!(report.alpha_len, 9);
+    }
+
+    #[test]
+    fn stale_generation_commit_is_rejected() {
+        let mut t = dynamic_trace();
+        // Strip the write-TM's configuration reads: it now runs at
+        // generation 0, which generation 1 superseded.
+        t.events.remove(12);
+        t.events.remove(11);
+        let d = check_trace(&t, &Rowa::new(3)).unwrap_err();
+        assert_eq!(d.kind, DivergenceKind::StaleGeneration);
+        assert_eq!(d.event, 14, "divergence at the write's REQUEST-COMMIT: {d}");
+    }
+
+    #[test]
+    fn install_without_old_config_write_quorum_is_rejected() {
+        let mut t = dynamic_trace();
+        // Drop one WRITE-CFG: {0} is not a config majority of the old
+        // membership {0, 1, 2}.
+        t.events.remove(5);
+        let d = check_trace(&t, &Rowa::new(3)).unwrap_err();
+        assert_eq!(d.kind, DivergenceKind::NoConfigWriteQuorum);
+        assert_eq!(
+            d.event, 7,
+            "divergence at the reconfig's REQUEST-COMMIT: {d}"
+        );
+    }
+
+    #[test]
+    fn dynamic_op_without_config_read_quorum_is_rejected() {
+        let mut t = dynamic_trace();
+        // Drop one of the write-TM's READ-CFGs: {0} is not a config
+        // majority of the current membership {0, 1}.
+        t.events.remove(12);
+        let d = check_trace(&t, &Rowa::new(3)).unwrap_err();
+        assert_eq!(d.kind, DivergenceKind::NoConfigReadQuorum);
+        assert_eq!(d.event, 15, "divergence at the write's REQUEST-COMMIT: {d}");
+    }
+
+    #[test]
+    fn config_access_under_a_non_resizable_quorum_system_is_rejected() {
+        let mut t = dynamic_trace();
+        // Read/write thresholds (3, 1) over 3 sites fit no quorum family,
+        // so the checker refuses configuration accesses outright.
+        let d = check_trace(&t, &Majority::with_sizes(3, 3, 1)).unwrap_err();
+        assert!(matches!(d.kind, DivergenceKind::Malformed(_)), "{d}");
+        assert_eq!(d.event, 1, "refused at the first READ-CFG: {d}");
+        // And a generation the discovery never saw is malformed even under
+        // a family: claim gen 2 was installed after reading gen 0.
+        t.events[4] = ev(
+            tid(0),
+            TraceAction::WriteCfg {
+                site: 0,
+                gen: 2,
+                members: [0usize, 1].into_iter().collect(),
+            },
+        );
+        let d = check_trace(&t, &Rowa::new(3)).unwrap_err();
+        assert!(matches!(d.kind, DivergenceKind::Malformed(_)), "{d}");
+        assert_eq!(d.event, 4, "refused at the skipping WRITE-CFG: {d}");
     }
 
     #[test]

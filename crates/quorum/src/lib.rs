@@ -48,6 +48,6 @@ mod spec;
 pub use config::{CompiledConfiguration, Configuration, ConfigurationError};
 pub use replica_set::ReplicaSet;
 pub use spec::{
-    to_configuration, Grid, Majority, QuorumHealth, QuorumSpec, Rowa, Thresholds, TreeQuorum,
-    Weighted,
+    to_configuration, Grid, Majority, QuorumFamily, QuorumHealth, QuorumSpec, Rowa, Thresholds,
+    TreeQuorum, Weighted,
 };

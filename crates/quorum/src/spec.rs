@@ -61,6 +61,75 @@ pub struct Thresholds {
     pub write_size: usize,
 }
 
+/// The recognized *resizable* quorum families, for dynamic
+/// reconfiguration (Goldman & Lynch §4).
+///
+/// A reconfiguration replaces a configuration's member set while keeping
+/// its quorum *rule*: ROWA stays read-one/write-all over the new members,
+/// majority stays simple majorities. [`QuorumFamily::of`] classifies a
+/// [`QuorumSpec`] by its threshold form; systems without a pure threshold
+/// form (grids, trees, weighted votes) have no canonical resizing and are
+/// not dynamically reconfigurable here.
+///
+/// The *configuration sub-object* — the `(generation, members)` pair each
+/// replica carries next to its data — is always majority-governed
+/// ([`QuorumFamily::config_quorum_size`]), independent of the data
+/// family. Pure ROWA could otherwise never reconfigure away from a dead
+/// site: installing the new configuration requires a write-quorum of the
+/// *old* configuration, and an old ROWA data-write-quorum includes the
+/// dead site by definition. A majority of the old members both satisfies
+/// the Goldman–Lynch old-quorum rule (config-read and config-write
+/// majorities over the same member set intersect) and stays available
+/// under minority failures.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum QuorumFamily {
+    /// Read-one / write-all over the current members.
+    Rowa,
+    /// Simple majorities (`⌊m/2⌋ + 1` both sides) over the current members.
+    Majority,
+}
+
+impl QuorumFamily {
+    /// Classify `spec`, or `None` when it is not a resizable threshold
+    /// system.
+    #[must_use]
+    pub fn of(spec: &dyn QuorumSpec) -> Option<Self> {
+        let t = spec.thresholds()?;
+        if t.read_size == 1 && t.write_size == t.n {
+            Some(QuorumFamily::Rowa)
+        } else if t.read_size == t.n / 2 + 1 && t.write_size == t.read_size {
+            Some(QuorumFamily::Majority)
+        } else {
+            None
+        }
+    }
+
+    /// Data read-quorum size over `m` members.
+    #[must_use]
+    pub fn read_size(self, m: usize) -> usize {
+        match self {
+            QuorumFamily::Rowa => 1,
+            QuorumFamily::Majority => m / 2 + 1,
+        }
+    }
+
+    /// Data write-quorum size over `m` members.
+    #[must_use]
+    pub fn write_size(self, m: usize) -> usize {
+        match self {
+            QuorumFamily::Rowa => m,
+            QuorumFamily::Majority => m / 2 + 1,
+        }
+    }
+
+    /// Configuration-quorum size over `m` members (majority, both for
+    /// reading and writing the configuration sub-object).
+    #[must_use]
+    pub fn config_quorum_size(m: usize) -> usize {
+        m / 2 + 1
+    }
+}
+
 /// A quorum system over replicas `0..n`, in predicate form.
 ///
 /// The required predicates operate on [`ReplicaSet`] bitsets — the form the
@@ -859,6 +928,41 @@ mod tests {
         assert!(Grid::new(2, 3).thresholds().is_none());
         assert!(TreeQuorum::new(9).thresholds().is_none());
         assert!(Weighted::new(vec![2, 1, 1, 1], 3, 3).thresholds().is_none());
+    }
+
+    #[test]
+    fn quorum_family_classifies_threshold_systems() {
+        assert_eq!(QuorumFamily::of(&Rowa::new(5)), Some(QuorumFamily::Rowa));
+        assert_eq!(QuorumFamily::of(&Rowa::new(1)), Some(QuorumFamily::Rowa));
+        assert_eq!(
+            QuorumFamily::of(&Majority::new(5)),
+            Some(QuorumFamily::Majority)
+        );
+        assert_eq!(
+            QuorumFamily::of(&Majority::new(6)),
+            Some(QuorumFamily::Majority)
+        );
+        // Asymmetric thresholds, grids, trees and weighted votes have no
+        // canonical resizing.
+        assert_eq!(QuorumFamily::of(&Majority::with_sizes(5, 4, 2)), None);
+        assert_eq!(QuorumFamily::of(&Grid::new(2, 3)), None);
+        assert_eq!(QuorumFamily::of(&TreeQuorum::new(9)), None);
+        assert_eq!(QuorumFamily::of(&Weighted::new(vec![2, 1, 1, 1], 3, 3)), None);
+    }
+
+    #[test]
+    fn quorum_family_sizes_match_the_rule_over_any_membership() {
+        for m in 1..=9usize {
+            assert_eq!(QuorumFamily::Rowa.read_size(m), 1);
+            assert_eq!(QuorumFamily::Rowa.write_size(m), m);
+            assert_eq!(QuorumFamily::Majority.read_size(m), m / 2 + 1);
+            assert_eq!(QuorumFamily::Majority.write_size(m), m / 2 + 1);
+            assert_eq!(QuorumFamily::config_quorum_size(m), m / 2 + 1);
+            // Gifford's constraint holds at every size.
+            for f in [QuorumFamily::Rowa, QuorumFamily::Majority] {
+                assert!(f.read_size(m) + f.write_size(m) > m);
+            }
+        }
     }
 
     #[test]

@@ -14,6 +14,11 @@
 //! [`TransactionNode::with_child_limit`]). Their composition is the user
 //! transaction's automaton.
 //!
+//! The performance simulators (`qc-sim`) carry a deterministic stand-in
+//! for this nondeterminism: `ReconfigPolicy`'s reactive trigger polls a
+//! failure signal and issues reconfigure ops mid-run, playing the spy's
+//! role under the same old-quorum-only install rule (see DESIGN.md §5.6).
+//!
 //! [`TransactionNode`]: nested_txn::TransactionNode
 //! [`TransactionNode::with_child_limit`]: nested_txn::TransactionNode::with_child_limit
 

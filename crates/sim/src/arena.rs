@@ -14,21 +14,88 @@
 
 use std::ops::Range;
 
+use quorum::ReplicaSet;
+
 /// Structure-of-arrays `(vn, value)` store arena, indexed `item·n + site`.
+///
+/// Each slot additionally carries the `(configuration, generation)` pair of
+/// the paper's §4 dynamic scheme: `cfg_gen`/`cfg_members` are the
+/// generation number and member set the site last saw installed. Both
+/// start at `(0, full membership)` — the static configuration — and are
+/// only touched by reconfigure ops, so static runs never read them on the
+/// hot path.
 #[derive(Clone, Debug)]
 pub struct DmArena {
     vns: Vec<u64>,
     vals: Vec<u64>,
+    cfg_gens: Vec<u64>,
+    cfg_members: Vec<ReplicaSet>,
 }
 
 impl DmArena {
-    /// An arena of `slots` stores, all at `(vn 0, value 0)`.
+    /// An arena of `slots` stores, all at `(vn 0, value 0)` and
+    /// configuration generation 0 with `sites_per_item` members.
     #[must_use]
-    pub fn new(slots: usize) -> Self {
+    pub fn new_configured(slots: usize, sites_per_item: usize) -> Self {
         DmArena {
             vns: vec![0; slots],
             vals: vec![0; slots],
+            cfg_gens: vec![0; slots],
+            cfg_members: vec![ReplicaSet::full(sites_per_item); slots],
         }
+    }
+
+    /// An arena of `slots` stores, all at `(vn 0, value 0)`; every slot's
+    /// initial configuration is the full `slots`-site membership (the
+    /// single-item convention where `slots == n`).
+    #[must_use]
+    pub fn new(slots: usize) -> Self {
+        Self::new_configured(slots, slots)
+    }
+
+    /// The `(generation, members)` configuration stored at `slot`.
+    #[inline]
+    #[must_use]
+    pub fn cfg(&self, slot: usize) -> (u64, ReplicaSet) {
+        (self.cfg_gens[slot], self.cfg_members[slot])
+    }
+
+    /// The configuration generation stored at `slot`.
+    #[inline]
+    #[must_use]
+    pub fn cfg_gen(&self, slot: usize) -> u64 {
+        self.cfg_gens[slot]
+    }
+
+    /// Install configuration `(gen, members)` at `slot`.
+    #[inline]
+    pub fn set_cfg(&mut self, slot: usize, gen: u64, members: ReplicaSet) {
+        self.cfg_gens[slot] = gen;
+        self.cfg_members[slot] = members;
+    }
+
+    /// The configuration-discovery fold: the `(gen, members)` of the last
+    /// maximum generation among `sites` offset by `base`; `(0, EMPTY)` for
+    /// an empty set.
+    #[inline]
+    #[must_use]
+    pub fn discover_cfg(
+        &self,
+        base: usize,
+        sites: impl IntoIterator<Item = usize>,
+    ) -> (u64, ReplicaSet) {
+        let mut gen = 0u64;
+        let mut members = ReplicaSet::EMPTY;
+        let mut any = false;
+        for s in sites {
+            let g = self.cfg_gens[base + s];
+            if !any || g >= gen {
+                gen = g;
+                members = self.cfg_members[base + s];
+                any = true;
+            }
+        }
+        (gen, members)
     }
 
     /// Number of store slots.
@@ -125,6 +192,21 @@ mod tests {
         assert_eq!(a.discover(4, sites), expect);
         assert_eq!(a.discover(4, sites), (5, 30));
         assert_eq!(a.discover(4, []), (0, 0));
+    }
+
+    #[test]
+    fn configurations_start_full_and_discover_like_versions() {
+        let mut a = DmArena::new_configured(6, 3);
+        let full: ReplicaSet = ReplicaSet::full(3);
+        assert_eq!(a.cfg(0), (0, full));
+        assert_eq!(a.cfg_gen(5), 0);
+        let shrunk: ReplicaSet = [0usize, 2].into_iter().collect();
+        a.set_cfg(4, 2, shrunk);
+        assert_eq!(a.cfg(4), (2, shrunk));
+        // Discovery over item 1 (base 3): site 1 holds the maximum.
+        assert_eq!(a.discover_cfg(3, [0usize, 1, 2]), (2, shrunk));
+        assert_eq!(a.discover_cfg(3, [0usize, 2]), (0, full));
+        assert_eq!(a.discover_cfg(3, []), (0, ReplicaSet::EMPTY));
     }
 
     #[test]

@@ -22,11 +22,22 @@
 
 use std::fmt;
 
+use quorum::replica_set::MAX_REPLICAS;
+use quorum::ReplicaSet;
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
 use serde::Serialize;
 
 use crate::time::SimTime;
+
+/// The membership a scripted reconfiguration targets.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ReconfigTarget {
+    /// Reconfigure to the set of sites live at the event time.
+    Live,
+    /// Reconfigure to an explicit member set.
+    Members(ReplicaSet),
+}
 
 /// One scheduled fault.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -76,6 +87,17 @@ pub enum FaultEvent {
         duration: SimTime,
         /// Added one-way latency.
         extra: SimTime,
+    },
+    /// Install a new configuration (a scripted Goldman–Lynch
+    /// reconfigure-TM): the target membership is written to a write quorum
+    /// of the *old* configuration, after which operations at stale
+    /// generations are rejected and retried under the new one. Only
+    /// meaningful when the simulator's `ReconfigPolicy` is enabled — the
+    /// simulators reject the plan otherwise, like any out-of-range
+    /// reference.
+    Reconfig {
+        /// The new membership.
+        target: ReconfigTarget,
     },
 }
 
@@ -157,6 +179,12 @@ impl FaultPlan {
         self.push(at, FaultEvent::DelayWindow { duration, extra })
     }
 
+    /// Schedule a scripted reconfiguration to `target`.
+    #[must_use]
+    pub fn reconfig_at(self, at: SimTime, target: ReconfigTarget) -> Self {
+        self.push(at, FaultEvent::Reconfig { target })
+    }
+
     /// The strongest drop probability (thousandths) of any window active at
     /// `t`.
     #[must_use]
@@ -223,6 +251,19 @@ impl FaultPlan {
                             "fault at {at} references client {client}, but there are \
                              {clients} clients"
                         ));
+                    }
+                }
+                FaultEvent::Reconfig { target } => {
+                    if let ReconfigTarget::Members(members) = target {
+                        if members.is_empty() {
+                            return Err(format!("reconfig at {at} targets an empty member set"));
+                        }
+                        if let Some(worst) = members.iter().find(|&s| s >= sites) {
+                            return Err(format!(
+                                "reconfig at {at} references site {worst}, but there are \
+                                 {sites} sites"
+                            ));
+                        }
                     }
                 }
                 FaultEvent::DropWindow { .. } | FaultEvent::DelayWindow { .. } => {}
@@ -306,6 +347,8 @@ impl FaultPlan {
     /// corrupt@4000:1,99,7  site 1's store becomes (vn 99, value 7)
     /// drop@1000:500,300  for 500 ms from t = 1000 ms, drop 30.0% of messages
     /// delay@1000:500,2   for 500 ms from t = 1000 ms, +2 ms one-way latency
+    /// reconfig@5000:live reconfigure to the then-live sites at t = 5000 ms
+    /// reconfig@5000:0+2+3  reconfigure to members {0, 2, 3}
     /// ```
     ///
     /// # Errors
@@ -371,6 +414,25 @@ impl FaultPlan {
                     arity(2)?;
                     plan.delay_window(at, time(parts[0])?, time(parts[1])?)
                 }
+                "reconfig" => {
+                    arity(1)?;
+                    let target = if parts[0] == "live" {
+                        ReconfigTarget::Live
+                    } else {
+                        let mut members = ReplicaSet::EMPTY;
+                        for m in parts[0].split('+') {
+                            let s = int(m.trim())? as usize;
+                            if s >= MAX_REPLICAS {
+                                return Err(format!(
+                                    "{ev:?}: member {s} exceeds the {MAX_REPLICAS}-replica cap"
+                                ));
+                            }
+                            members.insert(s);
+                        }
+                        ReconfigTarget::Members(members)
+                    };
+                    plan.reconfig_at(at, target)
+                }
                 other => return Err(format!("unknown fault kind {other:?} in {ev:?}")),
             };
         }
@@ -430,6 +492,13 @@ impl FaultEvent {
             FaultEvent::DelayWindow { duration, extra } => {
                 format!("delay@{ms}:{},{}", format_ms(duration), format_ms(extra))
             }
+            FaultEvent::Reconfig { target } => match target {
+                ReconfigTarget::Live => format!("reconfig@{ms}:live"),
+                ReconfigTarget::Members(members) => {
+                    let list: Vec<String> = members.iter().map(|s| s.to_string()).collect();
+                    format!("reconfig@{ms}:{}", list.join("+"))
+                }
+            },
         }
     }
 }
@@ -476,6 +545,15 @@ impl Serialize for FaultPlan {
                         .field("kind", "delay")
                         .field("duration_us", &duration.as_micros())
                         .field("extra_us", &extra.as_micros()),
+                    FaultEvent::Reconfig { target } => match target {
+                        ReconfigTarget::Live => {
+                            o.field("kind", "reconfig").field("members", "live")
+                        }
+                        ReconfigTarget::Members(members) => {
+                            let list: Vec<u64> = members.iter().map(|s| s as u64).collect();
+                            o.field("kind", "reconfig").field("members", &list)
+                        }
+                    },
                 }
                 .build()
             })
@@ -783,6 +861,57 @@ mod tests {
             .count();
         // 30% ± 3% over 10k coordinates.
         assert!((2_700..=3_300).contains(&hits), "hits {hits}");
+    }
+
+    #[test]
+    fn reconfig_round_trips_through_text_and_json() {
+        let members: ReplicaSet = [0usize, 2, 3].into_iter().collect();
+        let plan = FaultPlan::new()
+            .reconfig_at(SimTime(4_500), ReconfigTarget::Live)
+            .reconfig_at(SimTime::from_millis(9), ReconfigTarget::Members(members));
+        let text = plan.to_string();
+        assert_eq!(text, "reconfig@4.5:live; reconfig@9:0+2+3");
+        let back = FaultPlan::parse(&text).unwrap();
+        assert_eq!(back, plan, "sub-ms reconfig times must round-trip");
+        let json = serde_json::to_string(&plan).unwrap();
+        assert_eq!(
+            json,
+            r#"[{"at_us":4500,"kind":"reconfig","members":"live"},{"at_us":9000,"kind":"reconfig","members":[0,2,3]}]"#
+        );
+    }
+
+    #[test]
+    fn reconfig_rejects_malformed_specs() {
+        assert!(FaultPlan::parse("reconfig@5:").is_err()); // empty spec
+        assert!(FaultPlan::parse("reconfig@5:0+x").is_err()); // junk member
+        assert!(FaultPlan::parse("reconfig@5:live,1").is_err()); // arity
+        assert!(FaultPlan::parse("reconfig@5:200").is_err()); // beyond the 128 cap
+        assert!(FaultPlan::parse("reconfig@x:live").is_err()); // bad time
+        // Validation catches out-of-range and empty member sets.
+        let plan = FaultPlan::new().reconfig_at(
+            SimTime::from_millis(1),
+            ReconfigTarget::Members([0usize, 6].into_iter().collect()),
+        );
+        assert!(plan.validate(5, 4).is_err());
+        assert!(plan.validate(7, 4).is_ok());
+        let empty = FaultPlan::new()
+            .reconfig_at(SimTime::from_millis(1), ReconfigTarget::Members(ReplicaSet::EMPTY));
+        assert!(empty.validate(5, 4).is_err());
+        // `live` targets are always in range.
+        let live = FaultPlan::new().reconfig_at(SimTime::from_millis(1), ReconfigTarget::Live);
+        assert!(live.validate(1, 1).is_ok());
+    }
+
+    #[test]
+    fn shard_view_shares_reconfigs_across_shards() {
+        // Reconfigurations are site-scoped cluster weather: every shard
+        // replays them against its own items.
+        let plan = FaultPlan::new()
+            .reconfig_at(SimTime::from_millis(3), ReconfigTarget::Live)
+            .abort_at(SimTime::from_millis(5), 1);
+        let view = plan.shard_view(4, 8, false);
+        assert_eq!(view.to_string(), "reconfig@3:live");
+        assert_eq!(plan.shard_view(0, 8, true), plan);
     }
 
     #[test]

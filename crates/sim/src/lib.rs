@@ -41,7 +41,7 @@ mod time;
 pub mod trace;
 
 pub use arena::DmArena;
-pub use faults::{message_dropped, FaultEvent, FaultPlan, RetryPolicy};
+pub use faults::{message_dropped, FaultEvent, FaultPlan, ReconfigTarget, RetryPolicy};
 pub use latency::{sample_exponential, LatencyModel};
 pub use metrics::{CommitRecord, Metrics, OpStats, OpSummary, MAX_RECORDED_VIOLATIONS};
 pub use queue::{CalendarQueue, EventQueue, HeapQueue, QueueImpl, QueueKind};
@@ -58,6 +58,6 @@ pub use qc_obs::{
     EventKind, EventLogMode, Histogram, ObsEvent, ObsOptions, ObsReport, OpRef, Phase,
     Snapshot, SpanRecorder, PHASES,
 };
-pub use sim::{run, run_observed, run_traced, ContactPolicy, SimConfig, Simulation};
+pub use sim::{run, run_observed, run_traced, ContactPolicy, ReconfigPolicy, SimConfig, Simulation};
 pub use time::SimTime;
 pub use trace::{trace_to_json, TraceRecorder};

@@ -243,6 +243,13 @@ pub struct Metrics {
     pub injected_faults: u64,
     /// Runtime lemma violations detected by the invariant probe.
     pub lemma_violations: u64,
+    /// Reconfigurations committed (scripted or reactive).
+    pub reconfigurations: u64,
+    /// Reconfigure ops that could not reach the required quorums.
+    pub reconfig_failures: u64,
+    /// Operation attempts rejected at a superseded configuration
+    /// generation (each retried under the new one, off the retry budget).
+    pub stale_rejections: u64,
     /// The first few violation descriptions (capped at
     /// [`MAX_RECORDED_VIOLATIONS`]).
     pub violations: Vec<String>,
@@ -289,6 +296,9 @@ impl Metrics {
         self.forced_aborts += other.forced_aborts;
         self.injected_faults += other.injected_faults;
         self.lemma_violations += other.lemma_violations;
+        self.reconfigurations += other.reconfigurations;
+        self.reconfig_failures += other.reconfig_failures;
+        self.stale_rejections += other.stale_rejections;
         for v in &other.violations {
             if self.violations.len() >= MAX_RECORDED_VIOLATIONS {
                 break;

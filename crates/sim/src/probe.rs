@@ -20,7 +20,7 @@
 //! sequence in the paper's sense and the full Lemma 8 clause applies.
 
 use qc_replication::{LemmaChecker, LemmaViolation, ScheduleTrace};
-use quorum::QuorumSpec;
+use quorum::{QuorumFamily, QuorumSpec, ReplicaSet};
 
 use crate::arena::DmArena;
 use crate::trace::TraceRecorder;
@@ -214,6 +214,27 @@ impl InvariantProbe {
     ) -> Result<(), LemmaViolation> {
         self.checker.check_read(&value)?;
         self.check_arena(arena, base, n, quorum)
+    }
+
+    /// [`check_arena`](Self::check_arena) under a *dynamic* configuration:
+    /// Lemma 8(1a)'s write quorum is evaluated over the current `members`
+    /// via the quorum family's size rule, so sites outside the membership
+    /// neither count toward the quorum nor trip the check.
+    ///
+    /// # Errors
+    ///
+    /// The first violated lemma.
+    pub fn check_arena_members(
+        &self,
+        arena: &DmArena,
+        base: usize,
+        n: usize,
+        family: QuorumFamily,
+        members: ReplicaSet,
+    ) -> Result<(), LemmaViolation> {
+        self.checker.check_states(arena.states(base..base + n), true, |holders| {
+            holders.intersection(members).len() >= family.write_size(members.len())
+        })
     }
 }
 

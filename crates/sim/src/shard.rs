@@ -54,7 +54,7 @@
 use std::fmt;
 use std::sync::Arc;
 
-use quorum::{QuorumSpec, ReplicaSet, Thresholds};
+use quorum::{QuorumFamily, QuorumSpec, ReplicaSet, Thresholds};
 use rand::Rng;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
@@ -68,12 +68,12 @@ use qc_replication::{
 };
 
 use crate::arena::DmArena;
-use crate::faults::{message_dropped, FaultEvent, FaultPlan, RetryPolicy};
+use crate::faults::{message_dropped, FaultEvent, FaultPlan, ReconfigTarget, RetryPolicy};
 use crate::latency::LatencyModel;
 use crate::metrics::Metrics;
 use crate::par::par_map;
 use crate::queue::{EventQueue, QueueImpl, QueueKind};
-use crate::sim::ContactPolicy;
+use crate::sim::{ContactPolicy, ReconfigPolicy};
 use crate::slab::{OpSlab, PendingOp};
 use crate::time::SimTime;
 use crate::trace::TraceRecorder;
@@ -154,6 +154,12 @@ pub struct MultiConfig {
     /// `QC_EVENT_QUEUE`; both pop in identical order, so this never
     /// changes results — only wall-clock speed).
     pub queue: QueueKind,
+    /// Dynamic-quorum reconfiguration policy, applied *per item*: each
+    /// item carries its own `(configuration, generation)` state, scripted
+    /// `reconfig@t` events reconfigure every item a shard owns, and the
+    /// reactive trigger's cooldown/budget are tracked item by item. Off by
+    /// default; requires a ROWA or majority quorum system when enabled.
+    pub reconfig: ReconfigPolicy,
 }
 
 impl std::fmt::Debug for MultiConfig {
@@ -193,6 +199,7 @@ impl MultiConfig {
             monitor: true,
             obs: ObsOptions::disabled(),
             queue: QueueKind::from_env(),
+            reconfig: ReconfigPolicy::off(),
         }
     }
 
@@ -220,6 +227,23 @@ impl MultiConfig {
         }
         if self.clients_per_shard == 0 {
             return Err("each shard needs at least one client".into());
+        }
+        if self.reconfig.enabled {
+            if QuorumFamily::of(&*self.quorum).is_none() {
+                return Err(format!(
+                    "dynamic quorums require a ROWA or majority quorum system, got {}",
+                    self.quorum.label()
+                ));
+            }
+        } else if self
+            .faults
+            .events()
+            .iter()
+            .any(|(_, e)| matches!(e, FaultEvent::Reconfig { .. }))
+        {
+            return Err(
+                "fault plan contains reconfig events but MultiConfig::reconfig is disabled".into(),
+            );
         }
         self.faults.validate(self.quorum.n(), self.clients())
     }
@@ -281,6 +305,7 @@ enum Event {
     OpStart { client: usize },
     PlanFault { idx: usize },
     Retry { client: usize },
+    SpyCheck,
 }
 
 // `(time, seq)` alone orders queue entries, so the payload needs no `Ord`.
@@ -293,6 +318,7 @@ impl EventBox {
             Event::OpStart { client } => EventBox(0, client),
             Event::PlanFault { idx } => EventBox(1, idx),
             Event::Retry { client } => EventBox(2, client),
+            Event::SpyCheck => EventBox(3, 0),
         }
     }
 
@@ -300,7 +326,8 @@ impl EventBox {
         match self.0 {
             0 => Event::OpStart { client: self.1 },
             1 => Event::PlanFault { idx: self.1 },
-            _ => Event::Retry { client: self.1 },
+            2 => Event::Retry { client: self.1 },
+            _ => Event::SpyCheck,
         }
     }
 }
@@ -352,6 +379,25 @@ struct ShardSim<'a> {
     /// membership and contact selection as inline popcounts (see
     /// `Simulation::is_quorum`); `None` falls back to the dyn predicates.
     th: Option<Thresholds>,
+    /// Resizable family of the quorum system (`Some` for ROWA/majority);
+    /// required when `config.reconfig.enabled`.
+    family: Option<QuorumFamily>,
+    /// Committed configuration generation per owned item.
+    cur_gens: Vec<u64>,
+    /// Committed membership per owned item.
+    cur_members: Vec<ReplicaSet>,
+    /// Each client's cached `(generation, members)` per owned item,
+    /// indexed `client · local_items + item`.
+    client_cfg: Vec<(u64, ReplicaSet)>,
+    /// The in-flight dynamic attempt's `(members, read k, write k)`; the
+    /// phase loop's quorum probe uses it when set.
+    dyn_quorum: Option<(ReplicaSet, usize, usize)>,
+    /// Instant of the last reactive reconfiguration per owned item.
+    last_reconfig: Vec<SimTime>,
+    /// Reactive reconfigurations spent per owned item.
+    reconfigs_used: Vec<u32>,
+    /// The failure signal (timeouts + unavailable) at the last spy poll.
+    last_failure_signal: u64,
     /// Global ids of the owned items, ascending.
     global_items: Vec<usize>,
     /// Cumulative item weights (`cum_weights[i]` = weight of local items
@@ -417,10 +463,18 @@ impl<'a> ShardSim<'a> {
             queue: QueueImpl::new(config.queue),
             seq: 0,
             up: ReplicaSet::full(n),
-            stores: DmArena::new(local * n),
+            stores: DmArena::new_configured(local * n, n),
             checkers: (0..local).map(|_| LemmaChecker::new(0)).collect(),
             arena_checks: vec![None; local],
             th: config.quorum.thresholds(),
+            family: QuorumFamily::of(&*config.quorum),
+            cur_gens: vec![0; local],
+            cur_members: vec![ReplicaSet::full(n); local],
+            client_cfg: vec![(0, ReplicaSet::full(n)); cps * local],
+            dyn_quorum: None,
+            last_reconfig: vec![SimTime::ZERO; local],
+            reconfigs_used: vec![0; local],
+            last_failure_signal: 0,
             global_items,
             cum_weights,
             total_weight: total,
@@ -447,6 +501,9 @@ impl<'a> ShardSim<'a> {
             let at = sim.plan.events()[idx].0;
             sim.schedule(at, Event::PlanFault { idx });
         }
+        if sim.config.reconfig.enabled && sim.config.reconfig.reactive {
+            sim.schedule(sim.config.reconfig.poll, Event::SpyCheck);
+        }
         sim
     }
 
@@ -460,6 +517,7 @@ impl<'a> ShardSim<'a> {
             Event::OpStart { client } => self.handle_op(client),
             Event::Retry { client } => self.attempt_op(client),
             Event::PlanFault { idx } => self.handle_plan_fault(idx),
+            Event::SpyCheck => self.spy_check(),
         }
     }
 
@@ -571,14 +629,22 @@ impl<'a> ShardSim<'a> {
         }
     }
 
-    /// Assert Lemmas 7 and 8(1a)/8(1b) against one item's stores.
+    /// Assert Lemmas 7 and 8(1a)/8(1b) against one item's stores. Under
+    /// dynamic quorums Lemma 8(1a)'s write quorum is evaluated over the
+    /// item's committed membership.
     fn check_item(&self, item: usize) -> Result<(), LemmaViolation> {
-        let quorum: &dyn QuorumSpec = &*self.quorum;
-        self.checkers[item].check_states(
-            self.stores.states(item * self.n..(item + 1) * self.n),
-            true,
-            |holders| quorum.is_write_quorum_bits(holders),
-        )
+        let states = self.stores.states(item * self.n..(item + 1) * self.n);
+        if self.config.reconfig.enabled {
+            let family = self.family.expect("checked in MultiConfig::validate");
+            let members = self.cur_members[item];
+            self.checkers[item].check_states(states, true, |holders| {
+                holders.intersection(members).len() >= family.write_size(members.len())
+            })
+        } else {
+            let quorum: &dyn QuorumSpec = &*self.quorum;
+            self.checkers[item]
+                .check_states(states, true, |holders| quorum.is_write_quorum_bits(holders))
+        }
     }
 
     /// [`check_item`](Self::check_item), memoized per item (see the
@@ -630,6 +696,172 @@ impl<'a> ShardSim<'a> {
                 }
             }
             FaultEvent::DropWindow { .. } | FaultEvent::DelayWindow { .. } => {}
+            FaultEvent::Reconfig { target } => {
+                // A scripted reconfiguration applies to every item; shards
+                // execute it for the items they own, in item order.
+                for item in 0..self.checkers.len() {
+                    self.try_reconfigure(item, target, true);
+                }
+            }
+        }
+    }
+
+    /// The reactive trigger, per owned item (see
+    /// [`ReconfigPolicy`](crate::ReconfigPolicy) and the single-item
+    /// `spy_check`): the failure-signal delta is shard-wide, the
+    /// membership comparison, cooldown, and budget are per item.
+    fn spy_check(&mut self) {
+        let signal = self.metrics.reads.timeouts
+            + self.metrics.reads.unavailable
+            + self.metrics.writes.timeouts
+            + self.metrics.writes.unavailable;
+        let delta = signal - self.last_failure_signal;
+        self.last_failure_signal = signal;
+        let live = self.live_set();
+        for item in 0..self.checkers.len() {
+            let members = self.cur_members[item];
+            let grow = !live.difference(members).is_empty();
+            let shrink = delta > 0 && !members.difference(live).is_empty();
+            if grow || shrink {
+                self.try_reconfigure(item, ReconfigTarget::Live, false);
+            }
+        }
+        self.schedule(self.config.reconfig.poll, Event::SpyCheck);
+    }
+
+    /// Execute one reconfigure op against `item` if warranted and
+    /// feasible — the per-item mirror of the single-item simulator's
+    /// `try_reconfigure` (Goldman–Lynch §4: discovery at a configuration
+    /// read quorum of the old members, install at a configuration write
+    /// quorum of the old members plus every live new member, data refresh
+    /// at a data write quorum of the new members; one instant, no
+    /// messages, no RNG draws).
+    fn try_reconfigure(&mut self, item: usize, target: ReconfigTarget, scripted: bool) {
+        let Some(family) = self.family else {
+            if scripted {
+                self.metrics.reconfig_failures += 1;
+            }
+            return;
+        };
+        let pol = self.config.reconfig;
+        if !scripted {
+            if self.reconfigs_used[item] >= pol.max_reconfigs {
+                return;
+            }
+            if self.reconfigs_used[item] > 0 && self.now - self.last_reconfig[item] < pol.cooldown
+            {
+                return;
+            }
+        }
+        let live = self.live_set();
+        let new_members = match target {
+            ReconfigTarget::Live => live,
+            ReconfigTarget::Members(m) => m,
+        };
+        if new_members.len() < pol.min_members || new_members == self.cur_members[item] {
+            return;
+        }
+        let old = self.cur_members[item];
+        let discovery = live.intersection(old);
+        let refresh = live.intersection(new_members);
+        let feasible = discovery.len() >= QuorumFamily::config_quorum_size(old.len())
+            && discovery.len() >= family.read_size(old.len())
+            && refresh.len() >= family.write_size(new_members.len());
+        if !feasible {
+            if scripted {
+                self.metrics.reconfig_failures += 1;
+            }
+            return;
+        }
+        let base = item * self.n;
+        let new_gen = self.cur_gens[item] + 1;
+        let (dvn, dval) = self.stores.discover(base, discovery);
+        let install = discovery.union(refresh);
+        if self.recorders.is_some() {
+            let tid = TraceTid {
+                client: u32::MAX,
+                op: self.metrics.reconfigurations,
+                attempt: 1,
+            };
+            let faulted = self.faulted_now();
+            self.emit_item(
+                item,
+                tid,
+                TraceAction::Create {
+                    kind: TmKind::Reconfig,
+                },
+                faulted,
+            );
+            for s in discovery {
+                let gen = self.stores.cfg_gen(base + s);
+                self.emit_item(item, tid, TraceAction::ReadCfg { site: s, gen }, faulted);
+            }
+            for s in discovery {
+                let (vn, value) = self.stores.get(base + s);
+                self.emit_item(item, tid, TraceAction::ReadDm { site: s, vn, value }, faulted);
+            }
+            for s in install {
+                self.emit_item(
+                    item,
+                    tid,
+                    TraceAction::WriteCfg {
+                        site: s,
+                        gen: new_gen,
+                        members: new_members,
+                    },
+                    faulted,
+                );
+            }
+            for s in refresh {
+                self.emit_item(
+                    item,
+                    tid,
+                    TraceAction::WriteDm {
+                        site: s,
+                        vn: dvn,
+                        value: dval,
+                    },
+                    faulted,
+                );
+            }
+            self.emit_item(
+                item,
+                tid,
+                TraceAction::RequestCommit {
+                    vn: new_gen,
+                    value: new_members.bits() as u64,
+                },
+                faulted,
+            );
+            self.emit_item(item, tid, TraceAction::Commit, faulted);
+        }
+        for s in install {
+            self.stores.set_cfg(base + s, new_gen, new_members);
+        }
+        for s in refresh {
+            self.stores.set(base + s, dvn, dval);
+        }
+        self.cur_gens[item] = new_gen;
+        self.cur_members[item] = new_members;
+        self.arena_checks[item] = None;
+        self.metrics.reconfigurations += 1;
+        self.reconfigs_used[item] += 1;
+        self.last_reconfig[item] = self.now;
+        if self.obs.events.enabled() {
+            let g = self.global_items[item];
+            self.emit_obs(EventKind::Fault {
+                desc: format!("reconfig:item{g}:gen{new_gen}:{new_members}"),
+            });
+        }
+        if self.config.monitor {
+            if let Err(v) = self.check_item_memo(item) {
+                let g = self.global_items[item];
+                let now = self.now;
+                self.record_violation_observed(
+                    format_args!("t={now} item={g} reconfig gen {new_gen}: {v}"),
+                    None,
+                );
+            }
         }
     }
 
@@ -744,6 +976,13 @@ impl<'a> ShardSim<'a> {
     /// predicates; asserted exhaustively in the quorum crate).
     #[inline]
     fn is_quorum(&self, have: ReplicaSet, write: bool) -> bool {
+        // A dynamic attempt's quorums are over its cached membership; the
+        // read side also demands a configuration read quorum so the
+        // attempt can prove its generation is current.
+        if let Some((members, rk, wk)) = self.dyn_quorum {
+            let k = have.intersection(members).len();
+            return k >= if write { wk } else { rk };
+        }
         match self.th {
             Some(t) => {
                 let k = have.intersection(ReplicaSet::full(t.n)).len();
@@ -813,9 +1052,15 @@ impl<'a> ShardSim<'a> {
     /// Record one trace action against `op`'s item (no-op when untraced).
     fn emit(&mut self, client: usize, op: &PendingOp, action: TraceAction, faulted: bool) {
         let tid = self.trace_tid(client, op);
+        self.emit_item(op.item, tid, action, faulted);
+    }
+
+    /// Record one trace action against `item` under an explicit tid (the
+    /// reconfigure op has no client).
+    fn emit_item(&mut self, item: usize, tid: TraceTid, action: TraceAction, faulted: bool) {
         let now = self.now;
         if let Some(recorders) = self.recorders.as_mut() {
-            recorders[op.item].record(now, tid, action, faulted);
+            recorders[item].record(now, tid, action, faulted);
         }
     }
 
@@ -850,6 +1095,12 @@ impl<'a> ShardSim<'a> {
             if let Workload::Closed { think } = self.config.workload {
                 self.schedule(think, Event::OpStart { client });
             }
+            return;
+        }
+
+        if self.config.reconfig.enabled {
+            let family = self.family.expect("checked in MultiConfig::validate");
+            self.attempt_op_dynamic(client, op, family);
             return;
         }
 
@@ -973,6 +1224,208 @@ impl<'a> ShardSim<'a> {
         }
         self.arena_checks[op.item] = None;
         self.commit_op(client, op, elapsed, messages, new_vn, op.value);
+    }
+
+    /// One attempt of a pending operation under dynamic quorums — the
+    /// per-item mirror of the single-item simulator's
+    /// `attempt_op_dynamic`: the Gifford phases run over the client's
+    /// cached `(generation, members)` pair for the op's item, phase 1
+    /// doubles as the generation-currency check, and a stale attempt
+    /// aborts with [`AbortReason::Stale`] and retries under the adopted
+    /// configuration without spending its retry budget.
+    fn attempt_op_dynamic(&mut self, client: usize, mut op: PendingOp, family: QuorumFamily) {
+        let local = self.checkers.len();
+        let idx = client * local + op.item;
+        let (cgen, members) = self.client_cfg[idx];
+        let m = members.len();
+        let rk = family
+            .read_size(m)
+            .max(QuorumFamily::config_quorum_size(m));
+        let wk = family.write_size(m);
+        self.dyn_quorum = Some((members, rk, wk));
+        let livem = self.live_set().intersection(members);
+        if livem.is_empty() {
+            // Nothing to contact: no response could even reveal a newer
+            // generation.
+            self.finish_failed_attempt(client, op, SimTime::ZERO, 0, true);
+            return;
+        }
+        // Contact live members even when they cannot assemble the quorum:
+        // any single response can reveal a newer generation, which is how
+        // a client with a stale cache ever recovers.
+        let targets = match self.config.contact {
+            ContactPolicy::AllLive => livem,
+            ContactPolicy::MinimalQuorum if livem.len() >= rk => livem.keep_highest(rk),
+            ContactPolicy::MinimalQuorum => livem,
+        };
+        let out1 = self.phase(targets, client, op.op_index, op.attempt, false);
+        op.gather_us += out1.elapsed.as_micros();
+        let base = op.item * self.n;
+        // Generation currency: any in-time response carrying a newer
+        // generation supersedes this attempt, whether or not the phase
+        // assembled its quorum.
+        let seen = if out1.ok {
+            out1.responders
+        } else {
+            self.responders_within_timeout()
+        };
+        let (sgen, smembers) = self.stores.discover_cfg(base, seen);
+        if sgen > cgen {
+            self.client_cfg[idx] = (sgen, smembers);
+            self.finish_stale_attempt(client, op, out1.elapsed, out1.messages);
+            return;
+        }
+        if !out1.ok {
+            // Structurally impossible (too few live members) counts as
+            // unavailable; a quorum that exists but did not assemble in
+            // time is a timeout.
+            self.finish_failed_attempt(client, op, out1.elapsed, out1.messages, livem.len() < rk);
+            return;
+        }
+        // The responders cover a configuration read quorum of the cached
+        // members at generation `cgen`: had a newer configuration
+        // committed, its install set would intersect them (both are
+        // configuration majorities of the same membership), so `cgen` is
+        // current and the data quorums below are over the right members.
+        let (dvn, dval) = self.stores.discover(base, out1.responders);
+
+        if op.read {
+            if self.recorders.is_some() {
+                let faulted = self.faulted_now();
+                self.emit(client, &op, TraceAction::Create { kind: TmKind::Read }, faulted);
+                for s in out1.responders {
+                    let gen = self.stores.cfg_gen(base + s);
+                    self.emit(client, &op, TraceAction::ReadCfg { site: s, gen }, faulted);
+                }
+                for s in out1.responders {
+                    let (vn, value) = self.stores.get(base + s);
+                    self.emit(client, &op, TraceAction::ReadDm { site: s, vn, value }, faulted);
+                }
+                self.emit(
+                    client,
+                    &op,
+                    TraceAction::RequestCommit { vn: dvn, value: dval },
+                    faulted,
+                );
+                self.emit(client, &op, TraceAction::Commit, faulted);
+            }
+            self.commit_op(client, op, out1.elapsed, out1.messages, dvn, dval);
+            return;
+        }
+
+        // Phase 2 (writes): install at a data write quorum of the cached
+        // members, atomically.
+        let livem2 = self.live_set().intersection(members);
+        if livem2.len() < wk {
+            self.finish_failed_attempt(client, op, out1.elapsed, out1.messages, true);
+            return;
+        }
+        let targets2 = match self.config.contact {
+            ContactPolicy::AllLive => livem2,
+            ContactPolicy::MinimalQuorum => livem2.keep_highest(wk),
+        };
+        let out2 = self.phase(targets2, client, op.op_index, op.attempt, true);
+        op.install_us += out2.elapsed.as_micros();
+        let elapsed = out1.elapsed + out2.elapsed;
+        let messages = out1.messages + out2.messages;
+        if !out2.ok {
+            self.finish_failed_attempt(client, op, elapsed, messages, false);
+            return;
+        }
+        let new_vn = dvn + 1;
+        if self.recorders.is_some() {
+            let faulted = self.faulted_now();
+            self.emit(
+                client,
+                &op,
+                TraceAction::Create {
+                    kind: TmKind::Write,
+                },
+                faulted,
+            );
+            for s in out1.responders {
+                let gen = self.stores.cfg_gen(base + s);
+                self.emit(client, &op, TraceAction::ReadCfg { site: s, gen }, faulted);
+            }
+            for s in out1.responders {
+                let (vn, value) = self.stores.get(base + s);
+                self.emit(client, &op, TraceAction::ReadDm { site: s, vn, value }, faulted);
+            }
+            for s in out2.responders {
+                self.emit(
+                    client,
+                    &op,
+                    TraceAction::WriteDm {
+                        site: s,
+                        vn: new_vn,
+                        value: op.value,
+                    },
+                    faulted,
+                );
+            }
+            self.emit(
+                client,
+                &op,
+                TraceAction::RequestCommit {
+                    vn: new_vn,
+                    value: op.value,
+                },
+                faulted,
+            );
+            self.emit(client, &op, TraceAction::Commit, faulted);
+        }
+        for s in out2.responders {
+            self.stores.set(base + s, new_vn, op.value);
+        }
+        self.arena_checks[op.item] = None;
+        self.commit_op(client, op, elapsed, messages, new_vn, op.value);
+    }
+
+    /// The sites whose responses to the last phase arrived within the
+    /// timeout — the failed-phase view used for generation discovery.
+    fn responders_within_timeout(&self) -> ReplicaSet {
+        let mut set = ReplicaSet::new();
+        for &(t, s) in &self.scratch {
+            if t <= self.config.timeout {
+                set.insert(s);
+            }
+        }
+        set
+    }
+
+    /// A stale-generation rejection: the attempt aborts with no visible
+    /// effect and the operation retries immediately under the newly
+    /// adopted configuration, without spending the retry budget (bounded
+    /// by the run's reconfiguration count — see the single-item
+    /// simulator's `finish_stale_attempt`).
+    fn finish_stale_attempt(
+        &mut self,
+        client: usize,
+        mut op: PendingOp,
+        attempt_elapsed: SimTime,
+        attempt_messages: u64,
+    ) {
+        self.metrics.stale_rejections += 1;
+        if self.recorders.is_some() {
+            let kind = if op.read { TmKind::Read } else { TmKind::Write };
+            let faulted = self.faulted_now();
+            self.emit(
+                client,
+                &op,
+                TraceAction::Abort {
+                    kind,
+                    reason: AbortReason::Stale,
+                },
+                faulted,
+            );
+        }
+        op.messages += attempt_messages;
+        // A fresh attempt number keeps trace transaction names unique.
+        op.attempt += 1;
+        let delay = attempt_elapsed.max(SimTime(1));
+        op.backoff_us += (delay - attempt_elapsed).as_micros();
+        self.pending.put(client, op);
+        self.schedule(delay, Event::Retry { client });
     }
 
     /// Commit the pending operation against its item.
@@ -1307,6 +1760,68 @@ mod tests {
             assert_eq!(run_sharded(&cal, threads).digest(), reference, "calendar t={threads}");
             assert_eq!(run_sharded(&heap, threads).digest(), reference, "heap t={threads}");
         }
+    }
+
+    #[test]
+    fn validate_gates_dynamic_quorums() {
+        use quorum::Weighted;
+        // Scripted reconfig events require the policy enabled.
+        let mut c = base();
+        c.faults = FaultPlan::new().reconfig_at(SimTime::from_secs(1), ReconfigTarget::Live);
+        assert!(c.validate().is_err());
+        c.reconfig = ReconfigPolicy::scripted_only();
+        assert!(c.validate().is_ok());
+        // Dynamic quorums need a resizable (ROWA/majority) family.
+        let mut c = MultiConfig::new(Arc::new(Weighted::new(vec![2, 1, 1], 3, 2)));
+        c.reconfig = ReconfigPolicy::reactive();
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn scripted_reconfig_applies_to_every_item() {
+        use quorum::Rowa;
+        let shrunk: ReplicaSet = [0usize, 1, 2].into_iter().collect();
+        let mut c = MultiConfig::new(Arc::new(Rowa::new(5)));
+        c.duration = SimTime::from_secs(2);
+        c.seed = 7;
+        c.read_fraction = 0.5;
+        c.reconfig = ReconfigPolicy::scripted_only();
+        c.faults = FaultPlan::new()
+            .reconfig_at(SimTime::from_secs(1), ReconfigTarget::Members(shrunk));
+        let report = run_sharded(&c, 2);
+        // One reconfigure op per item.
+        assert_eq!(report.metrics.reconfigurations, c.items as u64);
+        assert_eq!(report.metrics.reconfig_failures, 0);
+        assert!(report.metrics.stale_rejections > 0);
+        assert_eq!(report.metrics.lemma_violations, 0, "{:?}", report.metrics.violations);
+        assert!(report.item_commits.iter().all(|&n| n > 0));
+    }
+
+    #[test]
+    fn reactive_reconfiguring_run_is_thread_count_invariant() {
+        use quorum::Rowa;
+        let mut c = MultiConfig::new(Arc::new(Rowa::new(5)));
+        c.duration = SimTime::from_secs(4);
+        c.seed = 11;
+        c.read_fraction = 0.5;
+        c.reconfig = ReconfigPolicy::reactive();
+        c.faults = FaultPlan::new()
+            .crash_at(SimTime::from_secs(1), 4)
+            .recover_at(SimTime::from_secs(3), 4);
+        let reference = run_sharded(&c, 1);
+        assert!(reference.metrics.reconfigurations > 0);
+        assert_eq!(
+            reference.metrics.lemma_violations,
+            0,
+            "{:?}",
+            reference.metrics.violations
+        );
+        let mut heap = c.clone();
+        heap.queue = QueueKind::Heap;
+        for threads in [2, 4] {
+            assert_eq!(run_sharded(&c, threads).digest(), reference.digest(), "t={threads}");
+        }
+        assert_eq!(run_sharded(&heap, 1).digest(), reference.digest(), "heap");
     }
 
     #[test]

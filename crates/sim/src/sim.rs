@@ -60,7 +60,7 @@
 use std::fmt;
 use std::sync::Arc;
 
-use quorum::{QuorumSpec, ReplicaSet, Thresholds};
+use quorum::{QuorumFamily, QuorumSpec, ReplicaSet, Thresholds};
 use rand::Rng;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
@@ -72,7 +72,7 @@ use qc_obs::{
 use qc_replication::{AbortReason, LemmaViolation, ScheduleTrace, TmKind, TraceAction, TraceTid};
 
 use crate::arena::DmArena;
-use crate::faults::{message_dropped, FaultEvent, FaultPlan, RetryPolicy};
+use crate::faults::{message_dropped, FaultEvent, FaultPlan, ReconfigTarget, RetryPolicy};
 use crate::latency::{sample_exponential, LatencyModel};
 use crate::metrics::{CommitRecord, Metrics};
 use crate::probe::InvariantProbe;
@@ -90,6 +90,91 @@ pub enum ContactPolicy {
     /// Contact a minimal quorum among the live replicas (lowest message
     /// cost; a single slow member delays the phase).
     MinimalQuorum,
+}
+
+/// When and how the simulator issues reconfigure ops (the paper's §4
+/// dynamic-quorum scheme).
+///
+/// Dynamic quorums are strictly **opt-in**: with the default
+/// ([`ReconfigPolicy::off`]) the simulator runs the exact static protocol
+/// of PRs 1–6, byte for byte. When enabled, replica slots carry a
+/// `(configuration, generation)` pair, data ops validate their cached
+/// generation against a configuration read quorum, and reconfigure ops —
+/// scripted via the fault plan's `reconfig@t:spec` verb and/or issued by
+/// the reactive trigger — install new configurations mid-run following
+/// Goldman–Lynch: the new configuration is written to a write quorum of
+/// the *old* configuration, after which ops at stale generations are
+/// rejected and retried under the new one.
+///
+/// The reactive trigger is the operational counterpart of `qc-reconfig`'s
+/// `Spy` automaton: a periodic check (the Spy's always-enabled
+/// `REQUEST-CREATE` output, discretized to a `poll` cadence) that spends a
+/// bounded budget of reconfigurations (`max_reconfigs`, the Spy's
+/// `used < max_reconfigs` guard) when the failure signal — the delta in
+/// timeout/unavailable classifications already kept in
+/// [`Metrics`](crate::Metrics) — indicates the current membership is
+/// wrong. It draws nothing from the RNG stream, so reconfiguring runs
+/// stay deterministic across thread counts and queue implementations.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ReconfigPolicy {
+    /// Master switch: when false, the simulator is exactly the static one.
+    pub enabled: bool,
+    /// Run the reactive spy trigger (scripted `reconfig@t` events work
+    /// either way).
+    pub reactive: bool,
+    /// Cadence of the reactive trigger's failure-signal check.
+    pub poll: SimTime,
+    /// Minimum time between two reactive reconfigurations.
+    pub cooldown: SimTime,
+    /// Never shrink the membership below this size.
+    pub min_members: usize,
+    /// Budget of reactive reconfigurations per run (the Spy's
+    /// `max_reconfigs`).
+    pub max_reconfigs: u32,
+}
+
+impl ReconfigPolicy {
+    /// Dynamic quorums disabled (the default): the static simulator.
+    #[must_use]
+    pub fn off() -> Self {
+        ReconfigPolicy {
+            enabled: false,
+            reactive: false,
+            poll: SimTime::from_millis(50),
+            cooldown: SimTime::from_millis(200),
+            min_members: 1,
+            max_reconfigs: 64,
+        }
+    }
+
+    /// Generation-aware protocol with the reactive spy trigger: poll the
+    /// failure signal every 50 ms, reconfigure to the live membership,
+    /// with a 200 ms cooldown between reconfigurations.
+    #[must_use]
+    pub fn reactive() -> Self {
+        ReconfigPolicy {
+            enabled: true,
+            reactive: true,
+            ..ReconfigPolicy::off()
+        }
+    }
+
+    /// Generation-aware protocol, but only fault-plan `reconfig@t` events
+    /// ever reconfigure.
+    #[must_use]
+    pub fn scripted_only() -> Self {
+        ReconfigPolicy {
+            enabled: true,
+            reactive: false,
+            ..ReconfigPolicy::off()
+        }
+    }
+}
+
+impl Default for ReconfigPolicy {
+    fn default() -> Self {
+        ReconfigPolicy::off()
+    }
 }
 
 /// Configuration of one simulation run.
@@ -135,6 +220,9 @@ pub struct SimConfig {
     /// pop in identical order, so this never changes results — only
     /// wall-clock speed).
     pub queue: QueueKind,
+    /// Dynamic-quorum reconfiguration policy (off by default; requires a
+    /// ROWA or majority quorum system when enabled).
+    pub reconfig: ReconfigPolicy,
 }
 
 impl std::fmt::Debug for SimConfig {
@@ -170,6 +258,7 @@ impl SimConfig {
             record_history: false,
             obs: ObsOptions::disabled(),
             queue: QueueKind::from_env(),
+            reconfig: ReconfigPolicy::off(),
         }
     }
 }
@@ -181,6 +270,7 @@ enum Event {
     SiteUp { site: usize },
     PlanFault { idx: usize },
     Retry { client: usize },
+    SpyCheck,
 }
 
 // The queue stores a compact packed form; `(time, seq)` alone orders
@@ -196,6 +286,7 @@ impl EventBox {
             Event::SiteUp { site } => EventBox(2, site),
             Event::PlanFault { idx } => EventBox(3, idx),
             Event::Retry { client } => EventBox(4, client),
+            Event::SpyCheck => EventBox(5, 0),
         }
     }
 
@@ -205,7 +296,8 @@ impl EventBox {
             1 => Event::SiteDown { site: self.1 },
             2 => Event::SiteUp { site: self.1 },
             3 => Event::PlanFault { idx: self.1 },
-            _ => Event::Retry { client: self.1 },
+            4 => Event::Retry { client: self.1 },
+            _ => Event::SpyCheck,
         }
     }
 }
@@ -260,6 +352,27 @@ pub struct Simulation {
     /// selection then run as inline popcounts instead of virtual calls;
     /// `None` falls back to the `dyn QuorumSpec` predicates.
     th: Option<Thresholds>,
+    /// Quorum family of the system, when it has one (required for dynamic
+    /// quorums: the size rules must extend to arbitrary member sets).
+    family: Option<QuorumFamily>,
+    /// Committed configuration generation (0 = the initial full
+    /// membership; only reconfigure ops advance it).
+    cur_gen: u64,
+    /// Members of the committed configuration.
+    cur_members: ReplicaSet,
+    /// Per-client cached `(generation, members)` — clients act on their
+    /// cache and learn newer generations only through stale rejections,
+    /// exactly like a TM discovering a superseded configuration.
+    client_cfg: Vec<(u64, ReplicaSet)>,
+    /// Quorum override for the phase loop while a dynamic attempt runs:
+    /// `(members, read_k, write_k)`. `None` outside dynamic attempts, so
+    /// the static hot path is untouched.
+    dyn_quorum: Option<(ReplicaSet, usize, usize)>,
+    /// Reactive-trigger state: time of the last reconfiguration, budget
+    /// spent, and the failure-signal level at the last poll.
+    last_reconfig: SimTime,
+    reconfigs_used: u32,
+    last_failure_signal: u64,
     metrics: Metrics,
     /// Observability recordings (spans/events/snapshots per `config.obs`).
     obs: ObsReport,
@@ -282,6 +395,24 @@ impl Simulation {
             .faults
             .validate(n, config.clients)
             .expect("fault plan out of range");
+        let family = QuorumFamily::of(&*config.quorum);
+        let has_scripted_reconfigs = config
+            .faults
+            .events()
+            .iter()
+            .any(|(_, e)| matches!(e, FaultEvent::Reconfig { .. }));
+        if config.reconfig.enabled {
+            assert!(
+                family.is_some(),
+                "dynamic quorums require a ROWA or majority quorum system, got {}",
+                config.quorum.label()
+            );
+        } else {
+            assert!(
+                !has_scripted_reconfigs,
+                "fault plan contains reconfig events but SimConfig::reconfig is disabled"
+            );
+        }
         let rng = ChaCha8Rng::seed_from_u64(config.seed);
         let plan_crashes = (0..n)
             .map(|s| config.faults.crash_times_for(s).collect())
@@ -303,6 +434,14 @@ impl Simulation {
             probe: InvariantProbe::new(),
             arena_check: None,
             th: config.quorum.thresholds(),
+            family,
+            cur_gen: 0,
+            cur_members: ReplicaSet::full(n),
+            client_cfg: vec![(0, ReplicaSet::full(n)); config.clients],
+            dyn_quorum: None,
+            last_reconfig: SimTime::ZERO,
+            reconfigs_used: 0,
+            last_failure_signal: 0,
             metrics: Metrics::default(),
             obs: ObsReport::new(&config.obs),
             snap: config.obs.snapshot_every_us.map(SnapshotExporter::new),
@@ -324,6 +463,9 @@ impl Simulation {
         for idx in 0..sim.config.faults.len() {
             let at = sim.config.faults.events()[idx].0;
             sim.schedule(at, Event::PlanFault { idx });
+        }
+        if sim.config.reconfig.enabled && sim.config.reconfig.reactive {
+            sim.schedule(sim.config.reconfig.poll, Event::SpyCheck);
         }
         sim
     }
@@ -375,6 +517,7 @@ impl Simulation {
             Event::OpStart { client } => self.handle_op(client),
             Event::Retry { client } => self.attempt_op(client),
             Event::PlanFault { idx } => self.handle_plan_fault(idx),
+            Event::SpyCheck => self.spy_check(),
             Event::SiteDown { site } => {
                 self.stoch_next_down[site] = NO_CRASH;
                 if self.up.contains(site) {
@@ -437,13 +580,25 @@ impl Simulation {
     }
 
     /// The probe's store re-check, memoized (see the `arena_check` field).
+    /// Under dynamic quorums Lemma 8(1a)'s write quorum is evaluated over
+    /// the committed membership.
     fn arena_check_memo(&mut self) -> Result<(), LemmaViolation> {
         match &self.arena_check {
             Some(r) => r.clone(),
             None => {
-                let r = self
-                    .probe
-                    .check_arena(&self.stores, 0, self.n, &*self.config.quorum);
+                let r = if self.config.reconfig.enabled {
+                    let family = self.family.expect("checked in Simulation::new");
+                    self.probe.check_arena_members(
+                        &self.stores,
+                        0,
+                        self.n,
+                        family,
+                        self.cur_members,
+                    )
+                } else {
+                    self.probe
+                        .check_arena(&self.stores, 0, self.n, &*self.config.quorum)
+                };
                 self.arena_check = Some(r.clone());
                 r
             }
@@ -551,6 +706,161 @@ impl Simulation {
             // Windows act at message time via drop_permille_at /
             // delay_extra_at; nothing to do when they open.
             FaultEvent::DropWindow { .. } | FaultEvent::DelayWindow { .. } => {}
+            FaultEvent::Reconfig { target } => self.try_reconfigure(target, true),
+        }
+    }
+
+    /// The reactive trigger (see [`ReconfigPolicy`]): compare the failure
+    /// signal — timeout + unavailable classifications — against the last
+    /// poll, and reconfigure to the live membership when sites outside the
+    /// membership recovered (grow) or member failures are causing op
+    /// failures (shrink).
+    fn spy_check(&mut self) {
+        let signal = self.metrics.reads.timeouts
+            + self.metrics.reads.unavailable
+            + self.metrics.writes.timeouts
+            + self.metrics.writes.unavailable;
+        let delta = signal - self.last_failure_signal;
+        self.last_failure_signal = signal;
+        let live = self.live_set();
+        let grow = !live.difference(self.cur_members).is_empty();
+        let shrink = delta > 0 && !self.cur_members.difference(live).is_empty();
+        if grow || shrink {
+            self.try_reconfigure(ReconfigTarget::Live, false);
+        }
+        self.schedule(self.config.reconfig.poll, Event::SpyCheck);
+    }
+
+    /// Execute one reconfigure op if it is warranted and feasible.
+    ///
+    /// The op follows Goldman–Lynch §4 with the control plane taken as
+    /// reliable: discovery reads the `(configuration, generation)` pair
+    /// and the data state at a configuration read quorum of the *old*
+    /// members, the new configuration is installed at a configuration
+    /// write quorum of the old members (plus every live new member, so
+    /// later configuration reads of the new membership see it), and the
+    /// discovered data state is refreshed at a data write quorum of the
+    /// *new* members. It completes at one instant, sends no messages, and
+    /// draws nothing from the RNG stream, so enabling tracing or changing
+    /// the thread count cannot perturb a reconfiguring run.
+    fn try_reconfigure(&mut self, target: ReconfigTarget, scripted: bool) {
+        let Some(family) = self.family else {
+            if scripted {
+                self.metrics.reconfig_failures += 1;
+            }
+            return;
+        };
+        let pol = self.config.reconfig;
+        if !scripted {
+            if self.reconfigs_used >= pol.max_reconfigs {
+                return;
+            }
+            if self.reconfigs_used > 0 && self.now - self.last_reconfig < pol.cooldown {
+                return;
+            }
+        }
+        let live = self.live_set();
+        let new_members = match target {
+            ReconfigTarget::Live => live,
+            ReconfigTarget::Members(m) => m,
+        };
+        if new_members.len() < pol.min_members || new_members == self.cur_members {
+            return;
+        }
+        let old = self.cur_members;
+        let discovery = live.intersection(old);
+        let refresh = live.intersection(new_members);
+        let feasible = discovery.len() >= QuorumFamily::config_quorum_size(old.len())
+            && discovery.len() >= family.read_size(old.len())
+            && refresh.len() >= family.write_size(new_members.len());
+        if !feasible {
+            if scripted {
+                self.metrics.reconfig_failures += 1;
+            }
+            return;
+        }
+        let new_gen = self.cur_gen + 1;
+        let (dvn, dval) = self.stores.discover(0, discovery);
+        let install = discovery.union(refresh);
+        if self.probe.has_sink() {
+            let tid = TraceTid {
+                client: u32::MAX,
+                op: self.metrics.reconfigurations,
+                attempt: 1,
+            };
+            let faulted = self.faulted_now();
+            self.emit(
+                tid,
+                TraceAction::Create {
+                    kind: TmKind::Reconfig,
+                },
+                faulted,
+            );
+            for s in discovery {
+                let gen = self.stores.cfg_gen(s);
+                self.emit(tid, TraceAction::ReadCfg { site: s, gen }, faulted);
+            }
+            for s in discovery {
+                let (vn, value) = self.stores.get(s);
+                self.emit(tid, TraceAction::ReadDm { site: s, vn, value }, faulted);
+            }
+            for s in install {
+                self.emit(
+                    tid,
+                    TraceAction::WriteCfg {
+                        site: s,
+                        gen: new_gen,
+                        members: new_members,
+                    },
+                    faulted,
+                );
+            }
+            for s in refresh {
+                self.emit(
+                    tid,
+                    TraceAction::WriteDm {
+                        site: s,
+                        vn: dvn,
+                        value: dval,
+                    },
+                    faulted,
+                );
+            }
+            self.emit(
+                tid,
+                TraceAction::RequestCommit {
+                    vn: new_gen,
+                    value: new_members.bits() as u64,
+                },
+                faulted,
+            );
+            self.emit(tid, TraceAction::Commit, faulted);
+        }
+        for s in install {
+            self.stores.set_cfg(s, new_gen, new_members);
+        }
+        for s in refresh {
+            self.stores.set(s, dvn, dval);
+        }
+        self.cur_gen = new_gen;
+        self.cur_members = new_members;
+        self.arena_check = None;
+        self.metrics.reconfigurations += 1;
+        self.reconfigs_used += 1;
+        self.last_reconfig = self.now;
+        if self.obs.events.enabled() {
+            self.emit_obs(EventKind::Fault {
+                desc: format!("reconfig:gen{new_gen}:{new_members}"),
+            });
+        }
+        if self.config.monitor {
+            if let Err(v) = self.arena_check_memo() {
+                let now = self.now;
+                self.record_violation_observed(
+                    format_args!("t={now} reconfig gen {new_gen}: {v}"),
+                    None,
+                );
+            }
         }
     }
 
@@ -665,6 +975,13 @@ impl Simulation {
     /// asserted exhaustively in the quorum crate).
     #[inline]
     fn is_quorum(&self, have: ReplicaSet, write: bool) -> bool {
+        // A dynamic attempt's quorums are over its cached membership; the
+        // read side also demands a configuration read quorum so the
+        // attempt can prove its generation is current.
+        if let Some((members, rk, wk)) = self.dyn_quorum {
+            let k = have.intersection(members).len();
+            return k >= if write { wk } else { rk };
+        }
         match self.th {
             Some(t) => {
                 let k = have.intersection(ReplicaSet::full(t.n)).len();
@@ -693,6 +1010,17 @@ impl Simulation {
 
     fn read_targets(&mut self) -> Option<ReplicaSet> {
         let live = self.live_set();
+        if let Some((members, rk, _)) = self.dyn_quorum {
+            // Contact live members even when they cannot assemble the
+            // quorum: any single response can reveal a newer generation,
+            // which is how a client with a stale cache ever recovers.
+            let livem = live.intersection(members);
+            return Some(match self.config.contact {
+                ContactPolicy::AllLive => livem,
+                ContactPolicy::MinimalQuorum if livem.len() >= rk => livem.keep_highest(rk),
+                ContactPolicy::MinimalQuorum => livem,
+            });
+        }
         match self.config.contact {
             // Contacting a site known to be down buys nothing: it cannot
             // respond, so it can never help assemble the quorum.
@@ -703,6 +1031,13 @@ impl Simulation {
 
     fn write_targets(&mut self) -> Option<ReplicaSet> {
         let live = self.live_set();
+        if let Some((members, _, wk)) = self.dyn_quorum {
+            let livem = live.intersection(members);
+            return (livem.len() >= wk).then(|| match self.config.contact {
+                ContactPolicy::AllLive => livem,
+                ContactPolicy::MinimalQuorum => livem.keep_highest(wk),
+            });
+        }
         match self.config.contact {
             ContactPolicy::AllLive => Some(live),
             ContactPolicy::MinimalQuorum => self.find_quorum(live, true),
@@ -751,6 +1086,12 @@ impl Simulation {
             };
             stats.record_abort();
             self.schedule(self.config.think_time, Event::OpStart { client });
+            return;
+        }
+
+        if self.config.reconfig.enabled {
+            let family = self.family.expect("checked in Simulation::new");
+            self.attempt_op_dynamic(client, op, family);
             return;
         }
 
@@ -866,6 +1207,181 @@ impl Simulation {
         }
         self.arena_check = None;
         self.commit_op(client, op, elapsed, messages, new_vn, op.value);
+    }
+
+    /// One attempt of a pending operation under dynamic quorums: the
+    /// Gifford phases run over the client's *cached* `(generation,
+    /// members)` pair, phase 1 doubles as the generation-currency check (a
+    /// configuration read quorum of the cached members either confirms the
+    /// generation or reveals the newer one), and a stale attempt aborts
+    /// with [`AbortReason::Stale`] and retries under the adopted
+    /// configuration without spending its retry budget.
+    fn attempt_op_dynamic(&mut self, client: usize, mut op: PendingOp, family: QuorumFamily) {
+        let (cgen, members) = self.client_cfg[client];
+        let m = members.len();
+        let rk = family
+            .read_size(m)
+            .max(QuorumFamily::config_quorum_size(m));
+        let wk = family.write_size(m);
+        self.dyn_quorum = Some((members, rk, wk));
+        let livem = self.live_set().intersection(members);
+        if livem.is_empty() {
+            // Nothing to contact: no response could even reveal a newer
+            // generation.
+            self.finish_failed_attempt(client, op, SimTime::ZERO, 0, true);
+            return;
+        }
+        let targets = self.read_targets().expect("dynamic read targets are always Some");
+        let out1 = self.phase(targets, client, op.op_index, op.attempt, false);
+        op.gather_us += out1.elapsed.as_micros();
+        // Generation currency: any in-time response carrying a newer
+        // generation supersedes this attempt, whether or not the phase
+        // assembled its quorum.
+        let seen = if out1.ok {
+            out1.responders
+        } else {
+            self.responders_within_timeout()
+        };
+        let (sgen, smembers) = self.stores.discover_cfg(0, seen);
+        if sgen > cgen {
+            self.client_cfg[client] = (sgen, smembers);
+            self.finish_stale_attempt(client, op, out1.elapsed, out1.messages);
+            return;
+        }
+        if !out1.ok {
+            // Structurally impossible (too few live members) counts as
+            // unavailable; a quorum that exists but did not assemble in
+            // time is a timeout.
+            self.finish_failed_attempt(client, op, out1.elapsed, out1.messages, livem.len() < rk);
+            return;
+        }
+        // The responders cover a configuration read quorum of the cached
+        // members at generation `cgen`: had a newer configuration
+        // committed, its install set would intersect them (both are
+        // configuration majorities of the same membership), so `cgen` is
+        // current and the data quorums below are over the right members.
+        let (dvn, dval) = self.stores.discover(0, out1.responders);
+
+        if op.read {
+            if self.probe.has_sink() {
+                let tid = trace_tid(client, &op);
+                let faulted = self.faulted_now();
+                self.emit(tid, TraceAction::Create { kind: TmKind::Read }, faulted);
+                for s in out1.responders {
+                    let gen = self.stores.cfg_gen(s);
+                    self.emit(tid, TraceAction::ReadCfg { site: s, gen }, faulted);
+                }
+                for s in out1.responders {
+                    let (vn, value) = self.stores.get(s);
+                    self.emit(tid, TraceAction::ReadDm { site: s, vn, value }, faulted);
+                }
+                self.emit(tid, TraceAction::RequestCommit { vn: dvn, value: dval }, faulted);
+                self.emit(tid, TraceAction::Commit, faulted);
+            }
+            self.commit_op(client, op, out1.elapsed, out1.messages, dvn, dval);
+            return;
+        }
+
+        let out2 = match self.write_targets() {
+            Some(targets) => self.phase(targets, client, op.op_index, op.attempt, true),
+            None => {
+                self.finish_failed_attempt(client, op, out1.elapsed, out1.messages, true);
+                return;
+            }
+        };
+        op.install_us += out2.elapsed.as_micros();
+        let elapsed = out1.elapsed + out2.elapsed;
+        let messages = out1.messages + out2.messages;
+        if !out2.ok {
+            self.finish_failed_attempt(client, op, elapsed, messages, false);
+            return;
+        }
+        let new_vn = dvn + 1;
+        if self.probe.has_sink() {
+            let tid = trace_tid(client, &op);
+            let faulted = self.faulted_now();
+            self.emit(tid, TraceAction::Create { kind: TmKind::Write }, faulted);
+            for s in out1.responders {
+                let gen = self.stores.cfg_gen(s);
+                self.emit(tid, TraceAction::ReadCfg { site: s, gen }, faulted);
+            }
+            for s in out1.responders {
+                let (vn, value) = self.stores.get(s);
+                self.emit(tid, TraceAction::ReadDm { site: s, vn, value }, faulted);
+            }
+            for s in out2.responders {
+                self.emit(
+                    tid,
+                    TraceAction::WriteDm {
+                        site: s,
+                        vn: new_vn,
+                        value: op.value,
+                    },
+                    faulted,
+                );
+            }
+            self.emit(
+                tid,
+                TraceAction::RequestCommit {
+                    vn: new_vn,
+                    value: op.value,
+                },
+                faulted,
+            );
+            self.emit(tid, TraceAction::Commit, faulted);
+        }
+        for s in out2.responders {
+            self.stores.set(s, new_vn, op.value);
+        }
+        self.arena_check = None;
+        self.commit_op(client, op, elapsed, messages, new_vn, op.value);
+    }
+
+    /// The sites whose responses to the last phase arrived within the
+    /// timeout — the failed-phase view used for generation discovery.
+    fn responders_within_timeout(&self) -> ReplicaSet {
+        let mut set = ReplicaSet::new();
+        for &(t, s) in &self.scratch {
+            if t <= self.config.timeout {
+                set.insert(s);
+            }
+        }
+        set
+    }
+
+    /// A stale-generation rejection: the attempt aborts with no visible
+    /// effect and the operation retries immediately under the newly
+    /// adopted configuration. The retry budget is untouched — the cached
+    /// generation strictly increased, so these retries are bounded by the
+    /// run's reconfiguration count — and the op's failure statistics don't
+    /// move (only terminal outcomes count attempts).
+    fn finish_stale_attempt(
+        &mut self,
+        client: usize,
+        mut op: PendingOp,
+        attempt_elapsed: SimTime,
+        attempt_messages: u64,
+    ) {
+        self.metrics.stale_rejections += 1;
+        if self.probe.has_sink() {
+            let kind = if op.read { TmKind::Read } else { TmKind::Write };
+            let faulted = self.faulted_now();
+            self.emit(
+                trace_tid(client, &op),
+                TraceAction::Abort {
+                    kind,
+                    reason: AbortReason::Stale,
+                },
+                faulted,
+            );
+        }
+        op.messages += attempt_messages;
+        // A fresh attempt number keeps trace transaction names unique.
+        op.attempt += 1;
+        let delay = attempt_elapsed.max(SimTime(1));
+        op.backoff_us += (delay - attempt_elapsed).as_micros();
+        self.pending.put(client, op);
+        self.schedule(delay, Event::Retry { client });
     }
 
     /// Record one trace action at the current instant (no-op without an
@@ -1276,5 +1792,100 @@ mod tests {
         assert!(!out.responders.contains(2));
         // 3 requests + 2 responses.
         assert_eq!(out.messages, 5);
+    }
+
+    #[test]
+    fn enabled_but_idle_dynamic_majority_matches_the_static_run() {
+        // With a majority system the dynamic read quorum equals the static
+        // one (read size == configuration quorum size), so a dynamic run
+        // in which no reconfiguration ever fires draws the same RNG stream
+        // and commits the same operations as the static simulator.
+        let static_run = run(base(Arc::new(Majority::new(5))));
+        let mut c = base(Arc::new(Majority::new(5)));
+        c.reconfig = ReconfigPolicy::scripted_only();
+        let dynamic_run = run(c);
+        assert_eq!(static_run.digest(), dynamic_run.digest());
+    }
+
+    #[test]
+    fn reactive_reconfig_restores_rowa_write_availability() {
+        // ROWA writes need every member: a single crashed site blanks
+        // write availability for the whole outage under the static
+        // protocol, while the reactive trigger shrinks the membership out
+        // from under the crash and grows it back on recovery.
+        let plan = FaultPlan::new()
+            .crash_at(SimTime::from_secs(1), 4)
+            .recover_at(SimTime::from_secs(3), 4);
+        let mut stat = base(Arc::new(Rowa::new(5)));
+        stat.read_fraction = 0.0;
+        stat.faults = plan.clone();
+        let s = run(stat);
+        let mut dy = base(Arc::new(Rowa::new(5)));
+        dy.read_fraction = 0.0;
+        dy.faults = plan;
+        dy.reconfig = ReconfigPolicy::reactive();
+        let d = run(dy);
+        assert!(d.reconfigurations >= 2, "reconfigurations {}", d.reconfigurations);
+        assert_eq!(d.lemma_violations, 0, "violations: {:?}", d.violations);
+        assert!(
+            d.writes.availability() > 0.9 && s.writes.availability() < 0.7,
+            "dynamic {} static {}",
+            d.writes.availability(),
+            s.writes.availability()
+        );
+    }
+
+    #[test]
+    fn scripted_reconfig_installs_the_requested_membership() {
+        let shrunk: ReplicaSet = [0usize, 1, 2].into_iter().collect();
+        let mut c = base(Arc::new(Majority::new(5)));
+        c.read_fraction = 0.5;
+        c.faults = FaultPlan::new()
+            .reconfig_at(SimTime::from_secs(1), ReconfigTarget::Members(shrunk));
+        c.reconfig = ReconfigPolicy::scripted_only();
+        let mut sim = Simulation::new(c);
+        sim.drive();
+        assert_eq!(sim.cur_gen, 1);
+        assert_eq!(sim.cur_members, shrunk);
+        assert_eq!(sim.metrics.reconfigurations, 1);
+        assert_eq!(sim.metrics.reconfig_failures, 0);
+        // Ops ran before and after the switch; stale rejections happen at
+        // the boundary (each client's first post-switch attempt).
+        assert!(sim.metrics.stale_rejections > 0);
+        assert_eq!(sim.metrics.lemma_violations, 0, "{:?}", sim.metrics.violations);
+    }
+
+    #[test]
+    fn infeasible_scripted_reconfig_is_counted_not_executed() {
+        // Moving to a membership whose data write quorum cannot be
+        // assembled from live sites (both requested members are down and
+        // stay down) must fail.
+        let dead: ReplicaSet = [3usize, 4].into_iter().collect();
+        let mut c = base(Arc::new(Rowa::new(5)));
+        c.faults = FaultPlan::new()
+            .crash_at(SimTime::from_millis(500), 4)
+            .crash_at(SimTime::from_millis(500), 3)
+            .reconfig_at(SimTime::from_secs(1), ReconfigTarget::Members(dead));
+        c.reconfig = ReconfigPolicy::scripted_only();
+        let m = run(c);
+        assert_eq!(m.reconfigurations, 0);
+        assert_eq!(m.reconfig_failures, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "reconfig events")]
+    fn scripted_reconfigs_require_the_policy_enabled() {
+        let mut c = base(Arc::new(Majority::new(3)));
+        c.faults = FaultPlan::new().reconfig_at(SimTime::from_secs(1), ReconfigTarget::Live);
+        let _ = Simulation::new(c);
+    }
+
+    #[test]
+    #[should_panic(expected = "ROWA or majority")]
+    fn dynamic_quorums_require_a_resizable_family() {
+        use quorum::Weighted;
+        let mut c = base(Arc::new(Weighted::new(vec![2, 1, 1], 3, 2)));
+        c.reconfig = ReconfigPolicy::reactive();
+        let _ = Simulation::new(c);
     }
 }

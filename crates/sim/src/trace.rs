@@ -88,6 +88,20 @@ fn event_json(e: &TraceEvent) -> String {
         TraceAction::WriteDm { site, vn, value } => {
             write!(s, "\"action\":\"WRITE-DM\",\"site\":{site},\"vn\":{vn},\"value\":{value}")
         }
+        TraceAction::ReadCfg { site, gen } => {
+            write!(s, "\"action\":\"READ-CFG\",\"site\":{site},\"gen\":{gen}")
+        }
+        TraceAction::WriteCfg { site, gen, members } => {
+            write!(s, "\"action\":\"WRITE-CFG\",\"site\":{site},\"gen\":{gen},\"members\":[")
+                .expect("writing to a String cannot fail");
+            for (i, m) in members.iter().enumerate() {
+                if i > 0 {
+                    s.push(',');
+                }
+                write!(s, "{m}").expect("writing to a String cannot fail");
+            }
+            write!(s, "]")
+        }
         TraceAction::RequestCommit { vn, value } => {
             write!(s, "\"action\":\"REQUEST-COMMIT\",\"vn\":{vn},\"value\":{value}")
         }
@@ -209,6 +223,17 @@ mod tests {
             },
             true,
         );
+        r.record(SimTime(7), tid(), TraceAction::ReadCfg { site: 0, gen: 0 }, false);
+        r.record(
+            SimTime(7),
+            tid(),
+            TraceAction::WriteCfg {
+                site: 1,
+                gen: 1,
+                members: [0usize, 1].into_iter().collect(),
+            },
+            false,
+        );
         let json = trace_to_json(&r.finish());
         let expected = "{\n  \"format\": \"qc-trace-v1\",\n  \"quorum\": \"rowa(2)\",\n  \
                         \"sites\": 2,\n  \"seed\": 0,\n  \"initial\": 0,\n  \"events\": [\n    \
@@ -217,7 +242,9 @@ mod tests {
                         {\"at_us\":5,\"client\":1,\"op\":2,\"attempt\":3,\"faulted\":false,\"action\":\"WRITE-DM\",\"site\":1,\"vn\":1,\"value\":9},\n    \
                         {\"at_us\":5,\"client\":1,\"op\":2,\"attempt\":3,\"faulted\":false,\"action\":\"REQUEST-COMMIT\",\"vn\":1,\"value\":9},\n    \
                         {\"at_us\":5,\"client\":1,\"op\":2,\"attempt\":3,\"faulted\":false,\"action\":\"COMMIT\"},\n    \
-                        {\"at_us\":6,\"client\":1,\"op\":2,\"attempt\":3,\"faulted\":true,\"action\":\"ABORT\",\"kind\":\"read\",\"reason\":\"timeout\"}\n  \
+                        {\"at_us\":6,\"client\":1,\"op\":2,\"attempt\":3,\"faulted\":true,\"action\":\"ABORT\",\"kind\":\"read\",\"reason\":\"timeout\"},\n    \
+                        {\"at_us\":7,\"client\":1,\"op\":2,\"attempt\":3,\"faulted\":false,\"action\":\"READ-CFG\",\"site\":0,\"gen\":0},\n    \
+                        {\"at_us\":7,\"client\":1,\"op\":2,\"attempt\":3,\"faulted\":false,\"action\":\"WRITE-CFG\",\"site\":1,\"gen\":1,\"members\":[0,1]}\n  \
                         ]\n}\n";
         assert_eq!(json, expected);
     }

@@ -11,10 +11,11 @@
 use std::sync::Arc;
 
 use qc_sim::{
-    check_trace, run, run_traced, ConformanceReport, ContactPolicy, DivergenceKind, FaultPlan,
-    LatencyModel, Metrics, RetryPolicy, ScheduleTrace, SimConfig, SimTime, TraceAction,
+    check_trace, run, run_traced, AbortReason, ConformanceReport, ContactPolicy, DivergenceKind,
+    FaultPlan, LatencyModel, Metrics, ReconfigPolicy, ReconfigTarget, RetryPolicy, ScheduleTrace,
+    SimConfig, SimTime, TmKind, TraceAction,
 };
-use quorum::{Majority, Rowa};
+use quorum::{Majority, ReplicaSet, Rowa};
 
 /// Run traced, assert the trace conforms, and return everything.
 fn assert_conforms(c: SimConfig) -> (Metrics, ScheduleTrace, ConformanceReport) {
@@ -395,6 +396,222 @@ fn mutated_commit_without_quorum_install_is_rejected() {
     let d = check_trace(&t, &*q).expect_err("installing nowhere must not conform");
     assert_eq!(d.event, rc, "diverged at {} instead of the gutted commit", d.action);
     assert_eq!(d.kind, DivergenceKind::NoWriteQuorum, "got: {d}");
+}
+
+// ---------------------------------------------------------------------------
+// Dynamic quorums: reconfiguring runs conform generation-aware, and
+// hand-mutated reconfiguring traces fail at the right divergence.
+// ---------------------------------------------------------------------------
+
+/// Total aborted transactions in a *dynamic* run's trace: the static
+/// tally plus one `ABORT(stale)` per stale-generation rejection.
+fn expected_dynamic_aborts(m: &Metrics) -> usize {
+    expected_aborts(m) + usize::try_from(m.stale_rejections).expect("fits")
+}
+
+/// The reconfiguring scenarios of determinism.rs, replayed through the
+/// generation-aware checker: reconfigure TMs commit as transactions of
+/// the schedule, stale rejections appear as aborts, and the Theorem 10
+/// projection accepts every generation switch.
+#[test]
+fn reconfiguring_scenarios_conform() {
+    let mut rowa = SimConfig::new(Arc::new(Rowa::new(5)));
+    rowa.duration = SimTime::from_secs(2);
+    rowa.seed = 21;
+    rowa.read_fraction = 0.5;
+    rowa.reconfig = ReconfigPolicy::reactive();
+    rowa.faults = FaultPlan::new()
+        .crash_at(SimTime::from_millis(300), 4)
+        .recover_at(SimTime::from_millis(1200), 4)
+        .reconfig_at(
+            SimTime::from_millis(1600),
+            ReconfigTarget::Members([0usize, 1, 2, 3].into_iter().collect()),
+        );
+    rowa.retry = RetryPolicy::retries(3, SimTime::from_millis(5));
+
+    let mut majority = SimConfig::new(Arc::new(Majority::new(5)));
+    majority.duration = SimTime::from_secs(2);
+    majority.seed = 33;
+    majority.read_fraction = 0.5;
+    majority.reconfig = ReconfigPolicy::scripted_only();
+    majority.faults = FaultPlan::new()
+        .crash_at(SimTime::from_millis(250), 1)
+        .recover_at(SimTime::from_millis(1000), 1)
+        .reconfig_at(
+            SimTime::from_millis(700),
+            ReconfigTarget::Members([0usize, 2, 3, 4].into_iter().collect()),
+        )
+        .reconfig_at(SimTime::from_millis(1400), ReconfigTarget::Live);
+    majority.retry = RetryPolicy::retries(3, SimTime::from_millis(5));
+
+    for c in [rowa, majority] {
+        let (m, t, report) = assert_conforms(c);
+        assert!(m.reconfigurations > 0, "no reconfiguration fired");
+        assert_eq!(
+            u64::try_from(report.committed).expect("fits"),
+            m.reads.successes + m.writes.successes + m.reconfigurations,
+            "committed TMs = data commits + reconfigure TMs"
+        );
+        assert_eq!(report.aborted, expected_dynamic_aborts(&m));
+        assert!(
+            t.events.iter().any(|e| matches!(
+                e.action,
+                TraceAction::Abort {
+                    reason: AbortReason::Stale,
+                    ..
+                }
+            )) == (m.stale_rejections > 0),
+            "stale rejections and ABORT(stale) events must agree"
+        );
+    }
+}
+
+/// A recorded reconfiguring run the mutation tests below operate on: one
+/// scripted shrink in calm weather, so the trace has a single reconfigure
+/// block followed by plenty of generation-1 data blocks.
+fn recorded_reconfiguring_run() -> (ScheduleTrace, Arc<Majority>) {
+    let q = Arc::new(Majority::new(5));
+    let mut c = SimConfig::new(Arc::clone(&q) as Arc<_>);
+    c.duration = SimTime::from_secs(1);
+    // Writes only, so the first post-reconfigure block is a write block
+    // for the stale-generation mutation to target.
+    c.read_fraction = 0.0;
+    c.seed = 5;
+    c.reconfig = ReconfigPolicy::scripted_only();
+    c.faults = FaultPlan::new().reconfig_at(
+        SimTime::from_millis(500),
+        ReconfigTarget::Members([0usize, 1, 2, 3].into_iter().collect()),
+    );
+    let (m, t) = run_traced(c);
+    assert_eq!(m.reconfigurations, 1, "exactly the scripted reconfiguration");
+    check_trace(&t, &*q).expect("the unmutated trace conforms");
+    (t, q)
+}
+
+/// Event bounds of the reconfigure block: (CREATE index, COMMIT index).
+fn reconfig_block(t: &ScheduleTrace) -> (usize, usize) {
+    let create = t
+        .events
+        .iter()
+        .position(|e| {
+            matches!(
+                e.action,
+                TraceAction::Create {
+                    kind: TmKind::Reconfig
+                }
+            )
+        })
+        .expect("a reconfigure CREATE");
+    let tid = t.events[create].tid;
+    let commit = t.events[create..]
+        .iter()
+        .position(|e| e.tid == tid && matches!(e.action, TraceAction::Commit))
+        .expect("the reconfigure COMMIT")
+        + create;
+    (create, commit)
+}
+
+/// Satellite: a stale-generation write accepted by the run. The
+/// configuration install is thinned to a bare config write quorum (still
+/// conformant), leaving two holdout sites at generation 0; the first
+/// post-reconfigure write block is then rewritten to have discovered only
+/// those stale holdouts — a write the protocol must reject, and the
+/// checker rejects its REQUEST-COMMIT as the first divergent action with
+/// `StaleGeneration`.
+#[test]
+fn mutated_stale_generation_commit_is_rejected() {
+    let (mut t, q) = recorded_reconfiguring_run();
+    let (_, commit) = reconfig_block(&t);
+
+    // Thin the WRITE-CFG installs to the first three (a config write
+    // quorum of the five old members), leaving the rest at generation 0.
+    let installs: Vec<usize> = t.events[..commit]
+        .iter()
+        .enumerate()
+        .filter(|(_, e)| matches!(e.action, TraceAction::WriteCfg { .. }))
+        .map(|(i, _)| i)
+        .collect();
+    assert!(installs.len() > 3, "need holdout sites beyond the quorum");
+    let mut holdouts = ReplicaSet::EMPTY;
+    for &i in installs[3..].iter().rev() {
+        let TraceAction::WriteCfg { site, .. } = t.events[i].action else {
+            unreachable!();
+        };
+        holdouts.insert(site);
+        t.events.remove(i);
+    }
+    let commit = commit - (installs.len() - 3);
+    assert!(!holdouts.is_empty());
+
+    // Find the first post-reconfigure write block and rewrite its
+    // configuration reads to the stale holdouts.
+    let create = t.events[commit..]
+        .iter()
+        .position(|e| {
+            matches!(
+                e.action,
+                TraceAction::Create {
+                    kind: TmKind::Write
+                }
+            )
+        })
+        .expect("a post-reconfigure write block")
+        + commit;
+    let tid = t.events[create].tid;
+    let rc = t.events[create..]
+        .iter()
+        .position(|e| e.tid == tid && matches!(e.action, TraceAction::RequestCommit { .. }))
+        .expect("the block's REQUEST-COMMIT")
+        + create;
+    // Drop the block's recorded generation-1 READ-CFGs...
+    let cfg_reads: Vec<usize> = (create..rc)
+        .filter(|&i| t.events[i].tid == tid && matches!(t.events[i].action, TraceAction::ReadCfg { .. }))
+        .collect();
+    assert!(!cfg_reads.is_empty(), "dynamic blocks carry READ-CFG");
+    for &i in cfg_reads.iter().rev() {
+        t.events.remove(i);
+    }
+    let rc = rc - cfg_reads.len();
+    // ...and replace them with faithful generation-0 reads at the
+    // holdouts, as if discovery had only ever reached the stale minority.
+    let template = t.events[create];
+    for (k, site) in holdouts.iter().enumerate() {
+        let mut ev = template;
+        ev.action = TraceAction::ReadCfg { site, gen: 0 };
+        t.events.insert(create + 1 + k, ev);
+    }
+    let rc = rc + holdouts.len();
+
+    let d = check_trace(&t, &*q).expect_err("a stale-generation commit must not conform");
+    assert_eq!(d.event, rc, "diverged at {} instead of the stale commit", d.action);
+    assert_eq!(d.kind, DivergenceKind::StaleGeneration, "got: {d}");
+}
+
+/// Satellite: a configuration installed without a write quorum of the
+/// *old* configuration — every WRITE-CFG of the reconfigure block is
+/// erased — is rejected at the reconfigure's REQUEST-COMMIT with
+/// `NoConfigWriteQuorum`, exactly the Goldman–Lynch §4 obligation.
+#[test]
+fn mutated_install_without_old_config_quorum_is_rejected() {
+    let (mut t, q) = recorded_reconfiguring_run();
+    let (create, commit) = reconfig_block(&t);
+    let tid = t.events[create].tid;
+    let rc = t.events[create..]
+        .iter()
+        .position(|e| e.tid == tid && matches!(e.action, TraceAction::RequestCommit { .. }))
+        .expect("the reconfigure REQUEST-COMMIT")
+        + create;
+    let installs: Vec<usize> = (create..commit)
+        .filter(|&i| matches!(t.events[i].action, TraceAction::WriteCfg { .. }))
+        .collect();
+    assert!(!installs.is_empty());
+    for &i in installs.iter().rev() {
+        t.events.remove(i);
+    }
+    let rc = rc - installs.len();
+    let d = check_trace(&t, &*q).expect_err("installing nowhere must not conform");
+    assert_eq!(d.event, rc, "diverged at {} instead of the gutted install", d.action);
+    assert_eq!(d.kind, DivergenceKind::NoConfigWriteQuorum, "got: {d}");
 }
 
 /// A READ-DM claiming a value the replica never held is caught at that

@@ -11,9 +11,10 @@
 use std::sync::Arc;
 
 use qc_sim::{
-    run, ContactPolicy, FaultPlan, Metrics, RetryPolicy, SimConfig, SimTime,
+    run, ContactPolicy, FaultPlan, Metrics, QueueKind, ReconfigPolicy, ReconfigTarget,
+    RetryPolicy, SimConfig, SimTime,
 };
-use quorum::Majority;
+use quorum::{Majority, Rowa};
 
 /// FNV-1a over the complete `Debug` rendering of the metrics.
 fn digest(m: &Metrics) -> u64 {
@@ -85,14 +86,14 @@ fn identical_seeds_are_bit_identical() {
 fn healthy_all_live_metrics_are_pinned() {
     let m = run(healthy(ContactPolicy::AllLive));
     assert_eq!(fingerprint(&m), (3828, 3828, 38280, 424, 424, 8480, 0, 0));
-    assert_eq!(digest(&m), 5728043313129166939);
+    assert_eq!(digest(&m), 6227179515335722920);
 }
 
 #[test]
 fn healthy_minimal_quorum_metrics_are_pinned() {
     let m = run(healthy(ContactPolicy::MinimalQuorum));
     assert_eq!(fingerprint(&m), (3552, 3552, 21312, 386, 386, 4632, 0, 0));
-    assert_eq!(digest(&m), 11451849065766902516);
+    assert_eq!(digest(&m), 15120862404983422755);
 }
 
 #[test]
@@ -103,7 +104,75 @@ fn faulted_all_live_metrics_are_pinned() {
     assert_eq!(m.site_failures, 2);
     assert!(m.dropped_messages > 0);
     assert_eq!(fingerprint(&m), (3045, 3042, 25870, 340, 339, 5764, 2, 0));
-    assert_eq!(digest(&m), 14176912797174475063);
+    assert_eq!(digest(&m), 10745518364402560754);
+}
+
+/// A reconfiguring ROWA run: a member crash forces the reactive trigger
+/// to shrink, the recovery grows back, and a scripted reconfiguration is
+/// interleaved — exercising stale rejections, generation adoption and the
+/// no-message reconfigure op on top of the `faulted` weather.
+fn reconfiguring_rowa(seed: u64) -> SimConfig {
+    let mut c = SimConfig::new(Arc::new(Rowa::new(5)));
+    c.duration = SimTime::from_secs(2);
+    c.seed = seed;
+    c.read_fraction = 0.5;
+    c.reconfig = ReconfigPolicy::reactive();
+    c.faults = FaultPlan::new()
+        .crash_at(SimTime::from_millis(300), 4)
+        .recover_at(SimTime::from_millis(1200), 4)
+        .reconfig_at(
+            SimTime::from_millis(1600),
+            ReconfigTarget::Members([0usize, 1, 2, 3].into_iter().collect()),
+        );
+    c.retry = RetryPolicy::retries(3, SimTime::from_millis(5));
+    c
+}
+
+/// A reconfiguring majority run under heavier weather: crashes, a drop
+/// window, and a scripted shrink while a member is down.
+fn reconfiguring_majority(seed: u64) -> SimConfig {
+    let mut c = SimConfig::new(Arc::new(Majority::new(5)));
+    c.duration = SimTime::from_secs(2);
+    c.seed = seed;
+    c.read_fraction = 0.5;
+    c.reconfig = ReconfigPolicy::reactive();
+    c.faults = FaultPlan::new()
+        .crash_at(SimTime::from_millis(250), 1)
+        .crash_at(SimTime::from_millis(400), 3)
+        .recover_at(SimTime::from_millis(1000), 1)
+        .drop_window(SimTime::from_millis(600), SimTime::from_millis(200), 250)
+        .reconfig_at(
+            SimTime::from_millis(1400),
+            ReconfigTarget::Members([0usize, 1, 2, 4].into_iter().collect()),
+        );
+    c.retry = RetryPolicy::retries(3, SimTime::from_millis(5));
+    c
+}
+
+#[test]
+fn reconfiguring_rowa_metrics_are_pinned() {
+    let m = run(reconfiguring_rowa(21));
+    assert_eq!(m.lemma_violations, 0, "violations: {:?}", m.violations);
+    assert!(m.reconfigurations >= 2, "reconfigurations {}", m.reconfigurations);
+    assert!(m.stale_rejections > 0);
+    let reference = digest(&m);
+    // Bit-identical under the heap event-queue oracle.
+    let mut heap = reconfiguring_rowa(21);
+    heap.queue = QueueKind::Heap;
+    assert_eq!(digest(&run(heap)), reference);
+    assert_eq!(reference, 14783729087712639457);
+}
+
+#[test]
+fn reconfiguring_majority_metrics_are_pinned() {
+    let m = run(reconfiguring_majority(33));
+    assert_eq!(m.lemma_violations, 0, "violations: {:?}", m.violations);
+    assert!(m.reconfigurations >= 2, "reconfigurations {}", m.reconfigurations);
+    let reference = digest(&m);
+    let mut heap = reconfiguring_majority(33);
+    heap.queue = QueueKind::Heap;
+    assert_eq!(digest(&run(heap)), reference);
+    assert_eq!(reference, 9043374931432434805);
 }
 
 #[test]
@@ -114,5 +183,5 @@ fn faulted_minimal_quorum_metrics_are_pinned() {
     assert_eq!(m.site_failures, 2);
     assert!(m.dropped_messages > 0);
     assert_eq!(fingerprint(&m), (2862, 2857, 17213, 317, 316, 3814, 2, 0));
-    assert_eq!(digest(&m), 10025574142909979862);
+    assert_eq!(digest(&m), 9239106001235178659);
 }

@@ -17,7 +17,7 @@ use std::sync::Arc;
 
 use qc_sim::{
     run_observed, run_traced, trace_to_json, ContactPolicy, FaultPlan, LatencyModel,
-    ObsOptions, RetryPolicy, SimConfig, SimTime,
+    ObsOptions, ReconfigPolicy, RetryPolicy, SimConfig, SimTime,
 };
 use quorum::Majority;
 
@@ -79,6 +79,26 @@ fn faulted_snapshot_is_stable() {
         FaultPlan::parse("crash@5:0;recover@14:0;abort@8:1").expect("fault plan parses");
     config.retry = RetryPolicy::retries(3, SimTime::from_millis(2));
     check("faulted_majority3_seed11.json", config);
+}
+
+/// A crash-then-reconfigure run: a site crashes, a scripted shrink writes
+/// the new configuration to a write quorum of the old members, stale
+/// attempts abort and retry at the new generation, and a second scripted
+/// reconfiguration grows back to the recovered live set. Pins the
+/// READ-CFG/WRITE-CFG trace records and the ABORT(stale) encoding.
+#[test]
+fn reconfig_snapshot_is_stable() {
+    let mut config = small(17);
+    config.duration = SimTime::from_millis(30);
+    config.reconfig = ReconfigPolicy::scripted_only();
+    config.faults = FaultPlan::parse("crash@5:2;reconfig@12:0+1;recover@20:2;reconfig@24:live")
+        .expect("fault plan parses");
+    config.retry = RetryPolicy::retries(3, SimTime::from_millis(2));
+    let (metrics, trace) = run_traced(config);
+    assert_eq!(metrics.reconfigurations, 2, "both scripted reconfigurations run");
+    assert!(metrics.stale_rejections > 0, "the shrink must strand a stale cache");
+    assert_eq!(metrics.lemma_violations, 0);
+    compare("reconfig_majority3_seed17.json", trace_to_json(&trace));
 }
 
 /// The `qc-events-v1` JSONL event-log format is pinned byte for byte: a

@@ -11,9 +11,10 @@ use std::sync::Arc;
 
 use qc_sim::{
     check_trace, run_sharded, run_sharded_traced, ContactPolicy, FaultPlan, ItemDist,
-    MultiConfig, RetryPolicy, SimTime, TraceAction, Workload,
+    MultiConfig, QueueKind, ReconfigPolicy, ReconfigTarget, RetryPolicy, SimTime, TmKind,
+    TraceAction, Workload,
 };
-use quorum::Majority;
+use quorum::{Majority, Rowa};
 
 fn healthy() -> MultiConfig {
     let mut c = MultiConfig::new(Arc::new(Majority::new(5)));
@@ -59,6 +60,123 @@ fn open_loop() -> MultiConfig {
         interarrival: SimTime::from_millis(5),
     };
     c
+}
+
+/// Reactive dynamic quorums over ROWA: the member crash forces a shrink
+/// on every item, the recovery grows back.
+fn reconfiguring_rowa() -> MultiConfig {
+    let mut c = MultiConfig::new(Arc::new(Rowa::new(5)));
+    c.items = 8;
+    c.shards = 4;
+    c.clients_per_shard = 2;
+    c.duration = SimTime::from_secs(2);
+    c.seed = 19;
+    c.read_fraction = 0.5;
+    c.reconfig = ReconfigPolicy::reactive();
+    c.faults = FaultPlan::new()
+        .crash_at(SimTime::from_millis(400), 4)
+        .recover_at(SimTime::from_millis(1400), 4)
+        .abort_at(SimTime::from_millis(700), 3);
+    c.retry = RetryPolicy::retries(3, SimTime::from_millis(5));
+    c
+}
+
+/// Scripted reconfigurations over majority quorums, with a crash/drop
+/// backdrop: every item switches membership twice mid-run.
+fn reconfiguring_majority() -> MultiConfig {
+    let mut c = healthy();
+    c.seed = 23;
+    c.read_fraction = 0.5;
+    c.reconfig = ReconfigPolicy::scripted_only();
+    c.faults = FaultPlan::new()
+        .crash_at(SimTime::from_millis(300), 1)
+        .recover_at(SimTime::from_millis(1000), 1)
+        .drop_window(SimTime::from_millis(500), SimTime::from_millis(200), 250)
+        .reconfig_at(
+            SimTime::from_millis(700),
+            ReconfigTarget::Members([0usize, 2, 3, 4].into_iter().collect()),
+        )
+        .reconfig_at(SimTime::from_millis(1300), ReconfigTarget::Live);
+    c.retry = RetryPolicy::retries(3, SimTime::from_millis(5));
+    c
+}
+
+#[test]
+fn reconfiguring_digests_are_identical_across_thread_counts_and_queues() {
+    for (label, config) in [
+        ("reactive-rowa", reconfiguring_rowa()),
+        ("scripted-majority", reconfiguring_majority()),
+    ] {
+        let baseline = run_sharded(&config, 1);
+        assert!(
+            baseline.metrics.reconfigurations > 0,
+            "{label}: no reconfigurations fired"
+        );
+        assert_eq!(
+            baseline.metrics.lemma_violations, 0,
+            "{label}: violations {:?}",
+            baseline.metrics.violations
+        );
+        let mut heap = config.clone();
+        heap.queue = QueueKind::Heap;
+        for threads in [1, 2, 4] {
+            assert_eq!(
+                run_sharded(&config, threads).digest(),
+                baseline.digest(),
+                "{label}: calendar digest diverged at {threads} threads"
+            );
+            assert_eq!(
+                run_sharded(&heap, threads).digest(),
+                baseline.digest(),
+                "{label}: heap digest diverged at {threads} threads"
+            );
+        }
+    }
+}
+
+#[test]
+fn traced_reconfiguring_items_conform_generation_aware() {
+    for (label, config) in [
+        ("reactive-rowa", reconfiguring_rowa()),
+        ("scripted-majority", reconfiguring_majority()),
+    ] {
+        let plain = run_sharded(&config, 2);
+        let (traced, traces) = run_sharded_traced(&config, 2);
+        assert_eq!(
+            plain.digest(),
+            traced.digest(),
+            "{label}: tracing perturbed the run"
+        );
+        let mut reconfig_commits = 0u64;
+        for (g, trace) in traces.iter().enumerate() {
+            let report = check_trace(trace, &*config.quorum)
+                .unwrap_or_else(|d| panic!("{label}: item {g} diverged: {d}"));
+            let reconfigs = trace
+                .events
+                .iter()
+                .filter(|e| {
+                    matches!(
+                        e.action,
+                        TraceAction::Create {
+                            kind: TmKind::Reconfig
+                        }
+                    )
+                })
+                .count() as u64;
+            reconfig_commits += reconfigs;
+            // Data commits tally with the report once the reconfigure TMs
+            // (which the Theorem 10 projection erases) are set aside.
+            assert_eq!(
+                report.committed as u64,
+                plain.item_commits[g] + reconfigs,
+                "{label}: item {g} commits"
+            );
+        }
+        assert_eq!(
+            reconfig_commits, plain.metrics.reconfigurations,
+            "{label}: per-item reconfigure TMs tally with the metrics"
+        );
+    }
 }
 
 #[test]

@@ -18,6 +18,14 @@ echo "==> simulator fault/determinism/observability suites"
 cargo test -q -p qc-sim --test determinism --test faults --test fault_props \
   --test obs --test metrics_props
 
+echo "==> dynamic-quorum property suite (reconfig_props)"
+cargo test -q -p qc-sim --test reconfig_props
+
+echo "==> reconfiguration smoke (exp_faults, dynamic column non-degenerate)"
+# The binary itself asserts every dynamic ROWA cell reconfigured and beat
+# its static twin; --secs keeps the smoke cheap.
+cargo run --release -p qc-bench --bin exp_faults -- --secs 2 > /dev/null
+
 echo "==> determinism suites under the heap event-queue oracle"
 # The calendar queue is the default; forcing the binary-heap oracle through
 # the same pinned-digest and shard-digest suites proves the two
