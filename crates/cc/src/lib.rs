@@ -50,11 +50,13 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod lock_table;
 mod locking;
 mod scheduler;
 mod serialize;
 mod theorem11;
 
+pub use lock_table::{Acquire, LockMode, LockTable, PathTid, MAX_PATH};
 pub use locking::{LockGranularity, LockingObject};
 pub use scheduler::ConcurrentScheduler;
 pub use serialize::{non_orphans, serialize_return_order, SerializeError};

@@ -56,6 +56,7 @@ pub mod genspec;
 pub mod invariants;
 mod item;
 mod spec;
+pub mod serializability;
 pub mod theorem10;
 mod tm;
 
@@ -69,8 +70,12 @@ pub use invariants::{
     access_sequence, current_vn, logical_state, LemmaChecker, LemmaMonitor, LemmaViolation,
 };
 pub use item::{ItemId, LogicalItem};
+pub use serializability::{
+    check_commit_order_serializable, AccessRecord, CommittedTxn, SerializabilityError,
+};
 pub use spec::{
-    build_replicated_parts, build_system_a, build_system_b, wf_monitor_for_a, BuiltSystem,
+    build_replicated_parts, build_system_a, build_system_b, user_spec_from_program,
+    wf_monitor_for_a, BuiltSystem,
     Components, ConfigChoice, ItemLayout, ItemSpec, Layout, PlainObjectSpec, SystemSpec, TmRole,
     UserSpec, UserStep,
 };

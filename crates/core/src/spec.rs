@@ -523,6 +523,40 @@ pub fn build_system_a(spec: &SystemSpec, layout: &Layout) -> BuiltSystem {
     }
 }
 
+/// The committed projection of a generated
+/// [`ProgramTree`](nested_txn::ProgramTree) as a [`UserSpec`], mapping slot
+/// `k` to the `k`-th logical item.
+///
+/// Doomed subtrees are *erased*: in the serial systems **A**/**B** a
+/// sibling abort means the subtree was never created, so its committed
+/// projection is empty — exactly what the simulator's abort-compensation
+/// machinery must be equivalent to. Parallel batches are sequentialised
+/// (the serial scheduler runs siblings one at a time regardless). Writes
+/// carry the same position-derived values as
+/// [`ProgramTree::root_script`](nested_txn::ProgramTree::root_script).
+pub fn user_spec_from_program(tree: &nested_txn::ProgramTree) -> UserSpec {
+    fn steps_of(node: &nested_txn::ProgramNode) -> Vec<UserStep> {
+        node.children
+            .iter()
+            .filter(|c| !c.doomed)
+            .map(|c| match c.access {
+                Some((slot, false)) => UserStep::Read(slot as usize),
+                Some((slot, true)) => {
+                    UserStep::Write(slot as usize, Value::Int(i64::from(slot) + 1))
+                }
+                None => UserStep::Sub(UserSpec {
+                    steps: steps_of(c),
+                    commit: Some(Value::Nil),
+                }),
+            })
+            .collect()
+    }
+    UserSpec {
+        steps: steps_of(&tree.root),
+        commit: Some(Value::Nil),
+    }
+}
+
 /// A well-formedness monitor pre-registered with system A's accesses (whose
 /// operations carry no inline [`AccessSpec`]).
 pub fn wf_monitor_for_a(layout: &Layout) -> SystemWfMonitor {

@@ -39,6 +39,7 @@ mod sim;
 mod slab;
 mod time;
 pub mod trace;
+pub mod txn_workload;
 
 pub use arena::DmArena;
 pub use faults::{message_dropped, FaultEvent, FaultPlan, ReconfigTarget, RetryPolicy};
@@ -51,8 +52,9 @@ pub use shard::{
     run_sharded, run_sharded_traced, ItemDist, MultiConfig, ShardReport, Workload,
 };
 pub use qc_replication::{
-    check_trace, AbortReason, ConformanceReport, Divergence, DivergenceKind, ScheduleTrace,
-    TmKind, TraceAction, TraceEvent, TraceTid,
+    check_commit_order_serializable, check_trace, AbortReason, AccessRecord, CommittedTxn,
+    ConformanceReport, Divergence, DivergenceKind, ScheduleTrace, SerializabilityError, TmKind,
+    TraceAction, TraceEvent, TraceTid,
 };
 pub use qc_obs::{
     EventKind, EventLogMode, Histogram, ObsEvent, ObsOptions, ObsReport, OpRef, Phase,
@@ -61,3 +63,6 @@ pub use qc_obs::{
 pub use sim::{run, run_observed, run_traced, ContactPolicy, ReconfigPolicy, SimConfig, Simulation};
 pub use time::SimTime;
 pub use trace::{trace_to_json, TraceRecorder};
+pub use txn_workload::{
+    run_txn, run_txn_committed, run_txn_traced, TxnConfig, TxnReport, TxnStats,
+};

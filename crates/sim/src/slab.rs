@@ -1,12 +1,21 @@
 //! Per-operation state, interned in a slab reused across operations.
 //!
-//! Both simulators track at most one logical operation in flight per
-//! client, possibly across several retry attempts. The slab owns one
-//! [`PendingOp`] slot per client for the lifetime of the run: beginning an
-//! operation writes the slot, an attempt copies it out, a retry writes it
-//! back. Nothing on the committed-op path allocates — the steady-state
-//! allocation profile of a run is flat in the number of operations, which
-//! the debug-mode counting-allocator test (`tests/alloc_steady.rs`) pins.
+//! The flat simulators (`sim.rs`, `shard.rs`) track at most one logical
+//! operation in flight per client, possibly across several retry
+//! attempts. The slab owns one [`PendingOp`] slot per client for the
+//! lifetime of the run: beginning an operation writes the slot, an
+//! attempt copies it out, a retry writes it back. Nothing on the
+//! committed-op path allocates — the steady-state allocation profile of a
+//! run is flat in the number of operations, which the debug-mode
+//! counting-allocator test (`tests/alloc_steady.rs`) pins.
+//!
+//! The one-op-per-client assumption does NOT hold for the
+//! nested-transaction harness (`txn_workload.rs`): a parallel program
+//! node puts several children of one client in flight at once, and a
+//! whole-transaction abort can straddle them. That harness therefore
+//! keeps per-program-node runtime state (status + epoch guards) instead
+//! of using this slab — see `tests/concurrent_siblings.rs` in
+//! `nested-txn` for the pinned rationale.
 //!
 //! The slab also maintains the in-flight population as a counter, so the
 //! periodic observability snapshots read it in O(1) instead of scanning

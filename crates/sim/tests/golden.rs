@@ -15,9 +15,11 @@
 use std::path::PathBuf;
 use std::sync::Arc;
 
+use nested_txn::{BankingGen, WorkloadKind};
 use qc_sim::{
-    run_observed, run_traced, trace_to_json, ContactPolicy, FaultPlan, LatencyModel,
-    ObsOptions, ReconfigPolicy, RetryPolicy, SimConfig, SimTime,
+    check_trace, run_observed, run_traced, run_txn_traced, trace_to_json, ContactPolicy,
+    FaultPlan, LatencyModel, ObsOptions, ReconfigPolicy, RetryPolicy, SimConfig, SimTime,
+    TraceAction, TxnConfig,
 };
 use quorum::Majority;
 
@@ -99,6 +101,77 @@ fn reconfig_snapshot_is_stable() {
     assert!(metrics.stale_rejections > 0, "the shrink must strand a stale cache");
     assert_eq!(metrics.lemma_violations, 0);
     compare("reconfig_majority3_seed17.json", trace_to_json(&trace));
+}
+
+fn txn_banking() -> TxnConfig {
+    let mut config = TxnConfig::new(
+        Arc::new(Majority::new(3)),
+        WorkloadKind::Banking(BankingGen::new(4)),
+    );
+    config.items = 4;
+    config.domains = 1;
+    config.clients_per_domain = 2;
+    config.latency = LatencyModel::Fixed(SimTime(400));
+    config.think = SimTime::from_millis(1);
+    config.duration = SimTime::from_millis(60);
+    config.seed = 17;
+    config
+}
+
+/// A short nested-transaction banking run: the item-0 schedule — quorum
+/// TM blocks issued by nested program leaves, plus compensating writes
+/// from doomed subtrees — is byte-stable.
+#[test]
+fn txn_banking_snapshot_is_stable() {
+    let config = txn_banking();
+    let (report, traces) = run_txn_traced(&config, 1);
+    assert!(report.stats.txns_committed > 0, "{:?}", report.stats);
+    assert_eq!(report.stats.lemma_violations, 0, "{:?}", report.stats.violations);
+    compare("txn_banking_seed17.json", trace_to_json(&traces[0]));
+}
+
+/// A hand-mutated trace must be rejected: flipping one committed write's
+/// version number makes the schedule diverge from the serial single-copy
+/// object, and the checker must say so at the first divergent action —
+/// the mutated event itself — not somewhere downstream.
+#[test]
+fn mutated_txn_trace_is_rejected_at_first_divergence() {
+    let config = txn_banking();
+    let (_, traces) = run_txn_traced(&config, 1);
+    let good = &traces[0];
+    check_trace(good, &*config.quorum).expect("unmutated trace conforms");
+
+    let mutated_at = good
+        .events
+        .iter()
+        .position(|e| matches!(e.action, TraceAction::WriteDm { .. }))
+        .expect("the banking run writes item 0");
+    let mut bad = good.clone();
+    let TraceAction::WriteDm { vn, .. } = &mut bad.events[mutated_at].action else {
+        unreachable!()
+    };
+    *vn += 7;
+    let d = check_trace(&bad, &*config.quorum)
+        .expect_err("a mutated version number must not replay");
+    assert_eq!(
+        d.event, mutated_at,
+        "divergence reported at event {} instead of the mutated action: {d}",
+        d.event
+    );
+
+    // Mutating a committed value is caught too (at the commit that
+    // installs it, where the serial object's state diverges).
+    let value_at = good
+        .events
+        .iter()
+        .position(|e| matches!(e.action, TraceAction::RequestCommit { .. }))
+        .expect("a committed TM block exists");
+    let mut bad = good.clone();
+    let TraceAction::RequestCommit { value, .. } = &mut bad.events[value_at].action else {
+        unreachable!()
+    };
+    *value ^= 0xDEAD;
+    check_trace(&bad, &*config.quorum).expect_err("a mutated commit value must not replay");
 }
 
 /// The `qc-events-v1` JSONL event-log format is pinned byte for byte: a

@@ -1,0 +1,133 @@
+//! Cross-thread-count and cross-queue determinism for the
+//! nested-transaction workload, with *pinned* digests: the report digest
+//! of each scenario below is a committed constant, so any change to the
+//! event order, RNG consumption, stats accounting, or digest formula
+//! shows up as a loud diff here rather than as silent drift.
+//!
+//! Each scenario must produce its pinned digest on 1, 2 and 4 OS threads,
+//! under both the calendar and the binary-heap event queue, and
+//! run-to-run. To bless new constants after an intentional change, run
+//! the test and copy the printed digests.
+
+use std::sync::Arc;
+
+use nested_txn::{BankingGen, InventoryGen, RandomTreeGen, WorkloadKind};
+use qc_sim::{FaultPlan, QueueKind, RetryPolicy, SimTime, TxnConfig, run_txn};
+use quorum::{Majority, Rowa};
+
+fn banking() -> TxnConfig {
+    let mut c = TxnConfig::new(
+        Arc::new(Majority::new(3)),
+        WorkloadKind::Banking(BankingGen::new(4)),
+    );
+    c.items = 8;
+    c.domains = 2;
+    c.clients_per_domain = 2;
+    c.duration = SimTime::from_secs(1);
+    c.seed = 17;
+    c
+}
+
+fn faulted_random() -> TxnConfig {
+    let mut c = TxnConfig::new(
+        Arc::new(Majority::new(5)),
+        WorkloadKind::Random(RandomTreeGen::new(4)),
+    );
+    c.items = 8;
+    c.domains = 2;
+    c.clients_per_domain = 3;
+    c.duration = SimTime::from_secs(1);
+    c.seed = 31;
+    c.retry = RetryPolicy::retries(3, SimTime::from_millis(2));
+    c.faults = FaultPlan::new()
+        .crash_at(SimTime::from_millis(100), 1)
+        .crash_at(SimTime::from_millis(250), 4)
+        .recover_at(SimTime::from_millis(500), 1)
+        .recover_at(SimTime::from_millis(650), 4)
+        .abort_at(SimTime::from_millis(200), 0)
+        .abort_at(SimTime::from_millis(400), 5)
+        .drop_window(SimTime::from_millis(300), SimTime::from_millis(150), 250)
+        .delay_window(
+            SimTime::from_millis(700),
+            SimTime::from_millis(100),
+            SimTime::from_millis(1),
+        );
+    c
+}
+
+fn rowa_inventory() -> TxnConfig {
+    let mut c = TxnConfig::new(
+        Arc::new(Rowa::new(3)),
+        WorkloadKind::Inventory(InventoryGen::new(3)),
+    );
+    c.items = 9;
+    c.domains = 3;
+    c.clients_per_domain = 2;
+    c.duration = SimTime::from_secs(1);
+    c.seed = 43;
+    c
+}
+
+/// `(label, config, pinned digest)` — the committed determinism contract.
+fn scenarios() -> Vec<(&'static str, TxnConfig, u64)> {
+    vec![
+        ("banking", banking(), 0xdb09_83bb_80f1_6119),
+        ("faulted-random", faulted_random(), 0x58fd_65bb_ba99_9653),
+        ("rowa-inventory", rowa_inventory(), 0x5992_5ba0_5910_cca8),
+    ]
+}
+
+#[test]
+fn pinned_digests_hold_across_threads_and_queues() {
+    for (label, config, pinned) in scenarios() {
+        let mut calendar = config.clone();
+        calendar.queue = QueueKind::Calendar;
+        let mut heap = config;
+        heap.queue = QueueKind::Heap;
+        let baseline = run_txn(&calendar, 1);
+        assert_eq!(
+            baseline.stats.lemma_violations, 0,
+            "{label}: violations {:?}",
+            baseline.stats.violations
+        );
+        assert_eq!(
+            baseline.digest(),
+            pinned,
+            "{label}: digest drifted from its pinned constant \
+             (got {:#018x}; if intentional, re-pin it)",
+            baseline.digest()
+        );
+        for threads in [1usize, 2, 4] {
+            assert_eq!(
+                run_txn(&calendar, threads).digest(),
+                pinned,
+                "{label}: calendar digest diverged at {threads} threads"
+            );
+            assert_eq!(
+                run_txn(&heap, threads).digest(),
+                pinned,
+                "{label}: heap digest diverged at {threads} threads"
+            );
+        }
+    }
+}
+
+#[test]
+fn reports_reproduce_run_to_run() {
+    let a = run_txn(&faulted_random(), 2);
+    let b = run_txn(&faulted_random(), 2);
+    assert_eq!(a.digest(), b.digest());
+    assert_eq!(a.item_commits, b.item_commits);
+    assert_eq!(a.item_vns, b.item_vns);
+    assert_eq!(a.stats, b.stats);
+}
+
+#[test]
+fn faulted_scenario_exercises_the_abort_paths() {
+    let r = run_txn(&faulted_random(), 1);
+    assert!(r.stats.forced_aborts > 0, "{:?}", r.stats);
+    assert!(r.stats.subtree_aborts > 0, "{:?}", r.stats);
+    assert!(r.stats.compensations > 0, "{:?}", r.stats);
+    assert!(r.stats.retries > 0, "{:?}", r.stats);
+    assert!(r.stats.dropped_messages > 0, "{:?}", r.stats);
+}

@@ -75,6 +75,7 @@ mod scheduler;
 mod tid;
 mod value;
 pub mod wf;
+pub mod workload;
 
 pub use object::{ReadWriteObject, RegisteredAccess};
 pub use op::{AccessKind, AccessSpec, TxnOp};
@@ -86,3 +87,6 @@ pub use scheduler::SerialScheduler;
 pub use tid::Tid;
 pub use value::{ObjectId, Value};
 pub use wf::{SystemWfMonitor, WfError};
+pub use workload::{
+    BankingGen, InventoryGen, ProgramNode, ProgramTree, RandomTreeGen, TreeStats, WorkloadKind,
+};

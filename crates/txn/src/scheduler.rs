@@ -33,6 +33,14 @@ use crate::value::Value;
 /// The root `T0` "may neither commit nor abort" (it models the external
 /// world), so the scheduler never emits `COMMIT`/`ABORT` for it.
 ///
+/// Because siblings run one at a time, this automaton cannot express the
+/// concurrent-sibling schedules that parallel program nodes produce in
+/// the simulator's nested-transaction harness (multiple in-flight
+/// children per client, aborts straddling a running sibling) — those are
+/// legal under the per-transaction well-formedness conditions but not
+/// under the serial scheduler's sibling rule. `tests/concurrent_siblings.rs`
+/// pins both facts; the harness keeps its own per-node state instead.
+///
 /// The scheduler also ferries the access/parameter payloads from
 /// `REQUEST-CREATE(T)` to `CREATE(T)` — those payloads are part of the
 /// transaction *name* in the paper's encoding (see

@@ -253,6 +253,17 @@ impl SystemWfMonitor {
         self.access_obj.insert(tid, object);
     }
 
+    /// Observe the next operation of the system schedule directly (the
+    /// standalone form of the [`Monitor`] hookup, for callers that have a
+    /// plain operation sequence rather than an executing [`System`]).
+    ///
+    /// # Errors
+    ///
+    /// The violated well-formedness clause.
+    pub fn observe_op(&mut self, op: &TxnOp) -> Result<(), WfError> {
+        self.observe(op)
+    }
+
     fn observe(&mut self, op: &TxnOp) -> Result<(), WfError> {
         // Learn access names from specs.
         if let (tid, Some(spec)) = (op.tid(), op.access()) {

@@ -18,6 +18,15 @@ echo "==> simulator fault/determinism/observability suites"
 cargo test -q -p qc-sim --test determinism --test faults --test fault_props \
   --test obs --test metrics_props
 
+echo "==> nested-transaction workload suites (txn_workload_props, txn_determinism)"
+cargo test -q -p qc-sim --test txn_workload_props --test txn_determinism
+
+echo "==> nested-transaction smoke (exp_txn: digests, conformance, Theorem 11)"
+# The binary asserts 1/2/4-thread digest identity, per-item Theorem 10
+# conformance, and commit-order serializability of the committed
+# projection; --smoke keeps the scale and sweep sections cheap.
+cargo run --release -p qc-bench --bin exp_txn -- --smoke > /dev/null
+
 echo "==> dynamic-quorum property suite (reconfig_props)"
 cargo test -q -p qc-sim --test reconfig_props
 
