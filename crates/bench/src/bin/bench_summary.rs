@@ -1,0 +1,116 @@
+//! `bench_summary` — fold the current `results/BENCH_*.json` snapshots
+//! into `results/BENCH_trajectory.json`, keyed by commit.
+//!
+//! Every experiment binary writes one machine-readable snapshot
+//! (`BENCH_shard.json`, `BENCH_rebalance.json`, …) that reflects the tree
+//! it ran in; nothing ties those files to the commit that produced them,
+//! so perf regressions across PRs can only be found by archaeology. This
+//! binary stamps the current snapshot set with the commit hash and commit
+//! date and merges it into a growing trajectory file:
+//!
+//! ```json
+//! {
+//! "<commit>": {"recorded":"<commit ISO date>","benches":{"rebalance":{…},…}},
+//! "<older commit>": {…}
+//! }
+//! ```
+//!
+//! The file is line-structured — one entry per line between the braces —
+//! so the merge (replace the current commit's entry, keep the rest) needs
+//! no JSON parser, which the vendored `serde_json` deliberately does not
+//! provide. Re-running on the same commit overwrites that commit's entry
+//! in place; history for other commits is never touched.
+//!
+//! Flags: `--commit <hash>` overrides the `git rev-parse` lookup (useful
+//! in CI where the checkout may be detached) and `--results <dir>`
+//! overrides the default `results/`.
+
+use std::fs;
+use std::path::Path;
+use std::process::Command;
+
+use qc_bench::flag_value;
+
+/// `git <args>` stdout, trimmed, or `None` if git is unavailable.
+fn git(args: &[&str]) -> Option<String> {
+    let out = Command::new("git").args(args).output().ok()?;
+    if !out.status.success() {
+        return None;
+    }
+    let s = String::from_utf8(out.stdout).ok()?;
+    let s = s.trim();
+    (!s.is_empty()).then(|| s.to_string())
+}
+
+/// The existing trajectory entries as `(commit, line)` pairs, oldest
+/// last, parsed from the line-structured format this binary writes.
+fn existing_entries(path: &Path) -> Vec<(String, String)> {
+    let Ok(text) = fs::read_to_string(path) else {
+        return Vec::new();
+    };
+    let mut entries = Vec::new();
+    for line in text.lines() {
+        let line = line.trim().trim_end_matches(',');
+        if line == "{" || line == "}" || line.is_empty() {
+            continue;
+        }
+        // `"<commit>": {...}` — the commit is the first quoted token.
+        let Some(rest) = line.strip_prefix('"') else { continue };
+        let Some(q) = rest.find('"') else { continue };
+        entries.push((rest[..q].to_string(), line.to_string()));
+    }
+    entries
+}
+
+fn main() {
+    let results = flag_value("--results").unwrap_or_else(|| "results".to_string());
+    let results = Path::new(&results);
+    let commit = flag_value("--commit")
+        .or_else(|| git(&["rev-parse", "--short=12", "HEAD"]))
+        .unwrap_or_else(|| "unknown".to_string());
+    let recorded = git(&["log", "-1", "--format=%cI"]).unwrap_or_default();
+
+    // Collect the snapshot files, stable order, trajectory excluded.
+    let mut names: Vec<String> = fs::read_dir(results)
+        .unwrap_or_else(|e| panic!("read {}: {e}", results.display()))
+        .filter_map(|d| d.ok()?.file_name().into_string().ok())
+        .filter(|n| {
+            n.starts_with("BENCH_") && n.ends_with(".json") && n != "BENCH_trajectory.json"
+        })
+        .collect();
+    names.sort();
+    assert!(!names.is_empty(), "no BENCH_*.json snapshots under {}", results.display());
+
+    let mut benches = Vec::with_capacity(names.len());
+    for name in &names {
+        let raw = fs::read_to_string(results.join(name)).expect("snapshot readable");
+        let raw = raw.trim();
+        // Embed verbatim; a malformed snapshot must fail here, not when a
+        // later reader chokes on the trajectory.
+        assert!(
+            raw.starts_with('{') && raw.ends_with('}'),
+            "{name} is not a JSON object"
+        );
+        let key = name
+            .trim_start_matches("BENCH_")
+            .trim_end_matches(".json");
+        benches.push(format!("\"{key}\":{raw}"));
+        println!("  + {name}");
+    }
+    let entry = format!(
+        "\"{commit}\": {{\"recorded\":\"{recorded}\",\"benches\":{{{}}}}}",
+        benches.join(",")
+    );
+
+    let path = results.join("BENCH_trajectory.json");
+    let mut entries = existing_entries(&path);
+    entries.retain(|(c, _)| *c != commit);
+    entries.insert(0, (commit.clone(), entry));
+    let body: Vec<String> = entries.into_iter().map(|(_, line)| line).collect();
+    fs::write(&path, format!("{{\n{}\n}}\n", body.join(",\n"))).expect("write trajectory");
+    println!(
+        "recorded {} snapshot(s) for commit {commit} in {}",
+        names.len(),
+        path.display()
+    );
+}

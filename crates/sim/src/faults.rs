@@ -99,6 +99,18 @@ pub enum FaultEvent {
         /// The new membership.
         target: ReconfigTarget,
     },
+    /// Migrate item `item` to shard `to` (a scripted hot-item handoff).
+    /// Interpreted by the sharded simulator's elastic control plane — the
+    /// move is installed as a same-membership reconfiguration of the item
+    /// at the epoch barrier — and rejected everywhere else, like any
+    /// out-of-range reference. Not part of any shard's local plan view
+    /// ([`FaultPlan::shard_view`] strips it).
+    Migrate {
+        /// Global item id to move.
+        item: usize,
+        /// Destination shard.
+        to: usize,
+    },
 }
 
 /// A deterministic, serializable schedule of [`FaultEvent`]s.
@@ -185,6 +197,13 @@ impl FaultPlan {
         self.push(at, FaultEvent::Reconfig { target })
     }
 
+    /// Schedule a scripted migration of `item` to shard `to` (sharded
+    /// simulator with elastic placement only).
+    #[must_use]
+    pub fn migrate_at(self, at: SimTime, item: usize, to: usize) -> Self {
+        self.push(at, FaultEvent::Migrate { item, to })
+    }
+
     /// The strongest drop probability (thousandths) of any window active at
     /// `t`.
     #[must_use]
@@ -266,6 +285,10 @@ impl FaultPlan {
                         }
                     }
                 }
+                // Item/shard ranges are properties of the sharded
+                // configuration, not of (sites, clients); the sharded
+                // simulator's `MultiConfig::validate` checks them.
+                FaultEvent::Migrate { .. } => {}
                 FaultEvent::DropWindow { .. } | FaultEvent::DelayWindow { .. } => {}
             }
         }
@@ -303,6 +326,9 @@ impl FaultPlan {
                     .contains(&client)
                     .then(|| (at, FaultEvent::AbortClient { client: client - clients_lo })),
                 FaultEvent::Corrupt { .. } => keep_corrupt.then_some((at, e)),
+                // Migrations are control-plane events interpreted by the
+                // epoch driver between shard legs, never inside a shard.
+                FaultEvent::Migrate { .. } => None,
                 _ => Some((at, e)),
             })
             .collect();
@@ -414,6 +440,13 @@ impl FaultPlan {
                     arity(2)?;
                     plan.delay_window(at, time(parts[0])?, time(parts[1])?)
                 }
+                "migrate" => {
+                    arity(1)?;
+                    let (item, to) = parts[0]
+                        .split_once("->")
+                        .ok_or_else(|| format!("{ev:?}: expected item->shard"))?;
+                    plan.migrate_at(at, int(item.trim())? as usize, int(to.trim())? as usize)
+                }
                 "reconfig" => {
                     arity(1)?;
                     let target = if parts[0] == "live" {
@@ -499,6 +532,7 @@ impl FaultEvent {
                     format!("reconfig@{ms}:{}", list.join("+"))
                 }
             },
+            FaultEvent::Migrate { item, to } => format!("migrate@{ms}:{item}->{to}"),
         }
     }
 }
@@ -554,6 +588,9 @@ impl Serialize for FaultPlan {
                             o.field("kind", "reconfig").field("members", &list)
                         }
                     },
+                    FaultEvent::Migrate { item, to } => {
+                        o.field("kind", "migrate").field("item", &item).field("to", &to)
+                    }
                 }
                 .build()
             })
@@ -900,6 +937,43 @@ mod tests {
         // `live` targets are always in range.
         let live = FaultPlan::new().reconfig_at(SimTime::from_millis(1), ReconfigTarget::Live);
         assert!(live.validate(1, 1).is_ok());
+    }
+
+    #[test]
+    fn migrate_round_trips_through_text_and_json() {
+        let plan = FaultPlan::new()
+            .migrate_at(SimTime(2_500), 42, 3)
+            .migrate_at(SimTime::from_millis(7), 0, 1);
+        let text = plan.to_string();
+        assert_eq!(text, "migrate@2.5:42->3; migrate@7:0->1");
+        let back = FaultPlan::parse(&text).unwrap();
+        assert_eq!(back, plan, "migrate events must round-trip");
+        let json = serde_json::to_string(&plan).unwrap();
+        assert_eq!(
+            json,
+            r#"[{"at_us":2500,"kind":"migrate","item":42,"to":3},{"at_us":7000,"kind":"migrate","item":0,"to":1}]"#
+        );
+        // Site/client validation never rejects a migrate event; item and
+        // shard ranges belong to MultiConfig::validate.
+        assert!(plan.validate(1, 1).is_ok());
+    }
+
+    #[test]
+    fn migrate_rejects_malformed_specs() {
+        assert!(FaultPlan::parse("migrate@5:1").is_err()); // no arrow
+        assert!(FaultPlan::parse("migrate@5:x->1").is_err()); // junk item
+        assert!(FaultPlan::parse("migrate@5:1->y").is_err()); // junk shard
+        assert!(FaultPlan::parse("migrate@5:1->2,3").is_err()); // arity
+        assert!(FaultPlan::parse("migrate@x:1->2").is_err()); // bad time
+    }
+
+    #[test]
+    fn shard_view_strips_migrations() {
+        let plan = FaultPlan::new()
+            .crash_at(SimTime::from_millis(1), 2)
+            .migrate_at(SimTime::from_millis(3), 9, 1);
+        let view = plan.shard_view(0, 4, true);
+        assert_eq!(view.to_string(), "crash@1:2");
     }
 
     #[test]

@@ -31,6 +31,7 @@ mod faults;
 mod latency;
 mod metrics;
 mod par;
+pub mod placement;
 mod probe;
 pub mod queue;
 mod shard;
@@ -47,9 +48,14 @@ pub use latency::{sample_exponential, LatencyModel};
 pub use metrics::{CommitRecord, Metrics, OpStats, OpSummary, MAX_RECORDED_VIOLATIONS};
 pub use queue::{CalendarQueue, EventQueue, HeapQueue, QueueImpl, QueueKind};
 pub use par::{default_threads, par_map, run_batch};
+pub use placement::{
+    plan_moves, ElasticPolicy, EpochSample, LoadTracker, Migration, PlacementDirectory,
+    PlacementPolicy, PlacementReport, SeedPlacement,
+};
 pub use probe::InvariantProbe;
 pub use shard::{
-    run_sharded, run_sharded_traced, ItemDist, MultiConfig, ShardReport, Workload,
+    cum_weight_table, item_weight, run_sharded, run_sharded_elastic,
+    run_sharded_elastic_traced, run_sharded_traced, ItemDist, MultiConfig, ShardReport, Workload,
 };
 pub use qc_replication::{
     check_commit_order_serializable, check_trace, AbortReason, AccessRecord, CommittedTxn,

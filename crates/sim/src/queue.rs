@@ -68,6 +68,19 @@ pub trait EventQueue<E: Copy> {
     fn is_empty(&self) -> bool {
         self.len() == 0
     }
+
+    /// Allow pushes at times `>= t` again, even if a peek has already
+    /// observed a later minimum.
+    ///
+    /// Peeking (`next_time`/`pop`) lets the calendar queue advance its
+    /// scan cursor to the observed minimum, after which pushing an
+    /// earlier event could be popped out of order. The elastic driver
+    /// peeks one event past a migration barrier and then injects
+    /// arrivals at `barrier + 1`; calling `rewind(barrier)` first is
+    /// sound there because the barrier loop has already drained every
+    /// event `<= barrier`. The heap oracle is order-safe by construction
+    /// and ignores this.
+    fn rewind(&mut self, _t: SimTime) {}
 }
 
 /// Which [`EventQueue`] implementation a simulation uses.
@@ -374,6 +387,12 @@ impl<E: Copy> EventQueue<E> for CalendarQueue<E> {
     fn len(&self) -> usize {
         self.len
     }
+
+    fn rewind(&mut self, t: SimTime) {
+        // A floor below the true queue minimum only lengthens the next
+        // scan; a floor above it breaks pop order, so only move back.
+        self.floor = self.floor.min(t.as_micros());
+    }
 }
 
 /// The queue a simulation actually drives: static dispatch over the two
@@ -437,6 +456,14 @@ impl<E: Copy> EventQueue<E> for QueueImpl<E> {
             QueueImpl::Heap(q) => q.len(),
         }
     }
+
+    #[inline]
+    fn rewind(&mut self, t: SimTime) {
+        match self {
+            QueueImpl::Calendar(q) => q.rewind(t),
+            QueueImpl::Heap(q) => q.rewind(t),
+        }
+    }
 }
 
 #[cfg(test)]
@@ -449,6 +476,27 @@ mod tests {
             out.push((t.as_micros(), s));
         }
         out
+    }
+
+    #[test]
+    fn rewind_permits_earlier_pushes_in_order() {
+        let mut cal = CalendarQueue::new();
+        let mut heap = HeapQueue::new();
+        for q in [
+            &mut cal as &mut dyn EventQueue<()>,
+            &mut heap as &mut dyn EventQueue<()>,
+        ] {
+            q.push(SimTime(5_000), 0, ());
+            // Peek advances the calendar cursor to 5 000…
+            assert_eq!(q.next_time(), Some(SimTime(5_000)));
+            // …but after rewinding to a barrier every event at or past
+            // the barrier is pushable and pops in order.
+            q.rewind(SimTime(1_000));
+            q.push(SimTime(1_001), 1, ());
+            assert_eq!(q.pop(), Some((SimTime(1_001), 1, ())));
+            assert_eq!(q.pop(), Some((SimTime(5_000), 0, ())));
+            assert!(q.pop().is_none());
+        }
     }
 
     #[test]

@@ -413,6 +413,14 @@ impl Simulation {
                 "fault plan contains reconfig events but SimConfig::reconfig is disabled"
             );
         }
+        assert!(
+            !config
+                .faults
+                .events()
+                .iter()
+                .any(|(_, e)| matches!(e, FaultEvent::Migrate { .. })),
+            "migrate events belong to the sharded simulator's elastic placement"
+        );
         let rng = ChaCha8Rng::seed_from_u64(config.seed);
         let plan_crashes = (0..n)
             .map(|s| config.faults.crash_times_for(s).collect())
@@ -707,6 +715,9 @@ impl Simulation {
             // delay_extra_at; nothing to do when they open.
             FaultEvent::DropWindow { .. } | FaultEvent::DelayWindow { .. } => {}
             FaultEvent::Reconfig { target } => self.try_reconfigure(target, true),
+            // Rejected at construction: the single-item simulator has no
+            // shards to migrate between.
+            FaultEvent::Migrate { .. } => unreachable!("rejected by Simulation::new"),
         }
     }
 

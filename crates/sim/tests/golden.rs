@@ -17,9 +17,10 @@ use std::sync::Arc;
 
 use nested_txn::{BankingGen, WorkloadKind};
 use qc_sim::{
-    check_trace, run_observed, run_traced, run_txn_traced, trace_to_json, ContactPolicy,
-    FaultPlan, LatencyModel, ObsOptions, ReconfigPolicy, RetryPolicy, SimConfig, SimTime,
-    TraceAction, TxnConfig,
+    check_trace, run_observed, run_sharded_elastic_traced, run_traced, run_txn_traced,
+    trace_to_json, ContactPolicy, DivergenceKind, ElasticPolicy, FaultPlan, LatencyModel,
+    MultiConfig, ObsOptions, PlacementPolicy, ReconfigPolicy, RetryPolicy, SeedPlacement,
+    SimConfig, SimTime, TmKind, TraceAction, TxnConfig, Workload,
 };
 use quorum::Majority;
 
@@ -172,6 +173,85 @@ fn mutated_txn_trace_is_rejected_at_first_divergence() {
     };
     *value ^= 0xDEAD;
     check_trace(&bad, &*config.quorum).expect_err("a mutated commit value must not replay");
+}
+
+fn migration_config() -> MultiConfig {
+    let mut config = MultiConfig::new(Arc::new(Majority::new(3)));
+    config.items = 4;
+    config.shards = 2;
+    config.read_fraction = 0.5;
+    config.workload = Workload::Routed {
+        interarrival: SimTime::from_millis(1),
+    };
+    config.duration = SimTime::from_millis(25);
+    config.seed = 17;
+    config.reconfig = ReconfigPolicy::scripted_only();
+    // Rebalancing disabled: the one scripted move is the only migration.
+    config.placement = PlacementPolicy::Elastic(ElasticPolicy {
+        seed: SeedPlacement::RoundRobin,
+        max_moves_per_epoch: 0,
+        ..ElasticPolicy::new()
+    });
+    config.faults = FaultPlan::parse("migrate@10:0->1").expect("fault plan parses");
+    config
+}
+
+/// A scripted hot-item migration: item 0 leaves its round-robin home for
+/// shard 1 at 10 ms via a same-members generation bump; the new owner's
+/// first attempt stale-rejects, adopts the bumped generation, and
+/// retries. The migrated item's cross-shard schedule is byte-stable.
+#[test]
+fn migration_snapshot_is_stable() {
+    let config = migration_config();
+    let (report, traces, placement) = run_sharded_elastic_traced(&config, 2);
+    assert_eq!(placement.migrations, 1, "{placement:?}");
+    assert_eq!(report.metrics.reconfigurations, 1);
+    assert!(report.metrics.stale_rejections > 0, "the §4 fence must fire");
+    assert_eq!(report.metrics.lemma_violations, 0, "{:?}", report.metrics.violations);
+    compare("migration_majority3_seed17.json", trace_to_json(&traces[0]));
+}
+
+/// A migration installed without a configuration write quorum must be
+/// rejected: stripping the WRITE-CFG records from the migration's
+/// reconfigure-TM leaves a generation bump no old-member quorum
+/// witnessed, and the checker must flag it at the first divergent action
+/// — the reconfigure's own REQUEST-COMMIT.
+#[test]
+fn migration_without_config_write_quorum_is_rejected() {
+    let config = migration_config();
+    let (_, traces, _) = run_sharded_elastic_traced(&config, 2);
+    let good = &traces[0];
+    check_trace(good, &*config.quorum).expect("unmutated trace conforms");
+
+    let reconfig_tid = good
+        .events
+        .iter()
+        .find(|e| matches!(e.action, TraceAction::Create { kind: TmKind::Reconfig }))
+        .expect("the migration runs a reconfigure-TM")
+        .tid;
+    let mut bad = good.clone();
+    bad.events.retain(|e| {
+        !(e.tid == reconfig_tid && matches!(e.action, TraceAction::WriteCfg { .. }))
+    });
+    assert!(bad.events.len() < good.events.len(), "WRITE-CFG records were present");
+    let mutated_at = bad
+        .events
+        .iter()
+        .position(|e| {
+            e.tid == reconfig_tid && matches!(e.action, TraceAction::RequestCommit { .. })
+        })
+        .expect("the reconfigure-TM requests commit");
+    let d = check_trace(&bad, &*config.quorum)
+        .expect_err("an unwitnessed generation bump must not replay");
+    assert!(
+        matches!(d.kind, DivergenceKind::NoConfigWriteQuorum),
+        "wrong divergence: {d}"
+    );
+    assert_eq!(
+        d.event, mutated_at,
+        "divergence reported at event {} instead of the first divergent action: {d}",
+        d.event
+    );
 }
 
 /// The `qc-events-v1` JSONL event-log format is pinned byte for byte: a

@@ -1,0 +1,193 @@
+//! Property-based tests for the elastic placement layer: the zipfian
+//! cumulative-weight table the routed workload draws from, the placement
+//! directory's partition invariant, the determinism and cap discipline of
+//! the greedy rebalancer, and the `migrate@` fault-grammar round-trip.
+//!
+//! Case budget: `PROPTEST_CASES` (see `scripts/tier1.sh`), default 256.
+
+use proptest::prelude::*;
+use qc_sim::{
+    cum_weight_table, item_weight, plan_moves, ElasticPolicy, FaultPlan, ItemDist,
+    PlacementDirectory, SeedPlacement, SimTime,
+};
+
+/// A strictly-increasing global item subset (what one shard owns).
+fn item_subset() -> impl Strategy<Value = Vec<usize>> {
+    prop::collection::btree_set(0usize..256, 1..24).prop_map(|s| s.into_iter().collect())
+}
+
+fn dist(theta_centi: u32) -> ItemDist {
+    if theta_centi == 0 {
+        ItemDist::Uniform
+    } else {
+        ItemDist::Zipfian {
+            theta: f64::from(theta_centi) / 100.0,
+        }
+    }
+}
+
+proptest! {
+    /// The table is strictly monotone, starts at the first item's weight,
+    /// and its last entry equals the returned total — for any subset and
+    /// any skew.
+    #[test]
+    fn cum_weight_table_is_monotone_and_normalized(
+        items in item_subset(),
+        theta_centi in 0u32..300,
+    ) {
+        let d = dist(theta_centi);
+        let (cw, total) = cum_weight_table(&items, d);
+        prop_assert_eq!(cw.len(), items.len());
+        let mut prev = 0.0;
+        for (&g, &c) in items.iter().zip(&cw) {
+            prop_assert!(c > prev, "non-increasing at item {}", g);
+            let w = item_weight(g, d);
+            prop_assert!((c - prev - w).abs() < 1e-9 * total, "increment != weight({})", g);
+            prev = c;
+        }
+        prop_assert!((cw[cw.len() - 1] - total).abs() < 1e-9 * total.max(1.0));
+    }
+
+    /// θ = 0 degenerates to uniform: every increment is exactly 1.
+    #[test]
+    fn theta_zero_is_uniform(items in item_subset()) {
+        let (cw, total) = cum_weight_table(&items, ItemDist::Zipfian { theta: 0.0 });
+        let (uni, uni_total) = cum_weight_table(&items, ItemDist::Uniform);
+        prop_assert_eq!(cw.len(), uni.len());
+        for (a, b) in cw.iter().zip(&uni) {
+            prop_assert!((a - b).abs() < 1e-9);
+        }
+        prop_assert!((total - uni_total).abs() < 1e-9);
+        prop_assert!((total - items.len() as f64).abs() < 1e-9);
+    }
+
+    /// Large θ concentrates essentially all weight on the head item: with
+    /// θ = 3, item 0 alone holds more than the rest of a 256-item
+    /// keyspace combined.
+    #[test]
+    fn large_theta_concentrates_on_the_head(n in 2usize..256) {
+        let items: Vec<usize> = (0..n).collect();
+        let d = ItemDist::Zipfian { theta: 3.0 };
+        let (cw, total) = cum_weight_table(&items, d);
+        let head = cw[0];
+        prop_assert!(
+            head > total - head,
+            "head {} vs tail {} at n = {}",
+            head, total - head, n
+        );
+        // And the table edge cases: one item gets everything.
+        let (solo, solo_total) = cum_weight_table(&items[..1], d);
+        prop_assert_eq!(solo.len(), 1);
+        prop_assert!((solo[0] - solo_total).abs() < 1e-12);
+    }
+
+    /// Both seed layouts produce an exact partition: each item has one
+    /// owner, `owned_by` lists are sorted and disjoint, and the counts
+    /// vector sums back to the keyspace. With `items == shards` every
+    /// shard owns exactly one item.
+    #[test]
+    fn seed_layouts_partition_the_keyspace(
+        items in 1usize..200,
+        shards_raw in 1usize..9,
+        range in 0u8..2,
+    ) {
+        let shards = shards_raw.min(items);
+        let layout = if range == 1 { SeedPlacement::Range } else { SeedPlacement::RoundRobin };
+        let dir = PlacementDirectory::seed(items, shards, layout);
+        prop_assert_eq!(dir.items(), items);
+        prop_assert_eq!(dir.shards(), shards);
+        let mut seen = vec![false; items];
+        for s in 0..shards {
+            let owned = dir.owned_by(s);
+            prop_assert!(owned.windows(2).all(|w| w[0] < w[1]), "unsorted shard {}", s);
+            for g in owned {
+                prop_assert!(!seen[g], "item {} owned twice", g);
+                seen[g] = true;
+                prop_assert_eq!(dir.owner_of(g), s);
+            }
+        }
+        prop_assert!(seen.iter().all(|&x| x), "unowned item");
+        prop_assert_eq!(dir.counts().iter().sum::<usize>(), items);
+        if items == shards {
+            prop_assert!(dir.counts().iter().all(|&c| c == 1));
+        }
+    }
+
+    /// The greedy planner respects its cap, never proposes a no-op or
+    /// out-of-range move, never moves the same item twice, and is a pure
+    /// function of its inputs.
+    #[test]
+    fn plan_moves_is_capped_sane_and_deterministic(
+        deltas in prop::collection::vec(0u64..10_000, 1..64),
+        shards_raw in 2usize..8,
+        cap in 0usize..16,
+        hot_ratio_centi in 100u32..200,
+    ) {
+        let shards = shards_raw.min(deltas.len());
+        let dir = PlacementDirectory::seed(deltas.len(), shards, SeedPlacement::Range);
+        let pol = ElasticPolicy {
+            max_moves_per_epoch: cap,
+            hot_ratio: f64::from(hot_ratio_centi) / 100.0,
+            min_epoch_commits: 1,
+            ..ElasticPolicy::new()
+        };
+        let moves = plan_moves(&deltas, &dir, &pol);
+        prop_assert!(moves.len() <= cap);
+        let mut moved = std::collections::BTreeSet::new();
+        for m in &moves {
+            prop_assert!(m.item < deltas.len());
+            prop_assert!(m.to < shards);
+            prop_assert_ne!(m.from, m.to);
+            prop_assert_eq!(m.from, dir.owner_of(m.item));
+            prop_assert!(moved.insert(m.item), "item {} moved twice", m.item);
+        }
+        prop_assert_eq!(&plan_moves(&deltas, &dir, &pol), &moves);
+    }
+
+    /// Moves only flow downhill: applying the plan never makes the
+    /// receiving shard hotter than the donor was, and a perfectly flat
+    /// load plans no moves at all.
+    #[test]
+    fn plan_moves_flow_downhill(
+        deltas in prop::collection::vec(0u64..10_000, 4..64),
+        shards_raw in 2usize..8,
+    ) {
+        let shards = shards_raw.min(deltas.len());
+        let dir = PlacementDirectory::seed(deltas.len(), shards, SeedPlacement::Range);
+        let pol = ElasticPolicy {
+            max_moves_per_epoch: 8,
+            min_epoch_commits: 1,
+            ..ElasticPolicy::new()
+        };
+        let mut load = vec![0u64; shards];
+        for (g, &d) in deltas.iter().enumerate() {
+            load[dir.owner_of(g)] += d;
+        }
+        for m in plan_moves(&deltas, &dir, &pol) {
+            let donor_before = load[m.from];
+            load[m.from] -= deltas[m.item];
+            load[m.to] += deltas[m.item];
+            prop_assert!(
+                load[m.to] <= donor_before,
+                "move {:?} overloaded the receiver", m
+            );
+        }
+        let flat = vec![100u64; shards];
+        let flat_dir = PlacementDirectory::seed(shards, shards, SeedPlacement::RoundRobin);
+        prop_assert!(plan_moves(&flat, &flat_dir, &pol).is_empty());
+    }
+
+    /// `migrate@` round-trips through the fault-plan grammar alongside
+    /// the existing verbs.
+    #[test]
+    fn migrate_grammar_round_trips(
+        at_ms in 1u64..10_000,
+        item in 0usize..1_000,
+        to in 0usize..64,
+    ) {
+        let plan = FaultPlan::new().migrate_at(SimTime::from_millis(at_ms), item, to);
+        let spec: Vec<String> = plan.events().iter().map(|(t, e)| e.text(*t)).collect();
+        let reparsed = FaultPlan::parse(&spec.join(";")).expect("own rendering parses");
+        prop_assert_eq!(reparsed.events(), plan.events());
+    }
+}

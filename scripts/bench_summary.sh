@@ -1,0 +1,10 @@
+#!/usr/bin/env bash
+# Fold the current results/BENCH_*.json snapshots into
+# results/BENCH_trajectory.json, keyed by commit — run after the
+# experiment binaries to record this tree's perf numbers alongside
+# history. Usage: scripts/bench_summary.sh  (from the repo root)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo build --release -p qc-bench --bin bench_summary
+./target/release/bench_summary "$@"

@@ -30,6 +30,18 @@ cargo run --release -p qc-bench --bin exp_txn -- --smoke > /dev/null
 echo "==> dynamic-quorum property suite (reconfig_props)"
 cargo test -q -p qc-sim --test reconfig_props
 
+echo "==> placement suites (placement_props, placement_determinism)"
+# The zipfian weight-table laws, planner invariants, and the elastic
+# thread/queue digest identity plus Theorem 10 replay of migrated items.
+cargo test -q -p qc-sim --test placement_props --test placement_determinism
+
+echo "==> elastic rebalancing smoke (exp_rebalance --smoke)"
+# The binary asserts 1/2/4-thread x calendar/heap digest identity of the
+# elastic run, per-item conformance including migrated items, and that
+# the elastic arm at least halves the collapsed arm's load ratio; --smoke
+# keeps the item count and sweep cheap.
+cargo run --release -p qc-bench --bin exp_rebalance -- --smoke > /dev/null
+
 echo "==> reconfiguration smoke (exp_faults, dynamic column non-degenerate)"
 # The binary itself asserts every dynamic ROWA cell reconfigured and beat
 # its static twin; --secs keeps the smoke cheap.
