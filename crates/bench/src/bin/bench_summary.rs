@@ -24,6 +24,15 @@
 //! Flags: `--commit <hash>` overrides the `git rev-parse` lookup (useful
 //! in CI where the checkout may be detached) and `--results <dir>`
 //! overrides the default `results/`.
+//!
+//! `--check` turns the trajectory into a perf-regression gate instead of
+//! merging: the two most recent entries are compared on every
+//! `ops_per_wall_sec` sample they carry (hot-path throughput rows from
+//! `exp_throughput` / `exp_rebalance`), and the run fails if the
+//! geometric mean dropped by more than the tolerance (default 15%,
+//! override with `--tolerance-pct N`). The geometric mean — not
+//! row-by-row deltas — is the gated quantity because individual cells
+//! jitter on shared runners while a real regression moves all of them.
 
 use std::fs;
 use std::path::Path;
@@ -62,9 +71,87 @@ fn existing_entries(path: &Path) -> Vec<(String, String)> {
     entries
 }
 
+/// Every `"ops_per_wall_sec":<number>` sample in a trajectory entry, in
+/// order of appearance. String scanning on purpose: the vendored
+/// `serde_json` is writer-only and the field grammar here is fixed.
+fn wall_ops_samples(entry: &str) -> Vec<f64> {
+    const NEEDLE: &str = "\"ops_per_wall_sec\":";
+    let mut vals = Vec::new();
+    let mut rest = entry;
+    while let Some(i) = rest.find(NEEDLE) {
+        rest = &rest[i + NEEDLE.len()..];
+        let end = rest
+            .find(|c: char| !matches!(c, '0'..='9' | '.' | '-' | '+' | 'e' | 'E'))
+            .unwrap_or(rest.len());
+        if let Ok(v) = rest[..end].parse::<f64>() {
+            if v > 0.0 {
+                vals.push(v);
+            }
+        }
+        rest = &rest[end..];
+    }
+    vals
+}
+
+fn geomean(vals: &[f64]) -> f64 {
+    let ln_sum: f64 = vals.iter().map(|v| v.ln()).sum();
+    (ln_sum / vals.len() as f64).exp()
+}
+
+/// The `--check` gate: compare the two most recent trajectory entries'
+/// hot-path throughput samples; exit non-zero on a regression beyond
+/// the tolerance. Process-exits in every path.
+fn check_regression(path: &Path, tolerance_pct: f64) -> ! {
+    let entries = existing_entries(path);
+    let ok: &str = "perf gate: ok";
+    match entries.as_slice() {
+        [] | [_] => {
+            println!("{ok} ({} trajectory entries — nothing to compare yet)", entries.len());
+            std::process::exit(0);
+        }
+        [(new_commit, new_entry), (old_commit, old_entry), ..] => {
+            let new = wall_ops_samples(new_entry);
+            let old = wall_ops_samples(old_entry);
+            if new.is_empty() || old.is_empty() {
+                println!(
+                    "{ok} (no ops_per_wall_sec samples: {} new, {} old — run \
+                     exp_throughput before the gate)",
+                    new.len(),
+                    old.len()
+                );
+                std::process::exit(0);
+            }
+            let (gn, go) = (geomean(&new), geomean(&old));
+            let delta_pct = (gn / go - 1.0) * 100.0;
+            println!(
+                "perf gate: {new_commit} geomean {gn:.0} ops/wall-s over {} samples vs \
+                 {old_commit} {go:.0} over {} ({delta_pct:+.1}%)",
+                new.len(),
+                old.len()
+            );
+            if gn < go * (1.0 - tolerance_pct / 100.0) {
+                eprintln!(
+                    "perf gate: FAIL — hot-path throughput regressed {:.1}% \
+                     (tolerance {tolerance_pct}%)",
+                    -delta_pct
+                );
+                std::process::exit(1);
+            }
+            println!("{ok} (tolerance {tolerance_pct}%)");
+            std::process::exit(0);
+        }
+    }
+}
+
 fn main() {
     let results = flag_value("--results").unwrap_or_else(|| "results".to_string());
     let results = Path::new(&results);
+    if std::env::args().any(|a| a == "--check") {
+        let tolerance = flag_value("--tolerance-pct")
+            .map(|s| s.parse().expect("--tolerance-pct takes a number"))
+            .unwrap_or(15.0);
+        check_regression(&results.join("BENCH_trajectory.json"), tolerance);
+    }
     let commit = flag_value("--commit")
         .or_else(|| git(&["rev-parse", "--short=12", "HEAD"]))
         .unwrap_or_else(|| "unknown".to_string());

@@ -239,6 +239,24 @@ impl LockTable {
         self.items[item].waiters.iter().any(|w| w.ticket == ticket)
     }
 
+    /// The first holder a `mode` request by `tid` on `item` conflicts
+    /// with — the proximate cause a causal tracer should charge a queued
+    /// wait to. `None` when nothing conflicts (the request would be
+    /// granted, or it queues only behind the compensation latch — check
+    /// [`LockTable::comp_pending`]). Holder lists are scanned in
+    /// insertion order, writers first, so the answer is deterministic.
+    #[must_use]
+    pub fn blocking_holder(&self, item: usize, tid: &PathTid, mode: LockMode) -> Option<PathTid> {
+        let it = &self.items[item];
+        let writes = it.write_holders.iter().find(|h| !h.is_ancestor_of(tid));
+        match mode {
+            LockMode::Read => writes.copied(),
+            LockMode::Write => writes
+                .or_else(|| it.read_holders.iter().find(|h| !h.is_ancestor_of(tid)))
+                .copied(),
+        }
+    }
+
     /// Record a performed write by `tid` on `item`: `prev` is the logical
     /// value the item held before the write (the undo value). The caller
     /// must already hold the write lock.
@@ -486,6 +504,30 @@ mod tests {
         assert_eq!(granted.len(), 1);
         // The committed branch's undo entry is still owned by the top.
         assert_eq!(lt.snapshot(0).2, 1);
+    }
+
+    #[test]
+    fn blocking_holder_names_the_proximate_conflict() {
+        let mut lt = LockTable::new(1);
+        let r = top(1).child(0);
+        let w = top(2).child(0);
+        assert_eq!(lt.acquire(0, r, LockMode::Read), Acquire::Granted);
+        // A stranger's write conflicts with the reader.
+        assert_eq!(lt.blocking_holder(0, &w, LockMode::Write), Some(r));
+        // A stranger's read is compatible with the reader.
+        assert_eq!(lt.blocking_holder(0, &top(3).child(0), LockMode::Read), None);
+        // An ancestor's holder never blocks its descendant.
+        assert_eq!(lt.blocking_holder(0, &top(1).child(0).child(2), LockMode::Write), None);
+        // Behind a compensation latch there is no conflicting holder.
+        let t = top(4);
+        let leaf = t.child(0);
+        assert!(lt.release_top(0, 1, 0));
+        assert_eq!(lt.acquire(0, leaf, LockMode::Write), Acquire::Granted);
+        lt.note_write(0, leaf, 7);
+        lt.inherit(0, &leaf);
+        assert_eq!(lt.abort_subtree(0, &t), Some(7));
+        assert!(lt.comp_pending(0));
+        assert_eq!(lt.blocking_holder(0, &top(5).child(0), LockMode::Write), None);
     }
 
     #[test]

@@ -22,22 +22,34 @@
 //!
 //! [`ObsOptions`] configures what a run records; [`ObsReport`] bundles
 //! what it recorded and merges across shards in shard-index order.
+//!
+//! The [`causal`] module is the fifth piece: per-transaction causal
+//! span trees mirroring the nested program tree, with critical-path
+//! extraction that reconciles exactly against end-to-end latency,
+//! abort-cause chains, and an order-insensitively mergeable
+//! [`CritProfile`] — serialized as `span_tree` events in the
+//! qc-events-v1 JSONL stream.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod causal;
 mod event;
 mod hist;
 mod snapshot;
 mod span;
 
+pub use causal::{
+    AbortCause, CausalOptions, CausalReport, CritPath, CritProfile, CritStep, EdgeKind, Seg, Span,
+    SpanKind, SpanOutcome, TxnRef, TxnTrace, ABORT_CAUSES, EDGE_KINDS, NO_SPAN, NO_TIME,
+};
 pub use event::{
     EventKind, EventLog, EventLogMode, EventSink, JsonlSink, NullSink, ObsEvent, OpRef,
     EVENTS_FORMAT,
 };
 pub use hist::Histogram;
 pub use snapshot::{snapshots_json, Snapshot, SnapshotExporter};
-pub use span::{Phase, SpanRecorder, PHASES};
+pub use span::{Phase, SpanRecorder, NUM_PHASES, PHASES};
 
 /// FNV-1a over raw bytes — the workspace's standard digest primitive
 /// (stable across platforms and Rust versions, unlike `DefaultHasher`).
@@ -61,6 +73,9 @@ pub struct ObsOptions {
     /// Emit a progress [`Snapshot`] every this many simulated
     /// microseconds (`None` disables the exporter).
     pub snapshot_every_us: Option<u64>,
+    /// Record causal span trees and critical paths into a
+    /// [`CausalReport`].
+    pub causal: CausalOptions,
 }
 
 impl ObsOptions {
@@ -76,12 +91,16 @@ impl ObsOptions {
             spans: true,
             events: EventLogMode::Full,
             snapshot_every_us: Some(1_000_000),
+            causal: CausalOptions::profile(),
         }
     }
 
     /// True if any recording is requested.
     pub fn any_enabled(&self) -> bool {
-        self.spans || self.events != EventLogMode::Null || self.snapshot_every_us.is_some()
+        self.spans
+            || self.events != EventLogMode::Null
+            || self.snapshot_every_us.is_some()
+            || self.causal.enabled
     }
 }
 
@@ -96,6 +115,8 @@ pub struct ObsReport {
     pub events: EventLog,
     /// Progress snapshots in (shard, time) order.
     pub snapshots: Vec<Snapshot>,
+    /// Causal span trees and the aggregated critical-path profile.
+    pub causal: CausalReport,
 }
 
 impl ObsReport {
@@ -105,6 +126,7 @@ impl ObsReport {
             spans: SpanRecorder::new(),
             events: EventLog::new(options.events),
             snapshots: Vec::new(),
+            causal: CausalReport::new(options.causal),
         }
     }
 
@@ -114,11 +136,15 @@ impl ObsReport {
         self.spans.merge(&other.spans);
         self.events.absorb(other.events);
         self.snapshots.extend(other.snapshots);
+        self.causal.absorb(other.causal);
     }
 
     /// True if nothing was recorded.
     pub fn is_empty(&self) -> bool {
-        self.spans.is_empty() && self.events.is_empty() && self.snapshots.is_empty()
+        self.spans.is_empty()
+            && self.events.is_empty()
+            && self.snapshots.is_empty()
+            && self.causal.is_empty()
     }
 
     /// The retained events as versioned JSONL.
@@ -131,15 +157,18 @@ impl ObsReport {
         snapshots_json(&self.snapshots)
     }
 
-    /// FNV-1a digest over the spans JSON, the events JSONL and the
-    /// snapshots JSON — bit-identical across thread counts for the same
-    /// seed and options.
+    /// FNV-1a digest over the spans JSON, the events JSONL, the
+    /// snapshots JSON and the causal report — bit-identical across
+    /// thread counts for the same seed and options.
     pub fn digest(&self) -> u64 {
         let mut text = self.spans.to_json();
         text.push('\n');
         text.push_str(&self.events_jsonl());
         text.push('\n');
         text.push_str(&self.snapshots_json());
+        text.push('\n');
+        text.push_str(&self.causal.profile().to_json());
+        text.push_str(&self.causal.to_jsonl());
         fnv1a(text.as_bytes())
     }
 }

@@ -16,6 +16,20 @@
 //!   copies visible.
 //! - `retry_backoff` — time an op spent sleeping between a failed
 //!   attempt and its retry (only recorded for ops that backed off).
+//!   Stale-generation rejections (paper §4) charge the doomed
+//!   attempt's elapsed time here too: work thrown away because the
+//!   configuration moved is backoff, not useful gathering.
+//!
+//! Two phases arrived with the dynamic-quorum and elastic-placement
+//! layers (PRs 7–9) after the original five froze:
+//!
+//! - `reconfig_fence` — a §4 reconfiguration fence: the instant a new
+//!   `(configuration, generation)` is installed through a write quorum
+//!   of the *old* members. Recorded as a zero-duration span per
+//!   installation so `exp_obs` percentiles count dynamic runs' fences.
+//! - `migration` — an elastic-placement hot-item migration barrier
+//!   (a same-members generation bump batched per epoch), one
+//!   zero-duration span per migrated item.
 
 use crate::hist::Histogram;
 
@@ -33,15 +47,26 @@ pub enum Phase {
     CommitRound = 3,
     /// Retry backoff between failed attempts.
     RetryBackoff = 4,
+    /// A §4 reconfiguration fence: new `(configuration, generation)`
+    /// installed through a write quorum of the old members.
+    ReconfigFence = 5,
+    /// An elastic-placement migration barrier (same-members generation
+    /// bump), one span per migrated item.
+    Migration = 6,
 }
 
+/// The number of named phases (and the recorder's histogram count).
+pub const NUM_PHASES: usize = 7;
+
 /// All phases in recording order.
-pub const PHASES: [Phase; 5] = [
+pub const PHASES: [Phase; NUM_PHASES] = [
     Phase::ReadGather,
     Phase::VnResolve,
     Phase::WriteInstall,
     Phase::CommitRound,
     Phase::RetryBackoff,
+    Phase::ReconfigFence,
+    Phase::Migration,
 ];
 
 impl Phase {
@@ -53,6 +78,8 @@ impl Phase {
             Phase::WriteInstall => "write_install",
             Phase::CommitRound => "commit_round",
             Phase::RetryBackoff => "retry_backoff",
+            Phase::ReconfigFence => "reconfig_fence",
+            Phase::Migration => "migration",
         }
     }
 }
@@ -61,7 +88,7 @@ impl Phase {
 /// order for thread-count-invariant renderings.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct SpanRecorder {
-    hists: [Histogram; 5],
+    hists: [Histogram; NUM_PHASES],
 }
 
 impl Default for SpanRecorder {
@@ -143,9 +170,14 @@ mod tests {
                 "vn_resolve",
                 "write_install",
                 "commit_round",
-                "retry_backoff"
+                "retry_backoff",
+                "reconfig_fence",
+                "migration"
             ]
         );
+        for (i, p) in PHASES.iter().enumerate() {
+            assert_eq!(*p as usize, i);
+        }
     }
 
     #[test]

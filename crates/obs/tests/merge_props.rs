@@ -102,7 +102,7 @@ proptest! {
     /// SpanRecorder::merge inherits split-invariance phase-by-phase.
     #[test]
     fn span_recorder_split_invariant(
-        spans in prop::collection::vec((0usize..5, sample_strategy()), 0..200),
+        spans in prop::collection::vec((0usize..PHASES.len(), sample_strategy()), 0..200),
         cut in 0.0f64..1.0,
     ) {
         let i = (cut * spans.len() as f64) as usize;

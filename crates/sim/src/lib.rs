@@ -69,6 +69,10 @@ pub use qc_obs::{
 pub use sim::{run, run_observed, run_traced, ContactPolicy, ReconfigPolicy, SimConfig, Simulation};
 pub use time::SimTime;
 pub use trace::{trace_to_json, TraceRecorder};
+pub use qc_obs::causal::{
+    AbortCause, CausalOptions, CausalReport, CritProfile, EdgeKind, SpanKind, TxnTrace,
+    ABORT_CAUSES, EDGE_KINDS,
+};
 pub use txn_workload::{
-    run_txn, run_txn_committed, run_txn_traced, TxnConfig, TxnReport, TxnStats,
+    run_txn, run_txn_causal, run_txn_committed, run_txn_traced, TxnConfig, TxnReport, TxnStats,
 };

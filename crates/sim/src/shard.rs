@@ -68,6 +68,7 @@ use rand::Rng;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 
+use qc_obs::causal::{AbortCause, EdgeKind, SpanKind, TxnRef as CausalTxnRef, TxnTrace, NO_SPAN};
 use qc_obs::{
     EventKind, EventSink, ObsEvent, ObsOptions, ObsReport, OpRef, Phase, Snapshot,
     SnapshotExporter,
@@ -575,6 +576,13 @@ struct ShardSim<'a> {
     /// Per-coordinator retry epoch (see [`Event::Retry`]); bumped when a
     /// barrier abort invalidates the coordinator's parked retry.
     retry_epoch: Vec<u32>,
+    /// Per-coordinator causal segment history of the in-flight op, in
+    /// causal order (`(edge kind, µs)`); only written when
+    /// `config.obs.causal` is enabled. Mirrors the `PendingOp` phase
+    /// accumulators exactly (see the single-item simulator's
+    /// `causal_finish`); under Routed the slots are per item and migrate
+    /// with it (always empty at a barrier — parked ops are fenced first).
+    causal_segs: Vec<Vec<(EdgeKind, u64)>>,
     /// Reused phase response buffer (no per-operation allocation).
     scratch: Vec<(SimTime, usize)>,
     /// One trace recorder per owned item, when tracing.
@@ -645,6 +653,7 @@ impl<'a> ShardSim<'a> {
             pending: OpSlab::new(coords),
             op_counter: vec![0; coords],
             retry_epoch: vec![0; coords],
+            causal_segs: vec![Vec::new(); coords],
             scratch: Vec::new(),
             recorders,
             metrics: Metrics::default(),
@@ -1105,6 +1114,12 @@ impl<'a> ShardSim<'a> {
         self.cur_gens[item] = new_gen;
         self.cur_members[item] = new_members;
         self.arena_checks[item] = None;
+        if self.config.obs.spans {
+            // Instantaneous (reliable control plane): a zero-duration
+            // marker, counted like vn_resolve/commit_round so fence
+            // frequency shows up in the phase profile.
+            self.obs.spans.record(Phase::ReconfigFence, 0);
+        }
         self.metrics.reconfigurations += 1;
         self.reconfigs_used[item] += 1;
         self.last_reconfig[item] = self.now;
@@ -1453,6 +1468,7 @@ impl<'a> ShardSim<'a> {
                 &mut self.metrics.writes
             };
             stats.record_abort();
+            self.causal_finish(client, &op, Some(AbortCause::Forced));
             if let Workload::Closed { think } = self.config.workload {
                 self.schedule(think, Event::OpStart { client });
             }
@@ -1502,6 +1518,7 @@ impl<'a> ShardSim<'a> {
             }
         };
         op.gather_us += out1.elapsed.as_micros();
+        self.causal_push(client, EdgeKind::ReadGather, out1.elapsed);
         if !out1.ok {
             self.finish_failed_attempt(client, op, out1.elapsed, out1.messages, false);
             return;
@@ -1543,6 +1560,7 @@ impl<'a> ShardSim<'a> {
             }
         };
         op.install_us += out2.elapsed.as_micros();
+        self.causal_push(client, EdgeKind::WriteInstall, out2.elapsed);
         let elapsed = out1.elapsed + out2.elapsed;
         let messages = out1.messages + out2.messages;
         if !out2.ok {
@@ -1620,6 +1638,7 @@ impl<'a> ShardSim<'a> {
         };
         let out1 = self.phase(targets, client, op.op_index, op.attempt, false);
         op.gather_us += out1.elapsed.as_micros();
+        self.causal_push(client, EdgeKind::ReadGather, out1.elapsed);
         let base = op.item * self.n;
         // Generation currency: any in-time response carrying a newer
         // generation supersedes this attempt, whether or not the phase
@@ -1686,6 +1705,7 @@ impl<'a> ShardSim<'a> {
         };
         let out2 = self.phase(targets2, client, op.op_index, op.attempt, true);
         op.install_us += out2.elapsed.as_micros();
+        self.causal_push(client, EdgeKind::WriteInstall, out2.elapsed);
         let elapsed = out1.elapsed + out2.elapsed;
         let messages = out1.messages + out2.messages;
         if !out2.ok {
@@ -1753,6 +1773,126 @@ impl<'a> ShardSim<'a> {
         set
     }
 
+    /// Whether the causal flight recorder is on for this run.
+    fn causal_on(&self) -> bool {
+        self.config.obs.causal.enabled
+    }
+
+    /// Append a causal segment to the coordinator's in-flight op (see
+    /// the single-item simulator's `causal_push`).
+    fn causal_push(&mut self, client: usize, kind: EdgeKind, dur: SimTime) {
+        if self.causal_on() && dur > SimTime::ZERO {
+            self.causal_segs[client].push((kind, dur.as_micros()));
+        }
+    }
+
+    /// Mirror `finish_stale_attempt`'s accumulator reclassification in
+    /// the causal segment list (see the single-item simulator's
+    /// `causal_stale`).
+    fn causal_stale(&mut self, client: usize, attempt_elapsed: SimTime, delay: SimTime) {
+        if !self.causal_on() {
+            return;
+        }
+        let segs = &mut self.causal_segs[client];
+        if attempt_elapsed > SimTime::ZERO {
+            let popped = segs.pop();
+            debug_assert_eq!(
+                popped,
+                Some((EdgeKind::ReadGather, attempt_elapsed.as_micros())),
+                "stale attempt must end with its own gather segment"
+            );
+        }
+        if delay > SimTime::ZERO {
+            segs.push((EdgeKind::StaleRetry, delay.as_micros()));
+        }
+    }
+
+    /// Build and record the causal trace for a finished (committed or
+    /// terminally aborted) operation: a single `Access` root span whose
+    /// segments are the coordinator's accumulated causal history, laid
+    /// back-to-back from the op's start (see the single-item simulator's
+    /// `causal_finish`). Identity is the global coordinator — client id
+    /// in client-paced modes, global item id under Routed — so a trace
+    /// stream stays coherent when items migrate between shards.
+    #[allow(clippy::cast_possible_truncation)]
+    fn causal_finish(&mut self, client: usize, op: &PendingOp, cause: Option<AbortCause>) {
+        if !self.causal_on() {
+            return;
+        }
+        let segs = std::mem::take(&mut self.causal_segs[client]);
+        debug_assert_eq!(
+            segs.iter().map(|&(_, d)| d).sum::<u64>(),
+            op.gather_us + op.install_us + op.backoff_us,
+            "causal segments must mirror the phase accumulators exactly"
+        );
+        let id = CausalTxnRef {
+            client: self.coord(client) as u32,
+            epoch: op.op_index as u32,
+        };
+        let mut trace = TxnTrace::new(id, self.shard, op.started.as_micros());
+        let root = trace.add_span(
+            NO_SPAN,
+            SpanKind::Access {
+                item: self.global_items[op.item] as u64,
+                write: !op.read,
+            },
+        );
+        let mut at = op.started.as_micros();
+        trace.start_span(root, at);
+        for (kind, dur) in segs {
+            trace.push_seg(root, kind, at, dur, None);
+            at += dur;
+        }
+        if let Some(c) = cause {
+            trace.abort_span(root, at, c);
+            trace.seal(at, false, root, cause);
+        } else {
+            trace.finish_span(root, at);
+            trace.seal(at, true, NO_SPAN, None);
+        }
+        self.obs.causal.record(trace);
+    }
+
+    /// Record the causal trace of an op killed *mid-backoff* by a
+    /// migration fence: its segment chain extends to the parked retry
+    /// instant, so the chain is truncated at the fence (`now`) and the
+    /// abort is attributed to [`AbortCause::Fence`].
+    #[allow(clippy::cast_possible_truncation)]
+    fn causal_fence(&mut self, slot: usize, op: &PendingOp) {
+        if !self.causal_on() {
+            return;
+        }
+        let segs = std::mem::take(&mut self.causal_segs[slot]);
+        let id = CausalTxnRef {
+            client: self.coord(slot) as u32,
+            epoch: op.op_index as u32,
+        };
+        let now_us = self.now.as_micros();
+        let mut trace = TxnTrace::new(id, self.shard, op.started.as_micros());
+        let root = trace.add_span(
+            NO_SPAN,
+            SpanKind::Access {
+                item: self.global_items[op.item] as u64,
+                write: !op.read,
+            },
+        );
+        let mut at = op.started.as_micros();
+        trace.start_span(root, at);
+        for (kind, dur) in segs {
+            if at >= now_us {
+                break;
+            }
+            let dur = dur.min(now_us - at);
+            trace.push_seg(root, kind, at, dur, None);
+            at += dur;
+        }
+        // Zero-duration marker naming the barrier that killed the op.
+        trace.push_seg(root, EdgeKind::Fence, at, 0, None);
+        trace.abort_span(root, at, AbortCause::Fence);
+        trace.seal(at, false, root, Some(AbortCause::Fence));
+        self.obs.causal.record(trace);
+    }
+
     /// A stale-generation rejection: the attempt aborts with no visible
     /// effect and the operation retries immediately under the newly
     /// adopted configuration, without spending the retry budget (bounded
@@ -1783,7 +1923,12 @@ impl<'a> ShardSim<'a> {
         // A fresh attempt number keeps trace transaction names unique.
         op.attempt += 1;
         let delay = attempt_elapsed.max(SimTime(1));
-        op.backoff_us += (delay - attempt_elapsed).as_micros();
+        // As in the single-item simulator: a stale attempt's gather time
+        // is retry overhead, reclassified from `gather_us` into
+        // retry_backoff with the phase sum preserved.
+        op.gather_us -= attempt_elapsed.as_micros();
+        op.backoff_us += delay.as_micros();
+        self.causal_stale(client, attempt_elapsed, delay);
         self.pending.put(client, op);
         self.schedule(delay, Event::Retry { key: self.retry_key(client) });
     }
@@ -1824,6 +1969,7 @@ impl<'a> ShardSim<'a> {
                 self.obs.spans.record(Phase::RetryBackoff, op.backoff_us);
             }
         }
+        self.causal_finish(client, &op, None);
         self.item_commits[op.item] += 1;
         if self.config.monitor {
             // Same clauses and first-offender order as before, with the
@@ -1899,6 +2045,7 @@ impl<'a> ShardSim<'a> {
             // (including the SimTime(1) floor), so phase spans reconcile
             // exactly with end-to-end latency on eventual commit.
             op.backoff_us += (delay - attempt_elapsed).as_micros();
+            self.causal_push(client, EdgeKind::RetryBackoff, delay - attempt_elapsed);
             self.pending.put(client, op);
             self.schedule(delay, Event::Retry { key: self.retry_key(client) });
             return;
@@ -1913,6 +2060,7 @@ impl<'a> ShardSim<'a> {
         } else {
             stats.record_failure(op.messages);
         }
+        self.causal_finish(client, &op, Some(AbortCause::QuorumUnavailable));
         if let Workload::Closed { think } = self.config.workload {
             self.schedule((attempt_elapsed + think).max(SimTime(1)), Event::OpStart { client });
         }
@@ -1940,6 +2088,7 @@ impl<'a> ShardSim<'a> {
                 faulted,
             );
         }
+        self.causal_fence(slot, &op);
         if let Workload::Closed { think } = self.config.workload {
             self.schedule(think.max(SimTime(1)), Event::OpStart { client: slot });
         }
@@ -1972,6 +2121,11 @@ impl<'a> ShardSim<'a> {
                 .expect("the directory says this shard owns the item");
             let members = self.cur_members[li];
             if self.reconfigure(li, ReconfigTarget::Members(members), true, true) {
+                if self.config.obs.spans {
+                    // One marker per item actually fenced for export (the
+                    // fence itself was counted as reconfig_fence above).
+                    self.obs.spans.record(Phase::Migration, 0);
+                }
                 lis.push(li);
             } else {
                 failures += 1;
@@ -2024,6 +2178,9 @@ impl<'a> ShardSim<'a> {
             let oc = extract_at(&mut self.op_counter, &lis);
             let re = extract_at(&mut self.retry_epoch, &lis);
             extract_at(&mut self.client_cfg, &lis);
+            // Always empty here — `abort_parked` just consumed any parked
+            // op's segments — so the column is dropped, not exported.
+            extract_at(&mut self.causal_segs, &lis);
             self.pending.remove_many(&lis);
             for i in lis[0]..self.pending.slots() {
                 if let Some(op) = self.pending.get_mut(i) {
@@ -2172,6 +2329,10 @@ impl<'a> ShardSim<'a> {
             );
             insert_at(&mut self.op_counter, oc_ins);
             insert_at(&mut self.retry_epoch, re_ins);
+            insert_at(
+                &mut self.causal_segs,
+                finals.iter().map(|&li| (li, Vec::new())).collect(),
+            );
             insert_at(
                 &mut self.client_cfg,
                 finals

@@ -65,6 +65,7 @@ use rand::Rng;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 
+use qc_obs::causal::{AbortCause, EdgeKind, SpanKind, TxnRef as CausalTxnRef, TxnTrace, NO_SPAN};
 use qc_obs::{
     EventKind, EventSink, ObsEvent, ObsOptions, ObsReport, OpRef, Phase, Snapshot,
     SnapshotExporter,
@@ -374,6 +375,11 @@ pub struct Simulation {
     reconfigs_used: u32,
     last_failure_signal: u64,
     metrics: Metrics,
+    /// Per-client causal segment history of the in-flight op, in causal
+    /// order (`(edge kind, µs)`); only written when `config.obs.causal`
+    /// is enabled. Mirrors the `PendingOp` phase accumulators exactly, so
+    /// the trace built from it reconciles with end-to-end latency.
+    causal_segs: Vec<Vec<(EdgeKind, u64)>>,
     /// Observability recordings (spans/events/snapshots per `config.obs`).
     obs: ObsReport,
     /// Periodic snapshot schedule, when enabled.
@@ -451,6 +457,7 @@ impl Simulation {
             reconfigs_used: 0,
             last_failure_signal: 0,
             metrics: Metrics::default(),
+            causal_segs: vec![Vec::new(); config.clients],
             obs: ObsReport::new(&config.obs),
             snap: config.obs.snapshot_every_us.map(SnapshotExporter::new),
             shard_tag: 0,
@@ -856,6 +863,13 @@ impl Simulation {
         self.cur_gen = new_gen;
         self.cur_members = new_members;
         self.arena_check = None;
+        if self.config.obs.spans {
+            // The reconfigure op completes at one instant (reliable
+            // control plane), so the fence is a zero-duration marker —
+            // counted like vn_resolve/commit_round to keep the phase
+            // counts meaningful.
+            self.obs.spans.record(Phase::ReconfigFence, 0);
+        }
         self.metrics.reconfigurations += 1;
         self.reconfigs_used += 1;
         self.last_reconfig = self.now;
@@ -1096,6 +1110,7 @@ impl Simulation {
                 &mut self.metrics.writes
             };
             stats.record_abort();
+            self.causal_finish(client, &op, Some(AbortCause::Forced));
             self.schedule(self.config.think_time, Event::OpStart { client });
             return;
         }
@@ -1143,6 +1158,7 @@ impl Simulation {
         // Phase-span accounting (exact): every executed gather phase is
         // read_gather time, whether or not the attempt goes on to commit.
         op.gather_us += out1.elapsed.as_micros();
+        self.causal_push(client, EdgeKind::ReadGather, out1.elapsed);
         if !out1.ok {
             self.finish_failed_attempt(client, op, out1.elapsed, out1.messages, false);
             return;
@@ -1175,6 +1191,7 @@ impl Simulation {
             }
         };
         op.install_us += out2.elapsed.as_micros();
+        self.causal_push(client, EdgeKind::WriteInstall, out2.elapsed);
         let elapsed = out1.elapsed + out2.elapsed;
         let messages = out1.messages + out2.messages;
         if !out2.ok {
@@ -1245,6 +1262,7 @@ impl Simulation {
         let targets = self.read_targets().expect("dynamic read targets are always Some");
         let out1 = self.phase(targets, client, op.op_index, op.attempt, false);
         op.gather_us += out1.elapsed.as_micros();
+        self.causal_push(client, EdgeKind::ReadGather, out1.elapsed);
         // Generation currency: any in-time response carrying a newer
         // generation supersedes this attempt, whether or not the phase
         // assembled its quorum.
@@ -1301,6 +1319,7 @@ impl Simulation {
             }
         };
         op.install_us += out2.elapsed.as_micros();
+        self.causal_push(client, EdgeKind::WriteInstall, out2.elapsed);
         let elapsed = out1.elapsed + out2.elapsed;
         let messages = out1.messages + out2.messages;
         if !out2.ok {
@@ -1360,6 +1379,89 @@ impl Simulation {
         set
     }
 
+    /// Whether the causal flight recorder is on for this run.
+    fn causal_on(&self) -> bool {
+        self.config.obs.causal.enabled
+    }
+
+    /// Append a causal segment to the client's in-flight op. Zero
+    /// durations are dropped — the trace only carries time that was
+    /// actually spent, and the phase accumulators skip zeros the same
+    /// way the segment list does, so the two stay in lockstep.
+    fn causal_push(&mut self, client: usize, kind: EdgeKind, dur: SimTime) {
+        if self.causal_on() && dur > SimTime::ZERO {
+            self.causal_segs[client].push((kind, dur.as_micros()));
+        }
+    }
+
+    /// Mirror `finish_stale_attempt`'s accumulator reclassification in
+    /// the causal segment list: pop the stale attempt's gather segment
+    /// (the attempt ran phase 1 only — a stale rejection happens at
+    /// version resolution) and replace it with a `StaleRetry` segment
+    /// covering the whole retry delay.
+    fn causal_stale(&mut self, client: usize, attempt_elapsed: SimTime, delay: SimTime) {
+        if !self.causal_on() {
+            return;
+        }
+        let segs = &mut self.causal_segs[client];
+        if attempt_elapsed > SimTime::ZERO {
+            let popped = segs.pop();
+            debug_assert_eq!(
+                popped,
+                Some((EdgeKind::ReadGather, attempt_elapsed.as_micros())),
+                "stale attempt must end with its own gather segment"
+            );
+        }
+        if delay > SimTime::ZERO {
+            segs.push((EdgeKind::StaleRetry, delay.as_micros()));
+        }
+    }
+
+    /// Build and record the causal trace for a finished (committed or
+    /// terminally aborted) operation: a single `Access` root span whose
+    /// segments are the client's accumulated causal history, laid
+    /// back-to-back from the op's start. The segment sum equals the
+    /// phase-accumulator sum by construction, so the trace reconciles
+    /// exactly with end-to-end latency.
+    #[allow(clippy::cast_possible_truncation)]
+    fn causal_finish(&mut self, client: usize, op: &PendingOp, cause: Option<AbortCause>) {
+        if !self.causal_on() {
+            return;
+        }
+        let segs = std::mem::take(&mut self.causal_segs[client]);
+        debug_assert_eq!(
+            segs.iter().map(|&(_, d)| d).sum::<u64>(),
+            op.gather_us + op.install_us + op.backoff_us,
+            "causal segments must mirror the phase accumulators exactly"
+        );
+        let id = CausalTxnRef {
+            client: client as u32,
+            epoch: op.op_index as u32,
+        };
+        let mut trace = TxnTrace::new(id, self.shard_tag, op.started.as_micros());
+        let root = trace.add_span(
+            NO_SPAN,
+            SpanKind::Access {
+                item: op.item as u64,
+                write: !op.read,
+            },
+        );
+        let mut at = op.started.as_micros();
+        trace.start_span(root, at);
+        for (kind, dur) in segs {
+            trace.push_seg(root, kind, at, dur, None);
+            at += dur;
+        }
+        if let Some(c) = cause {
+            trace.abort_span(root, at, c);
+            trace.seal(at, false, root, cause);
+        } else {
+            trace.finish_span(root, at);
+            trace.seal(at, true, NO_SPAN, None);
+        }
+        self.obs.causal.record(trace);
+    }
+
     /// A stale-generation rejection: the attempt aborts with no visible
     /// effect and the operation retries immediately under the newly
     /// adopted configuration. The retry budget is untouched — the cached
@@ -1390,7 +1492,13 @@ impl Simulation {
         // A fresh attempt number keeps trace transaction names unique.
         op.attempt += 1;
         let delay = attempt_elapsed.max(SimTime(1));
-        op.backoff_us += (delay - attempt_elapsed).as_micros();
+        // The burned gather time is retry overhead, not useful gather
+        // work: reclassify the stale attempt's elapsed (accumulated into
+        // `gather_us` when phase 1 ran) as retry_backoff. The phase sum
+        // still equals end-to-end latency exactly.
+        op.gather_us -= attempt_elapsed.as_micros();
+        op.backoff_us += delay.as_micros();
+        self.causal_stale(client, attempt_elapsed, delay);
         self.pending.put(client, op);
         self.schedule(delay, Event::Retry { client });
     }
@@ -1447,6 +1555,7 @@ impl Simulation {
                 self.obs.spans.record(Phase::RetryBackoff, op.backoff_us);
             }
         }
+        self.causal_finish(client, &op, None);
         if self.config.record_history {
             self.metrics.history.push(CommitRecord {
                 client,
@@ -1532,6 +1641,7 @@ impl Simulation {
             // The attempt's own phase time is already in gather/install;
             // only the extra sleep (including the 1 µs floor) is backoff.
             op.backoff_us += (delay - attempt_elapsed).as_micros();
+            self.causal_push(client, EdgeKind::RetryBackoff, delay - attempt_elapsed);
             self.pending.put(client, op);
             self.schedule(delay, Event::Retry { client });
             return;
@@ -1546,6 +1656,7 @@ impl Simulation {
         } else {
             stats.record_failure(op.messages);
         }
+        self.causal_finish(client, &op, Some(AbortCause::QuorumUnavailable));
         // Same zero-time guard as the retry path above.
         self.schedule(
             (attempt_elapsed + self.config.think_time).max(SimTime(1)),

@@ -1,0 +1,138 @@
+//! Property wall for the causal flight recorder: under *any* generated
+//! combination of nested program shape, fault plan, quorum system, and
+//! parallelism, every recorded span tree must
+//!
+//! * be causally consistent (parents bracket children, sequential
+//!   children tile, leaf segments chain gap-free — `TxnTrace::verify`),
+//! * carry a critical path that reconciles *exactly* with the
+//!   transaction's end-to-end latency, and
+//! * fold into a profile whose merge is split-invariant: observing all
+//!   traces in one profile equals merging profiles built from any split,
+//!   which is what pins the 1/2/4-thread digests equal.
+//!
+//! Case budget: `PROPTEST_CASES` (see `scripts/tier1.sh`), default 256.
+
+use std::sync::Arc;
+
+use nested_txn::{BankingGen, InventoryGen, RandomTreeGen, WorkloadKind};
+use proptest::prelude::*;
+use qc_sim::{
+    run_txn_causal, CausalOptions, CritProfile, FaultPlan, RetryPolicy, SimTime, TxnConfig,
+};
+use quorum::{Majority, QuorumSpec, Rowa};
+
+const SITES: usize = 3;
+const DURATION_MS: u64 = 150;
+
+fn workload(kind: u8, size: u8) -> WorkloadKind {
+    match kind % 3 {
+        0 => WorkloadKind::Banking(BankingGen::new(2 + u32::from(size % 3))),
+        1 => WorkloadKind::Inventory(InventoryGen::new(2 + u32::from(size % 2))),
+        _ => WorkloadKind::Random(RandomTreeGen::new(2 + u32::from(size % 3))),
+    }
+}
+
+fn config(seed: u64, kind: u8, size: u8, domains: usize, cpd: usize, rowa: bool) -> TxnConfig {
+    let quorum: Arc<dyn QuorumSpec + Send + Sync> = if rowa {
+        Arc::new(Rowa::new(SITES))
+    } else {
+        Arc::new(Majority::new(SITES))
+    };
+    let mut c = TxnConfig::new(quorum, workload(kind, size));
+    c.domains = domains;
+    c.clients_per_domain = cpd;
+    c.items = c.workload.slots() as usize * domains;
+    c.duration = SimTime::from_millis(DURATION_MS);
+    c.seed = seed;
+    // A short crash window plus tight retries keeps the abort and
+    // backoff edges exercised without drowning the run.
+    c.faults = FaultPlan::new()
+        .crash_at(SimTime::from_millis(40), 0)
+        .recover_at(SimTime::from_millis(80), 0);
+    c.retry = RetryPolicy::retries(2, SimTime::from_millis(3));
+    c.causal = CausalOptions::full();
+    c
+}
+
+proptest! {
+    /// Causal consistency and exact latency reconciliation for every
+    /// recorded trace, under arbitrary programs and parallelism.
+    #[test]
+    fn critical_paths_reconcile_exactly(
+        seed in 0u64..1_000_000,
+        kind in 0u8..3,
+        size in 0u8..6,
+        domains in 1usize..3,
+        cpd in 1usize..3,
+        rowa_raw in 0u8..2,
+    ) {
+        let c = config(seed, kind, size, domains, cpd, rowa_raw == 1);
+        let (report, causal) = run_txn_causal(&c, 1);
+        let p = causal.profile();
+        prop_assert_eq!(
+            p.txns(),
+            report.stats.txns_committed + report.stats.txns_aborted,
+            "one trace per finished transaction"
+        );
+        prop_assert_eq!(p.reconciled(), p.txns(), "profile saw a non-reconciling path");
+        for t in causal.all() {
+            prop_assert_eq!(t.verify(), Ok(()), "inconsistent trace: {}", t.to_json_line());
+            prop_assert_eq!(t.critical_path().total_us, t.latency_us());
+        }
+    }
+
+    /// Profile merge is split-invariant: folding the trace stream at any
+    /// cut point and merging equals one pass over the whole stream — the
+    /// algebra that makes the merged digest independent of how many
+    /// threads (domains per thread) produced the pieces.
+    #[test]
+    fn profile_merge_is_split_invariant(
+        seed in 0u64..1_000_000,
+        kind in 0u8..3,
+        size in 0u8..6,
+        cut_frac in 0.0f64..1.0,
+    ) {
+        let c = config(seed, kind, size, 2, 2, false);
+        let (_, causal) = run_txn_causal(&c, 1);
+        let traces = causal.all();
+        prop_assume!(!traces.is_empty());
+
+        let mut whole = CritProfile::new();
+        for t in traces {
+            whole.observe(t);
+        }
+        #[allow(clippy::cast_precision_loss, clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+        let cut = ((traces.len() as f64) * cut_frac) as usize;
+        let (left, right) = traces.split_at(cut.min(traces.len()));
+        let mut a = CritProfile::new();
+        for t in left {
+            a.observe(t);
+        }
+        let mut b = CritProfile::new();
+        for t in right {
+            b.observe(t);
+        }
+        a.merge(&b);
+        prop_assert_eq!(a.digest(), whole.digest(), "merge is not split-invariant");
+        prop_assert_eq!(a.to_json(), whole.to_json());
+    }
+
+    /// The full causal report digest is thread-count-invariant for every
+    /// generated case (domains merge in index order regardless of which
+    /// OS thread ran them).
+    #[test]
+    fn causal_digest_is_thread_invariant(
+        seed in 0u64..1_000_000,
+        kind in 0u8..3,
+        size in 0u8..6,
+        domains in 1usize..4,
+        cpd in 1usize..3,
+    ) {
+        let c = config(seed, kind, size, domains, cpd, false);
+        let (_, one) = run_txn_causal(&c, 1);
+        for threads in [2usize, 4] {
+            let (_, multi) = run_txn_causal(&c, threads);
+            prop_assert_eq!(one.digest(), multi.digest(), "diverged at {} threads", threads);
+        }
+    }
+}

@@ -17,10 +17,11 @@ use std::sync::Arc;
 
 use nested_txn::{BankingGen, WorkloadKind};
 use qc_sim::{
-    check_trace, run_observed, run_sharded_elastic_traced, run_traced, run_txn_traced,
-    trace_to_json, ContactPolicy, DivergenceKind, ElasticPolicy, FaultPlan, LatencyModel,
-    MultiConfig, ObsOptions, PlacementPolicy, ReconfigPolicy, RetryPolicy, SeedPlacement,
-    SimConfig, SimTime, TmKind, TraceAction, TxnConfig, Workload,
+    check_trace, run_observed, run_sharded_elastic_traced, run_traced, run_txn_causal,
+    run_txn_traced, trace_to_json, CausalOptions, ContactPolicy, DivergenceKind, ElasticPolicy,
+    FaultPlan, LatencyModel, MultiConfig, ObsOptions, PlacementPolicy, ReconfigPolicy,
+    RetryPolicy, SeedPlacement, SimConfig, SimTime, TmKind, TraceAction, TxnConfig, TxnTrace,
+    Workload,
 };
 use quorum::Majority;
 
@@ -129,6 +130,68 @@ fn txn_banking_snapshot_is_stable() {
     assert!(report.stats.txns_committed > 0, "{:?}", report.stats);
     assert_eq!(report.stats.lemma_violations, 0, "{:?}", report.stats.violations);
     compare("txn_banking_seed17.json", trace_to_json(&traces[0]));
+}
+
+/// The causal companion to `txn_banking_snapshot_is_stable`: the same
+/// pinned-seed run's span trees, serialized as a `qc-events-v1` JSONL
+/// stream, are byte-stable — pinning the flight-recorder wire format
+/// alongside the schedule-trace format.
+#[test]
+fn txn_banking_causal_jsonl_is_stable() {
+    let mut config = txn_banking();
+    config.causal = CausalOptions::full();
+    let (report, causal) = run_txn_causal(&config, 1);
+    assert!(report.stats.txns_committed > 0, "{:?}", report.stats);
+    let p = causal.profile();
+    assert_eq!(p.reconciled(), p.txns(), "every critical path reconciles");
+    compare("txn_banking_causal_seed17.jsonl", causal.to_jsonl());
+}
+
+/// A causally mutated span tree must be rejected: swapping two adjacent
+/// segments on a leaf span breaks the gap-free edge chain (the second
+/// edge would begin before the first ended), and `verify` must say so.
+/// The same mutation applied to the serialized JSONL line is caught
+/// after a parse round-trip, so a doctored recording cannot pass as a
+/// genuine one.
+#[test]
+fn reordered_causal_edge_is_rejected() {
+    let mut config = txn_banking();
+    config.causal = CausalOptions::full();
+    let (_, causal) = run_txn_causal(&config, 1);
+    let good = causal
+        .all()
+        .iter()
+        .find(|t| {
+            t.spans
+                .iter()
+                .any(|s| s.segs.len() >= 2 && s.segs[0].dur_us != s.segs[1].dur_us)
+        })
+        .expect("the banking run produces a span with distinct chained edges");
+    good.verify().expect("unmutated trace is causally consistent");
+
+    let mut bad = good.clone();
+    let span = bad
+        .spans
+        .iter_mut()
+        .find(|s| s.segs.len() >= 2 && s.segs[0].dur_us != s.segs[1].dur_us)
+        .expect("found above");
+    span.segs.swap(0, 1);
+    let err = bad.verify().expect_err("a reordered edge must not verify");
+    assert!(
+        err.contains("edge out of order"),
+        "wrong rejection for a reordered edge: {err}"
+    );
+
+    // And through the wire format: parse-back of the mutated line is
+    // rejected identically, so the JSONL stream carries the invariant.
+    let reparsed = TxnTrace::parse_json_line(&bad.to_json_line())
+        .expect("the mutated line still parses — rejection is semantic");
+    assert!(
+        reparsed.verify().is_err(),
+        "a doctored JSONL recording must fail verification"
+    );
+    let roundtrip = TxnTrace::parse_json_line(&good.to_json_line()).expect("good line parses");
+    assert_eq!(roundtrip.to_json_line(), good.to_json_line(), "round-trip is identity");
 }
 
 /// A hand-mutated trace must be rejected: flipping one committed write's

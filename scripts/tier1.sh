@@ -27,6 +27,26 @@ echo "==> nested-transaction smoke (exp_txn: digests, conformance, Theorem 11)"
 # projection; --smoke keeps the scale and sweep sections cheap.
 cargo run --release -p qc-bench --bin exp_txn -- --smoke > /dev/null
 
+echo "==> causal flight-recorder suites (causal, causal_props)"
+# Observed == unobserved digests, exact critical-path reconciliation,
+# stale-retry/fence attribution, and the 1/2/4-thread x calendar/heap
+# causal digest identity — plus the property wall over arbitrary nested
+# programs and fault plans.
+cargo test -q -p qc-sim --test causal --test causal_props
+
+echo "==> critical-path smoke (exp_critpath --smoke) + qc-trace queries"
+# The binary asserts recording invisibility, thread/queue invariance of
+# the causal digest, and exact reconciliation at scale; qc-trace then
+# re-parses both the golden causal JSONL and the freshly exported
+# slowest-transaction JSONL, re-verifying every span tree offline.
+cargo run --release -p qc-bench --bin exp_critpath -- --smoke > /dev/null
+cargo run --release -p qc-bench --bin qc-trace -- \
+  crates/sim/tests/golden/txn_banking_causal_seed17.jsonl check
+cargo run --release -p qc-bench --bin qc-trace -- \
+  results/critpath_slowest.jsonl check > /dev/null
+cargo run --release -p qc-bench --bin qc-trace -- \
+  results/critpath_slowest.jsonl profile > /dev/null
+
 echo "==> dynamic-quorum property suite (reconfig_props)"
 cargo test -q -p qc-sim --test reconfig_props
 
@@ -54,6 +74,21 @@ echo "==> determinism suites under the heap event-queue oracle"
 # metrics bits) — any divergence fails the pinned digests immediately.
 QC_EVENT_QUEUE=heap cargo test -q -p qc-sim --test determinism \
   --test shard_determinism --test golden
+
+echo "==> perf-regression gate (exp_throughput -> bench_summary --check)"
+# Regenerate the hot-path throughput snapshot, fold it into a scratch
+# copy of the trajectory under a synthetic commit, and fail if the
+# geometric mean of ops/wall-s regressed more than 15% against the most
+# recent recorded commit. The scratch copy keeps the gate from editing
+# the committed trajectory history.
+cargo run --release -p qc-bench --bin exp_throughput -- --secs 5 > /dev/null
+GATE_DIR="$(mktemp -d)"
+cp results/BENCH_*.json "$GATE_DIR"/
+cargo run --release -p qc-bench --bin bench_summary -- \
+  --results "$GATE_DIR" --commit worktree > /dev/null
+cargo run --release -p qc-bench --bin bench_summary -- \
+  --results "$GATE_DIR" --check
+rm -rf "$GATE_DIR"
 
 echo "==> cargo clippy -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
